@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+One synthetic world is built and crawled per session (control + two
+ad-blocker crawls + cross-machine validation); each benchmark then times the
+analysis stage that regenerates its table/figure and prints the regenerated
+rows so the output can be compared against the paper.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (fraction of the paper's
+20k + 20k crawl; default 0.05).
+"""
+
+import os
+
+import pytest
+
+from repro.config import StudyScale
+from repro.webgen import build_world
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(StudyScale(fraction=_scale()))
+
+
+@pytest.fixture(scope="session")
+def study(world):
+    return world.run_full_study(include_adblock_crawls=True, include_cross_machine=True)

@@ -1,0 +1,169 @@
+"""Ablation benchmarks for the methodology's design choices.
+
+Each ablation removes one ingredient of the paper's method and measures the
+damage, quantifying *why* the paper does what it does:
+
+* drop each §3.2 detection filter -> false-positive prevalence inflation;
+* attribute by script-URL pattern only (no canvas clustering) -> the
+  coverage the paper's core clustering idea adds;
+* remove the ad blockers' first-party exception -> how much of the §5.2
+  evasion story is that single exception.
+"""
+
+import pytest
+
+from repro.blocklists import RuleMatcher
+from repro.browser import AdBlockerExtension, BrowserProfile
+from repro.core.attribution import VendorAttributor, VendorSignature
+from repro.core.detection import FingerprintDetector
+from repro.core.records import ANIMATION_METHODS
+from repro.crawler import run_crawl
+from repro.experiments import run_experiment
+
+
+class _NoSizeFilterDetector(FingerprintDetector):
+    def __init__(self):
+        super().__init__(min_size=0)
+
+
+class _NoAnimationFilterDetector(FingerprintDetector):
+    def detect(self, observation):
+        stripped = type(observation)(
+            domain=observation.domain,
+            rank=observation.rank,
+            population=observation.population,
+            success=observation.success,
+            calls=[c for c in observation.calls if c.method not in ANIMATION_METHODS],
+            extractions=observation.extractions,
+        )
+        return super().detect(stripped)
+
+
+class _NoLossyFilterDetector(FingerprintDetector):
+    def classify_extraction(self, extraction, animation_scripts):
+        reason = super().classify_extraction(extraction, animation_scripts)
+        from repro.core.detection import ExclusionReason
+
+        if reason is ExclusionReason.LOSSY_FORMAT:
+            # Pretend lossy formats were acceptable; re-check other filters.
+            if extraction.width < self.min_size or extraction.height < self.min_size:
+                return ExclusionReason.TOO_SMALL
+            if extraction.script_url in animation_scripts:
+                return ExclusionReason.ANIMATION_SCRIPT
+            return None
+        return reason
+
+
+def _fp_sites(detector, dataset, population):
+    outcomes = detector.detect_all(dataset.successful(population))
+    return sum(1 for o in outcomes.values() if o.is_fingerprinting_site)
+
+
+def test_bench_ablate_detection_filters(benchmark, study):
+    """Each filter matters: removing any inflates measured prevalence."""
+    dataset = study.control
+    full = FingerprintDetector()
+
+    def measure_all():
+        return {
+            "full": _fp_sites(full, dataset, "top"),
+            "no-lossy": _fp_sites(_NoLossyFilterDetector(), dataset, "top"),
+            "no-size": _fp_sites(_NoSizeFilterDetector(), dataset, "top"),
+            "no-animation": _fp_sites(_NoAnimationFilterDetector(), dataset, "top"),
+        }
+
+    counts = benchmark(measure_all)
+    print()
+    print("Detection-filter ablation (top-population FP sites):")
+    for name, count in counts.items():
+        print(f"  {name:14s} {count}")
+    assert counts["no-lossy"] > counts["full"]       # webp checks leak in
+    assert counts["no-size"] > counts["full"]        # small canvases leak in
+    assert counts["no-animation"] > counts["full"]   # image tools leak in
+
+
+def test_bench_ablate_canvas_clustering(benchmark, study):
+    """Attribution by script pattern alone misses bundled/cloaked deployments;
+    canvas clustering is what closes the gap (the paper's core idea)."""
+    pattern_only = VendorAttributor(
+        [
+            VendorSignature(
+                name=s.name,
+                security=s.security,
+                canvas_hashes=set(),           # ablated: no canvas knowledge
+                script_pattern=s.script_pattern,
+                url_regex=s.url_regex,
+            )
+            for s in study.signatures
+        ]
+    )
+    full = VendorAttributor(study.signatures)
+    observations = study.control.by_domain()
+
+    def attribute_both():
+        with_canvas = full.attribute_all(observations, study.outcomes)
+        without = pattern_only.attribute_all(observations, study.outcomes)
+        return (
+            sum(1 for a in with_canvas.values() if a.vendors),
+            sum(1 for a in without.values() if a.vendors),
+        )
+
+    with_canvas, without_canvas = benchmark(attribute_both)
+    print()
+    print(f"Attributed FP sites with canvas clustering: {with_canvas}")
+    print(f"Attributed FP sites with script patterns only: {without_canvas}")
+    coverage_gain = with_canvas / max(1, without_canvas)
+    print(f"Coverage gain from clustering: {coverage_gain:.2f}x")
+    assert with_canvas > without_canvas  # clustering must add coverage
+
+
+def test_bench_ablate_first_party_exception(benchmark, world, study):
+    """Counterfactual: an ad blocker that ignores the first-party exception
+    blocks dramatically more fingerprinting (paper §5.2's mechanism)."""
+    easylist = RuleMatcher.from_text(world.easylist_text, "easylist")
+    targets = world.all_targets[: max(200, len(world.all_targets) // 5)]
+    detector = FingerprintDetector()
+
+    def crawl_with(honor_exception: bool) -> int:
+        blocker = AdBlockerExtension(
+            "abp", [easylist], honor_first_party_exception=honor_exception
+        )
+        dataset = run_crawl(
+            world.network, targets, BrowserProfile(extensions=(blocker,)), label="ablate"
+        )
+        outcomes = detector.detect_all(dataset.successful())
+        return sum(len(o.fingerprintable) for o in outcomes.values())
+
+    def run_counterfactual():
+        return crawl_with(True), crawl_with(False)
+
+    normal, strict = benchmark.pedantic(run_counterfactual, rounds=1, iterations=1)
+    print()
+    print(f"Canvases with standard blocker (first-party exception honored): {normal}")
+    print(f"Canvases with strict blocker (exception removed):               {strict}")
+    # Removing the exception must block at least as much, typically more —
+    # e.g. every Akamai deployment becomes blockable.
+    assert strict <= normal
+
+
+def test_bench_ablate_homepage_only_crawl(benchmark, world):
+    """The paper's homepage-only crawl is a lower bound on prevalence
+    (§3.2 Limitations): following /login pages finds strictly more."""
+    from repro.crawler import run_crawl
+
+    targets = world.all_targets[: max(300, len(world.all_targets) // 4)]
+    detector = FingerprintDetector()
+
+    def fp_count(inner_paths=()):
+        dataset = run_crawl(world.network, targets, label="bound", inner_paths=inner_paths)
+        outcomes = detector.detect_all(dataset.successful())
+        return sum(1 for o in outcomes.values() if o.is_fingerprinting_site)
+
+    def run_both():
+        return fp_count(), fp_count(("/login",))
+
+    homepage_only, with_login = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"FP sites, homepage-only crawl: {homepage_only}")
+    print(f"FP sites, homepage + /login:   {with_login}")
+    assert with_login >= homepage_only

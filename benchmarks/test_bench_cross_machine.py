@@ -1,0 +1,15 @@
+"""Benchmark: §3.1 cross-machine validation (Intel/Ubuntu vs Apple M1)."""
+
+from repro.core.pipeline import validate_cross_machine
+from repro.experiments import run_experiment
+
+
+def test_bench_cross_machine(benchmark, world, study):
+    targets = world.all_targets[:100]
+
+    consistent = benchmark.pedantic(
+        validate_cross_machine, args=(world.network, targets), rounds=1, iterations=1
+    )
+    print()
+    print(run_experiment("cross_machine", study))
+    assert consistent is True

@@ -1,0 +1,18 @@
+"""Benchmark: §5.2 serving-context evasion analysis."""
+
+from repro.core.evasion import analyze_serving_context
+from repro.experiments import run_experiment
+
+
+def test_bench_evasion(benchmark, world, study):
+    def regenerate():
+        return analyze_serving_context(study.outcomes, study.populations, dns=world.network.dns)
+
+    context = benchmark(regenerate)
+    print()
+    print(run_experiment("evasion", study))
+
+    # Paper's qualitative findings.
+    assert context.first_party_fraction("top") > 0.25      # ~49%: common
+    assert context.subdomain_fraction("top") >= context.subdomain_fraction("tail")
+    assert context.cdn_fraction("top") < 0.10               # small but nonzero surface

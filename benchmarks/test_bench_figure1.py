@@ -1,0 +1,19 @@
+"""Benchmark: Figure 1 — clustering + canvas popularity distribution."""
+
+from repro.core.clustering import cluster_canvases, rank_clusters
+from repro.experiments import run_experiment
+
+
+def test_bench_figure1(benchmark, study):
+    def regenerate():
+        clusters = cluster_canvases(study.outcomes, study.populations)
+        ranked = rank_clusters(clusters, "top")
+        return [(c.site_count("top"), c.site_count("tail")) for c in ranked[:50]]
+
+    series = benchmark(regenerate)
+    print()
+    print(run_experiment("figure1", study))
+    # Shape assertions: strictly ranked head, heavy first cluster.
+    tops = [t for t, _ in series]
+    assert tops == sorted(tops, reverse=True)
+    assert tops[0] >= max(1, tops[-1])

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 2 — excluded small canvases (A.2)."""
+
+from repro.analysis.figures import render_figure2
+from repro.core.detection import ExclusionReason
+from repro.experiments import run_experiment
+
+
+def test_bench_figure2(benchmark, study):
+    def regenerate():
+        return render_figure2(study, max_examples=2)
+
+    text = benchmark(regenerate)
+    print()
+    print(run_experiment("figure2", study))
+    assert "Figure 2" in text
+
+    # The crawl must actually contain size-excluded canvases to show.
+    small = [
+        e
+        for outcome in study.outcomes.values()
+        for e, reason in outcome.excluded
+        if reason is ExclusionReason.TOO_SMALL
+    ]
+    assert small
+    assert all(e.width < 16 or e.height < 16 for e in small)

@@ -1,0 +1,32 @@
+"""Benchmark: §4.1 prevalence + §3.2 detection-yield regeneration."""
+
+from repro.core.detection import FingerprintDetector
+from repro.core.prevalence import compute_prevalence
+from repro.experiments import run_experiment
+
+
+def test_bench_prevalence(benchmark, study):
+    detector = FingerprintDetector()
+
+    def regenerate():
+        outcomes = detector.detect_all(study.control.successful())
+        return compute_prevalence(study.control, outcomes)
+
+    report = benchmark(regenerate)
+    print()
+    print(run_experiment("prevalence", study))
+    assert 0.05 < report.top.prevalence < 0.2
+
+
+def test_bench_detection_yield(benchmark, study):
+    detector = FingerprintDetector()
+    observations = study.control.successful()
+
+    def regenerate():
+        outcomes = detector.detect_all(observations)
+        return FingerprintDetector.fingerprintable_fraction(outcomes.values())
+
+    fraction = benchmark(regenerate)
+    print()
+    print(run_experiment("detection", study))
+    assert 0.6 < fraction < 1.0

@@ -1,0 +1,45 @@
+"""Benchmark: §5.3 render-twice inconsistency-check prevalence, plus an
+active probe of the three randomization defenses."""
+
+from repro.browser import Browser, BrowserProfile, CanvasRandomization
+from repro.core.evasion import render_twice_fraction
+from repro.experiments import run_experiment
+from repro.net import Network
+
+_PROBE = """
+function render() {
+  var c = document.createElement('canvas');
+  c.width = 200; c.height = 40;
+  var g = c.getContext('2d');
+  g.font = '12px Arial';
+  g.fillText('probe zephyr 42', 2, 20);
+  return c.toDataURL();
+}
+window.__stable = render() === render();
+"""
+
+
+def test_bench_render_twice_prevalence(benchmark, study):
+    fraction = benchmark(render_twice_fraction, study.outcomes)
+    print()
+    print(run_experiment("randomization", study))
+    assert 0.2 < fraction < 0.7  # paper: 45%
+
+
+def test_bench_randomization_probe(benchmark):
+    network = Network()
+    network.server_for("probe.example").add_resource("/", f"<script>{_PROBE}</script>")
+
+    def probe_all_modes():
+        results = {}
+        for mode in CanvasRandomization:
+            browser = Browser(network, BrowserProfile(privacy_mode=mode))
+            page = browser.load("https://probe.example/")
+            a, b = (e.data_url for e in page.instrument.extractions[:2])
+            results[mode] = a == b
+        return results
+
+    results = benchmark(probe_all_modes)
+    assert results[CanvasRandomization.NONE] is True
+    assert results[CanvasRandomization.PER_RENDER] is False   # detected
+    assert results[CanvasRandomization.PER_SESSION] is True   # blind spot

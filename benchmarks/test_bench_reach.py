@@ -1,0 +1,19 @@
+"""Benchmark: §4.2 reach and top/tail overlap regeneration."""
+
+from repro.core.reach import compute_reach
+from repro.experiments import run_experiment
+
+
+def test_bench_reach(benchmark, study):
+    fp = study.fp_sites
+
+    def regenerate():
+        return compute_reach(
+            study.clusters, fp["top"], fp["tail"], study.prevalence.top.sites_successful
+        )
+
+    report = benchmark(regenerate)
+    print()
+    print(run_experiment("reach", study))
+    assert report.unique_canvases_top > 0
+    assert 0.0 < report.top6_share_top <= 1.0

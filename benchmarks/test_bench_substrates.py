@@ -1,0 +1,104 @@
+"""Micro-benchmarks for the substrates the study's wall-clock depends on:
+test-canvas rendering, PNG encoding, JS execution, page loads, and
+blocklist matching."""
+
+import numpy as np
+
+from repro.blocklists import RuleMatcher
+from repro.browser import Browser
+from repro.canvas import HTMLCanvasElement, INTEL_UBUNTU, png_encode
+from repro.js import Interpreter
+from repro.net import Network
+
+_FPJS_STYLE_DRAW = """
+var c = document.createElement('canvas');
+c.width = 240; c.height = 60;
+var g = c.getContext('2d');
+g.textBaseline = 'alphabetic';
+g.fillStyle = '#f60';
+g.fillRect(125, 1, 62, 20);
+g.fillStyle = '#069';
+g.font = '11pt Arial';
+g.fillText('Cwm fjordbank glyphs vext quiz', 2, 15);
+window.__fp = c.toDataURL();
+"""
+
+
+def test_bench_canvas_text_render(benchmark):
+    def render():
+        canvas = HTMLCanvasElement(240, 60, device=INTEL_UBUNTU)
+        ctx = canvas.getContext("2d")
+        ctx.fillStyle = "#f60"
+        ctx.fillRect(125, 1, 62, 20)
+        ctx.fillStyle = "#069"
+        ctx.font = "11pt Arial"
+        ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15)
+        return canvas.toDataURL()
+
+    url = benchmark(render)
+    assert url.startswith("data:image/png;base64,")
+
+
+def test_bench_canvas_geometry_render(benchmark):
+    import math
+
+    def render():
+        canvas = HTMLCanvasElement(120, 120, device=INTEL_UBUNTU)
+        ctx = canvas.getContext("2d")
+        ctx.globalCompositeOperation = "multiply"
+        for i, color in enumerate(("#f2f", "#2ff", "#ff2")):
+            ctx.fillStyle = color
+            ctx.beginPath()
+            ctx.arc(40 + i * 20, 40 + (i % 2) * 20, 30, 0, math.pi * 2, True)
+            ctx.closePath()
+            ctx.fill()
+        return canvas.toDataURL()
+
+    url = benchmark(render)
+    assert url.startswith("data:image/png")
+
+
+def test_bench_png_encode(benchmark):
+    rng = np.random.default_rng(1)
+    pixels = rng.integers(0, 256, size=(150, 300, 4), dtype=np.uint8)
+    data = benchmark(png_encode, pixels)
+    assert data.startswith(b"\x89PNG")
+
+
+def test_bench_js_execution(benchmark):
+    source = """
+    var total = 0;
+    for (var i = 0; i < 500; i++) { total = (total * 31 + i) % 1000003; }
+    total;
+    """
+
+    def run():
+        return Interpreter().run(source)
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_page_load(benchmark):
+    network = Network()
+    site = network.server_for("bench.example")
+    site.add_resource("/", f"<html><script>{_FPJS_STYLE_DRAW}</script></html>")
+    browser = Browser(network)
+
+    page = benchmark(browser.load, "https://bench.example/")
+    assert page.ok and page.instrument.extractions
+
+
+def test_bench_blocklist_matching(benchmark, world):
+    matcher = RuleMatcher.from_text(world.easylist_text, "easylist")
+    urls = [
+        "https://privacy-cs.mail.ru/counter/tmr.js",
+        "https://benign.example/assets/app.js",
+        "https://js.aldata-media.com/fp.min.js",
+        "https://shop.example/akam/13/7a6b9f2e",
+    ] * 10
+
+    def match_all():
+        return sum(1 for u in urls if matcher.listed(u, "script"))
+
+    hits = benchmark(match_all)
+    assert hits == 30  # mail.ru + aldata + akamai match; benign does not

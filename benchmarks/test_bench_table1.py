@@ -1,0 +1,22 @@
+"""Benchmark: Table 1 — vendor attribution over the whole crawl."""
+
+from repro.core.attribution import VendorAttributor
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark, study):
+    attributor = VendorAttributor(study.signatures)
+    observations = study.control.by_domain()
+
+    def regenerate():
+        attributions = attributor.attribute_all(observations, study.outcomes)
+        return attributor.vendor_site_counts(attributions, study.populations)
+
+    counts = benchmark(regenerate)
+    print()
+    print(run_experiment("table1", study))
+    # Qualitative Table 1 shape: Akamai+FPJS lead the top, Shopify the tail.
+    big = counts["Akamai"]["top"] + counts["FingerprintJS"]["top"]
+    rest = sum(c["top"] for v, c in counts.items() if v not in ("Akamai", "FingerprintJS"))
+    assert big >= rest * 0.5
+    assert counts["Shopify"]["tail"] >= counts["Shopify"]["top"]

@@ -1,0 +1,30 @@
+"""Benchmark: Table 4 — blocklist coverage of test canvases (§5.1)."""
+
+from repro.blocklists import RuleMatcher
+from repro.core.context import analyze_blocklist_context
+from repro.experiments import run_experiment
+
+
+def test_bench_table4(benchmark, world, study):
+    easylist = RuleMatcher.from_text(world.easylist_text, "easylist")
+    easyprivacy = RuleMatcher.from_text(world.easyprivacy_text, "easyprivacy")
+
+    def regenerate():
+        return analyze_blocklist_context(
+            study.outcomes, study.populations, easylist, easyprivacy, world.disconnect
+        )
+
+    context = benchmark(regenerate)
+    print()
+    print(run_experiment("table4", study))
+
+    # Set-algebra invariants of the table.
+    assert context.all_lists.top <= min(
+        context.easylist.top, context.easyprivacy.top, context.disconnect.top
+    )
+    assert context.any_list.top >= max(
+        context.easylist.top, context.easyprivacy.top, context.disconnect.top
+    )
+    # A sizable share of canvases comes from listed scripts (paper: 45%/37%).
+    frac_top, _ = context.any_list.fraction(context.totals)
+    assert frac_top > 0.15

@@ -1,0 +1,73 @@
+"""Canvas randomization vs the render-twice check (§5.3, Algorithm 1).
+
+A fingerprinting script renders the same test canvas twice and compares the
+two extractions:
+
+* no defense           -> identical   -> fingerprint accepted
+* per-render noise     -> different   -> fingerprint discarded (defense detected)
+* per-session noise    -> identical   -> the check is blind (footnote 7),
+                                         but the fingerprint still differs
+                                         from the clean one across sessions.
+
+Run:  python examples/canvas_randomization.py
+"""
+
+from repro.browser import Browser, BrowserProfile, CanvasRandomization
+from repro.net import Network
+
+# Algorithm 1, as a page script.
+RENDER_TWICE = """
+function renderTestCanvas() {
+  var c = document.createElement('canvas');
+  c.width = 220; c.height = 48;
+  var g = c.getContext('2d');
+  g.font = '12pt Arial';
+  g.fillStyle = '#205080';
+  g.fillRect(120, 2, 60, 18);
+  g.fillStyle = '#803010';
+  g.fillText('randomization probe zephyr 7', 2, 18);
+  return c.toDataURL();
+}
+var canvas1 = renderTestCanvas();
+var canvas2 = renderTestCanvas();
+if (canvas1 !== canvas2) {
+  window.__canvasComponent = 'unstable-discarded';
+} else {
+  window.__canvasComponent = canvas1;
+}
+console.log(canvas1 === canvas2 ? 'stable' : 'UNSTABLE');
+"""
+
+
+def run(mode: CanvasRandomization, session_seed: int = 0xC0FFEE) -> str:
+    network = Network()
+    site = network.server_for("probe.example")
+    site.add_resource("/", f"<script>{RENDER_TWICE}</script>")
+    profile = BrowserProfile(privacy_mode=mode, session_seed=session_seed)
+    page = Browser(network, profile).load("https://probe.example/")
+    verdict = page.console[-1]
+    first, second = (e.data_url for e in page.instrument.extractions[:2])
+    return verdict, first, second
+
+
+def main() -> None:
+    clean_verdict, clean_first, _ = run(CanvasRandomization.NONE)
+    print(f"no defense:        render-twice says {clean_verdict!r}")
+
+    verdict, a, b = run(CanvasRandomization.PER_RENDER)
+    print(f"per-render noise:  render-twice says {verdict!r} "
+          f"(extractions differ: {a != b}) -> fingerprinter discards the canvas")
+
+    verdict, a, b = run(CanvasRandomization.PER_SESSION)
+    print(f"per-session noise: render-twice says {verdict!r} "
+          f"(extractions differ: {a != b}) -> the check is blind to it")
+
+    # But per-session noise still randomizes the fingerprint across sessions:
+    _, session1, _ = run(CanvasRandomization.PER_SESSION, session_seed=1)
+    _, session2, _ = run(CanvasRandomization.PER_SESSION, session_seed=2)
+    print(f"per-session noise across two sessions: fingerprints equal? {session1 == session2}")
+    print(f"clean vs per-session fingerprint equal? {clean_first == session1}")
+
+
+if __name__ == "__main__":
+    main()

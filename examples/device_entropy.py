@@ -1,0 +1,98 @@
+"""Why canvas fingerprinting works: discriminatory power across devices (§2).
+
+Renders the FingerprintJS-style test canvas on a fleet of synthetic device
+profiles (different GPU/OS/font stacks) and shows that
+
+* every device yields a distinct fingerprint (high entropy),
+* every device yields the *same* fingerprint on repeated visits
+  (stability — what enables re-identification), and
+* a lossy (JPEG) extraction collapses much of the distinguishing signal,
+  which is why the detection heuristics ignore lossy extractions.
+
+Run:  python examples/device_entropy.py [fleet_size]
+"""
+
+import math
+import sys
+from collections import Counter
+
+from repro.canvas import HTMLCanvasElement
+from repro.canvas.device import device_fleet
+
+
+def render_test_canvas(device, mime="image/png"):
+    canvas = HTMLCanvasElement(240, 60, device=device)
+    ctx = canvas.getContext("2d")
+    ctx.textBaseline = "alphabetic"
+    ctx.fillStyle = "#f60"
+    ctx.fillRect(125, 1, 62, 20)
+    ctx.fillStyle = "#069"
+    ctx.font = "11pt Arial"
+    ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15)
+    ctx.fillStyle = "rgba(102, 204, 0, 0.7)"
+    ctx.fillText("Cwm fjordbank glyphs vext quiz", 4, 17)
+    return canvas.toDataURL(mime, 0.5 if mime == "image/jpeg" else None)
+
+
+def entropy_bits(counter: Counter, total: int) -> float:
+    return -sum((n / total) * math.log2(n / total) for n in counter.values())
+
+
+def main() -> None:
+    fleet_size = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    fleet = device_fleet(fleet_size)
+
+    png_prints = [render_test_canvas(d) for d in fleet]
+    png_counter = Counter(png_prints)
+    print(f"fleet size: {fleet_size}")
+    print(f"distinct PNG fingerprints:  {len(png_counter)}")
+    print(f"entropy: {entropy_bits(png_counter, fleet_size):.2f} bits "
+          f"(max possible {math.log2(fleet_size):.2f})")
+
+    stable = all(render_test_canvas(d) == fp for d, fp in zip(fleet, png_prints))
+    print(f"stable across repeated visits: {stable}")
+
+    # Devices that differ only in GPU anti-aliasing (same font stack): their
+    # differences are sub-pixel, precisely the signal lossy encoding destroys.
+    from repro.canvas.device import DeviceProfile
+
+    import itertools
+
+    import numpy as np
+
+    from repro.canvas.encode import lossy_quantized_planes
+
+    gpu_fleet = [
+        DeviceProfile(name=f"gpu-{i}", seed=1000 + i, aa_strength=0.08)
+        for i in range(min(fleet_size, 8))
+    ]
+
+    def pixels_of(device):
+        canvas = HTMLCanvasElement(240, 60, device=device)
+        ctx = canvas.getContext("2d")
+        ctx.fillStyle = "#ffffff"
+        ctx.fillRect(0, 0, 240, 60)
+        ctx.fillStyle = "#069"
+        ctx.font = "11pt Arial"
+        ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15)
+        return canvas.read_pixels()
+
+    frames = [pixels_of(d) for d in gpu_fleet]
+    raw_diffs, lossy_diffs = [], []
+    for a, b in itertools.combinations(frames, 2):
+        raw_diffs.append((a != b).mean())
+        lossy_diffs.append(
+            (lossy_quantized_planes(a, 0.5) != lossy_quantized_planes(b, 0.5)).mean()
+        )
+    print(f"\nGPU-only fleet (same fonts, different anti-aliasing), pairwise signal:")
+    print(f"mean differing fraction, lossless pixels:   {np.mean(raw_diffs):.2%}")
+    print(f"mean differing fraction, lossy (JPEG-like): {np.mean(lossy_diffs):.2%}")
+    print(f"attenuation: {np.mean(raw_diffs) / max(np.mean(lossy_diffs), 1e-9):.1f}x")
+    print("-> lossy extraction erases or destabilizes the sub-pixel signal —")
+    print("   quantization makes the surviving bits depend on which side of a")
+    print("   boundary a block lands, so lossy 'fingerprints' are unstable and")
+    print("   far less discriminating. The paper's heuristics exclude them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: crawl a handful of synthetic sites and detect fingerprinting.
+
+Builds a tiny synthetic web, visits a few homepages with the instrumented
+crawler, applies the paper's three detection heuristics, and prints what was
+found — the 60-second tour of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.browser import Browser
+from repro.core import FingerprintDetector
+from repro.crawler import CanvasCollector
+from repro.net import Network
+
+# --- 1. Stand up a miniature Web -------------------------------------------------
+
+network = Network()
+
+# A fingerprinting vendor serving a canvas-fingerprinting script.
+vendor = network.server_for("fp-vendor.net")
+vendor.add_script(
+    "/fp.js",
+    """
+    var canvas = document.createElement('canvas');
+    canvas.width = 240; canvas.height = 60;
+    var ctx = canvas.getContext('2d');
+    ctx.textBaseline = 'alphabetic';
+    ctx.fillStyle = '#f60';
+    ctx.fillRect(125, 1, 62, 20);
+    ctx.fillStyle = '#069';
+    ctx.font = '11pt Arial';
+    ctx.fillText('Cwm fjordbank glyphs vext quiz', 2, 15);
+    window.__fingerprint = canvas.toDataURL();
+    """,
+)
+
+# A site embedding the fingerprinter (third-party).
+shop = network.server_for("shop.example")
+shop.add_resource(
+    "/", '<html><title>Shop</title><script src="https://fp-vendor.net/fp.js"></script></html>'
+)
+
+# A site with only a benign WebP compatibility check (1x1, lossy format).
+blog = network.server_for("blog.example")
+blog.add_resource(
+    "/",
+    """<html><title>Blog</title><script>
+    var c = document.createElement('canvas');
+    c.width = 1; c.height = 1;
+    window.__webp = c.toDataURL('image/webp').indexOf('data:image/webp') === 0;
+    </script></html>""",
+)
+
+# --- 2. Crawl with the instrumented collector -------------------------------------
+
+collector = CanvasCollector(Browser(network))
+observations = [
+    collector.collect("shop.example", rank=1, population="top"),
+    collector.collect("blog.example", rank=2, population="top"),
+]
+
+# --- 3. Detect fingerprinting with the paper's heuristics --------------------------
+
+detector = FingerprintDetector()
+for obs in observations:
+    outcome = detector.detect(obs)
+    verdict = "FINGERPRINTING" if outcome.is_fingerprinting_site else "clean"
+    print(f"{obs.domain:15s} -> {verdict}")
+    for extraction in outcome.fingerprintable:
+        print(
+            f"    test canvas {extraction.width}x{extraction.height} "
+            f"({extraction.mime}) by {extraction.script_url}"
+        )
+        print(f"    canvas hash: {extraction.canvas_hash[:16]}...")
+    for extraction, reason in outcome.excluded:
+        print(
+            f"    excluded {extraction.width}x{extraction.height} "
+            f"{extraction.mime} ({reason.value})"
+        )

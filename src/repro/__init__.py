@@ -1,0 +1,22 @@
+"""Reproduction of "Canvassing the Fingerprinters: Characterizing Canvas
+Fingerprinting Use Across the Web" (IMC 2025).
+
+Quick start::
+
+    from repro.config import StudyScale
+    from repro.webgen import build_world
+    from repro.analysis import study_report
+
+    world = build_world(StudyScale(fraction=0.05))
+    result = world.run_full_study()
+    print(study_report(result))
+
+Package map: ``repro.core`` is the paper's contribution (detection,
+clustering, attribution, context/evasion analyses); everything else is the
+substrate it runs on — ``canvas`` (software Canvas 2D), ``js`` (ECMAScript
+subset engine), ``dom``, ``net``, ``browser``, ``crawler``, ``blocklists``,
+and ``webgen`` (the calibrated synthetic web).  See DESIGN.md for the
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

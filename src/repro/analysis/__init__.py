@@ -1,0 +1,16 @@
+"""Reporting: regenerates every table and figure of the paper."""
+
+from repro.analysis.figures import figure1_data, render_figure1, render_figure2
+from repro.analysis.tables import table1, table2, table3, table4
+from repro.analysis.report import study_report
+
+__all__ = [
+    "figure1_data",
+    "render_figure1",
+    "render_figure2",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "study_report",
+]

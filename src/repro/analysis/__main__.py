@@ -1,0 +1,68 @@
+"""Analyze a saved crawl dataset (produced by ``python -m repro.crawler``).
+
+Runs the observation-only parts of the pipeline — detection, clustering,
+prevalence, reach, render-twice — exactly as they would run over a real
+crawl (no access to the generator or ground truth).
+
+Usage::
+
+    python -m repro.analysis crawl.jsonl.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.clustering import cluster_canvases, rank_clusters
+from repro.core.detection import FingerprintDetector
+from repro.core.evasion import analyze_serving_context, render_twice_fraction
+from repro.core.prevalence import compute_prevalence
+from repro.crawler.storage import load_dataset
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dataset", help="JSONL(.gz) crawl dataset")
+    parser.add_argument("--top-clusters", type=int, default=15)
+    args = parser.parse_args(argv)
+
+    dataset = load_dataset(args.dataset)
+    detector = FingerprintDetector()
+    outcomes = detector.detect_all(dataset.successful())
+    populations = dataset.populations()
+
+    prevalence = compute_prevalence(dataset, outcomes)
+    print(f"dataset: {dataset.label} ({len(dataset.observations)} sites)")
+    for pop in ("top", "tail"):
+        p = prevalence.population(pop)
+        if p.sites_crawled == 0:
+            continue
+        print(
+            f"  {pop}: {p.sites_successful}/{p.sites_crawled} ok, "
+            f"{p.fp_sites} fingerprinting ({p.prevalence:.1%}), "
+            f"canvases/site mean {p.mean_canvases:.2f} median {p.median_canvases:.0f} "
+            f"max {p.max_canvases}"
+        )
+
+    fraction = FingerprintDetector.fingerprintable_fraction(outcomes.values())
+    print(f"fingerprintable fraction of extractions: {fraction:.1%}")
+    print(f"render-twice sites: {render_twice_fraction(outcomes):.1%}")
+
+    clusters = cluster_canvases(outcomes, populations)
+    print(f"\ndistinct test canvases: {len(clusters)}")
+    print(f"{'rank':>4s} {'top':>6s} {'tail':>6s}  sample script URL")
+    for i, cluster in enumerate(rank_clusters(clusters, "top")[: args.top_clusters]):
+        sample = sorted(cluster.script_urls)[0] if cluster.script_urls else "(inline)"
+        print(f"{i:>4d} {cluster.site_count('top'):>6d} {cluster.site_count('tail'):>6d}  {sample}")
+
+    serving = analyze_serving_context(outcomes, populations)
+    print(
+        f"\nfirst-party-served FP sites: top {serving.first_party_fraction('top'):.1%}, "
+        f"tail {serving.first_party_fraction('tail'):.1%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Figure 1 and Figure 2 regeneration.
+
+Figure 1: number of sites using the 50 most-frequent test canvases in the
+top-20k population, with the tail-20k counts overlaid (the Shopify outlier
+shows up as a tail bar towering over its top bar).
+
+Figure 2: examples of small canvases excluded by the size heuristic,
+rendered as ASCII pixel art from actual extracted data URLs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.canvas.encode import parse_data_url, png_decode
+from repro.core.pipeline import StudyResult
+
+__all__ = ["figure1_data", "render_figure1", "render_figure2"]
+
+
+def figure1_data(result: StudyResult, n: int = 50) -> List[Dict]:
+    """The figure's series: per popularity rank, top and tail site counts."""
+    return [
+        {"rank": i, "top_sites": top, "tail_sites": tail}
+        for i, (top, tail) in enumerate(result.reach.top50[:n])
+    ]
+
+
+def render_figure1(result: StudyResult, n: int = 50, width: int = 60) -> str:
+    """ASCII rendering of Figure 1 (one row per canvas-popularity rank)."""
+    data = figure1_data(result, n)
+    if not data:
+        return "(no clusters)"
+    peak = max(max(d["top_sites"], d["tail_sites"]) for d in data) or 1
+    lines = [
+        "Figure 1: sites using the top most-frequent test canvases",
+        f"(#=top-20k sites, o=tail-20k sites; scale: {peak} sites = {width} cols)",
+        "",
+    ]
+    for d in data:
+        top_bar = "#" * max(1 if d["top_sites"] else 0, round(d["top_sites"] / peak * width))
+        tail_bar = "o" * max(1 if d["tail_sites"] else 0, round(d["tail_sites"] / peak * width))
+        lines.append(f"{d['rank']:>3d} |{top_bar:<{width}s}| {d['top_sites']:>5d}")
+        lines.append(f"    |{tail_bar:<{width}s}| {d['tail_sites']:>5d}")
+    return "\n".join(lines)
+
+
+def figure1_png(result: StudyResult, n: int = 50, path: Optional[str] = None) -> bytes:
+    """Render Figure 1 as a PNG bar chart — drawn with this repository's own
+    Canvas 2D implementation (the measurement substrate drawing its own
+    results).  Blue bars: top-20k site counts; orange: tail-20k overlay.
+    """
+    from repro.canvas import HTMLCanvasElement
+    from repro.canvas.encode import parse_data_url
+
+    data = figure1_data(result, n)
+    width, height = 640, 360
+    margin_left, margin_bottom, margin_top = 48, 36, 24
+    plot_w = width - margin_left - 16
+    plot_h = height - margin_bottom - margin_top
+
+    canvas = HTMLCanvasElement(width, height)
+    ctx = canvas.getContext("2d")
+    ctx.fillStyle = "#ffffff"
+    ctx.fillRect(0, 0, width, height)
+
+    peak = max((max(d["top_sites"], d["tail_sites"]) for d in data), default=1) or 1
+    slot = plot_w / max(1, len(data))
+    bar_w = max(2.0, slot * 0.42)
+
+    # Axes.
+    ctx.fillStyle = "#333333"
+    ctx.fillRect(margin_left, margin_top, 1, plot_h)
+    ctx.fillRect(margin_left, margin_top + plot_h, plot_w, 1)
+    ctx.font = "10px Arial"
+    ctx.fillText(f"{peak}", 8, margin_top + 8)
+    ctx.fillText("0", 8, margin_top + plot_h)
+    ctx.fillText("canvas popularity rank in top sites", margin_left + 140, height - 10)
+
+    for i, d in enumerate(data):
+        x = margin_left + 4 + i * slot
+        top_h = plot_h * d["top_sites"] / peak
+        tail_h = plot_h * d["tail_sites"] / peak
+        ctx.fillStyle = "#3b6fb3"
+        ctx.fillRect(x, margin_top + plot_h - top_h, bar_w, top_h)
+        ctx.fillStyle = "#e8853d"
+        ctx.fillRect(x + bar_w, margin_top + plot_h - tail_h, bar_w, tail_h)
+
+    url = canvas.toDataURL("image/png")
+    _mime, payload = parse_data_url(url)
+    if path is not None:
+        with open(path, "wb") as fh:
+            fh.write(payload)
+    return payload
+
+
+def render_figure2(result: StudyResult, max_examples: int = 2) -> str:
+    """Figure 2: excluded small canvases, shown as ASCII pixel art."""
+    from repro.core.detection import ExclusionReason
+
+    # Prefer examples of distinct sizes, like the paper's 12x12 / 5x5 pair.
+    examples: List[Tuple[str, int, int, str]] = []
+    seen_sizes = set()
+    for domain, outcome in sorted(result.outcomes.items()):
+        for extraction, reason in outcome.excluded:
+            if reason is not ExclusionReason.TOO_SMALL or extraction.mime != "image/png":
+                continue
+            size = (extraction.width, extraction.height)
+            if size in seen_sizes:
+                continue
+            seen_sizes.add(size)
+            examples.append((domain, extraction.width, extraction.height, extraction.data_url))
+            break
+        if len(examples) >= max_examples:
+            break
+
+    if not examples:
+        return "Figure 2: (no small excluded canvases in this crawl)"
+
+    blocks = ["Figure 2: example small canvases excluded from the analysis", ""]
+    for domain, w, h, data_url in examples:
+        blocks.append(f"({domain}, {w}x{h} px)")
+        blocks.append(_ascii_pixels(data_url))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def _ascii_pixels(data_url: str) -> str:
+    """Render a (small) PNG data URL as ASCII luminance art."""
+    _mime, payload = parse_data_url(data_url)
+    pixels = png_decode(payload)
+    shades = " .:-=+*#%@"
+    lines = []
+    for row in pixels:
+        chars = []
+        for r, g, b, a in row:
+            if a == 0:
+                chars.append("  ")
+            else:
+                luma = (0.2126 * r + 0.7152 * g + 0.0722 * b) / 255.0
+                # Opaque pixels always render visibly (index >= 1).
+                chars.append(shades[max(1, min(9, int((1 - luma) * 9.99)))] * 2)
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Full study report: every table, figure and in-text statistic, with a
+paper-vs-measured diff against :mod:`repro.config`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.figures import render_figure1, render_figure2
+from repro.analysis.tables import table1, table2, table3, table4
+from repro.config import PAPER, PaperTargets
+from repro.core.detection import FingerprintDetector
+from repro.core.pipeline import StudyResult
+
+__all__ = ["Comparison", "study_comparisons", "study_report"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured line."""
+
+    key: str
+    paper_value: float
+    measured: float
+    kind: str = "fraction"  # fraction | count | ratio
+
+    def fmt(self, value: float) -> str:
+        if self.kind == "fraction":
+            return f"{value:.1%}"
+        if self.kind == "count":
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+
+    @property
+    def line(self) -> str:
+        return f"{self.key:44s} paper {self.fmt(self.paper_value):>10s}   measured {self.fmt(self.measured):>10s}"
+
+
+def study_comparisons(result: StudyResult, paper: PaperTargets = PAPER) -> List[Comparison]:
+    """Every headline number, paper vs measured.
+
+    Rates are compared as rates (scale-invariant); absolute counts are only
+    meaningful at full scale.
+    """
+    p = result.prevalence
+    comparisons = [
+        Comparison("prevalence (top)", paper.top_prevalence, p.top.prevalence),
+        Comparison("prevalence (tail)", paper.tail_prevalence, p.tail.prevalence),
+        Comparison(
+            "mean fingerprintable canvases per FP site",
+            paper.mean_canvases_per_fp_site,
+            (p.top.mean_canvases * p.top.fp_sites + p.tail.mean_canvases * p.tail.fp_sites)
+            / max(1, p.top.fp_sites + p.tail.fp_sites),
+            kind="ratio",
+        ),
+        Comparison(
+            "median canvases per FP site",
+            paper.median_canvases_per_fp_site,
+            _median(result.prevalence.combined_canvases_per_site),
+            kind="ratio",
+        ),
+        Comparison(
+            "fingerprintable fraction of extractions",
+            paper.fingerprintable_fraction,
+            FingerprintDetector.fingerprintable_fraction(result.outcomes.values()),
+        ),
+        Comparison("top-6 canvas share (top)", paper.top6_share_top, result.reach.top6_share_top),
+        Comparison("top-6 canvas share (tail)", paper.top6_share_tail, result.reach.top6_share_tail),
+        Comparison("tail/top canvas overlap", paper.tail_overlap_fraction, result.reach.tail_overlap_fraction),
+        Comparison(
+            "max single-canvas reach (top)",
+            paper.top_canvas_max_sites / paper.top_sites_success,
+            result.reach.max_reach_fraction_top,
+        ),
+        Comparison("render-twice check (FP sites)", paper.render_twice_fraction, result.render_twice),
+    ]
+
+    fp = result.fp_sites
+    fp_top, fp_tail = max(1, len(fp["top"])), max(1, len(fp["tail"]))
+    comparisons += [
+        Comparison(
+            "vendor-attributed share (top)",
+            paper.vendor_total_top / paper.top_fp_sites,
+            result.vendor_totals.get("top", 0) / fp_top,
+        ),
+        Comparison(
+            "vendor-attributed share (tail)",
+            paper.vendor_total_tail / paper.tail_fp_sites,
+            result.vendor_totals.get("tail", 0) / fp_tail,
+        ),
+    ]
+    for vendor in paper.vendors:
+        counts = result.vendor_counts.get(vendor.name, {})
+        comparisons.append(
+            Comparison(
+                f"vendor share top: {vendor.name}",
+                vendor.top / paper.top_fp_sites,
+                counts.get("top", 0) / fp_top,
+            )
+        )
+
+    if result.serving_context is not None:
+        sc = result.serving_context
+        comparisons += [
+            Comparison("first-party-served sites (top)", paper.first_party_fraction[0], sc.first_party_fraction("top")),
+            Comparison("first-party-served sites (tail)", paper.first_party_fraction[1], sc.first_party_fraction("tail")),
+            Comparison("subdomain-served sites (top)", paper.subdomain_fraction[0], sc.subdomain_fraction("top")),
+            Comparison("subdomain-served sites (tail)", paper.subdomain_fraction[1], sc.subdomain_fraction("tail")),
+            Comparison("CDN-served sites (top)", paper.cdn_fraction[0], sc.cdn_fraction("top")),
+            Comparison("CDN-served sites (tail)", paper.cdn_fraction[1], sc.cdn_fraction("tail")),
+        ]
+
+    if result.blocklist_context is not None:
+        bc = result.blocklist_context
+        totals = bc.totals
+        paper_rows = {
+            "EasyList": paper.easylist_canvases,
+            "EasyPrivacy": paper.easyprivacy_canvases,
+            "Disconnect": paper.disconnect_canvases,
+            "Any": paper.any_blocklist_canvases,
+            "All": paper.all_blocklists_canvases,
+        }
+        for name, counts in bc.rows().items():
+            frac_top, frac_tail = counts.fraction(totals)
+            paper_top, paper_tail = paper_rows[name]
+            comparisons.append(
+                Comparison(
+                    f"blocklist coverage top: {name}",
+                    paper_top / paper.total_canvases_top,
+                    frac_top,
+                )
+            )
+            comparisons.append(
+                Comparison(
+                    f"blocklist coverage tail: {name}",
+                    paper_tail / paper.total_canvases_tail,
+                    frac_tail,
+                )
+            )
+
+    if result.adblock_rows:
+        control = result.adblock_rows[0]
+        paper_deltas = {
+            "Adblock Plus": (paper.adblock_plus_canvases, paper.adblock_plus_sites),
+            "UBlock Origin": (paper.ublock_canvases, paper.ublock_sites),
+        }
+        for row in result.adblock_rows[1:]:
+            if row.label not in paper_deltas:
+                continue
+            (p_canvases, p_sites) = paper_deltas[row.label]
+            paper_keep = p_canvases[0] / paper.total_canvases_top
+            measured_keep = row.canvases["top"] / max(1, control.canvases["top"])
+            comparisons.append(
+                Comparison(f"canvases surviving {row.label} (top)", paper_keep, measured_keep)
+            )
+            paper_keep_sites = p_sites[0] / paper.top_fp_sites
+            measured_keep_sites = row.sites["top"] / max(1, control.sites["top"])
+            comparisons.append(
+                Comparison(f"FP sites surviving {row.label} (top)", paper_keep_sites, measured_keep_sites)
+            )
+
+    return comparisons
+
+
+def _median(values: List[int]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return float(ordered[mid]) if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figures: bool = True) -> str:
+    """Render the complete study: tables, figures, paper-vs-measured."""
+    sections: List[str] = []
+
+    p = result.prevalence
+    sections.append(
+        "== Crawl summary ==\n"
+        f"top:  {p.top.sites_successful}/{p.top.sites_crawled} crawled successfully, "
+        f"{p.top.fp_sites} fingerprinting ({p.top.prevalence:.1%})\n"
+        f"tail: {p.tail.sites_successful}/{p.tail.sites_crawled} crawled successfully, "
+        f"{p.tail.fp_sites} fingerprinting ({p.tail.prevalence:.1%})\n"
+        f"unique fingerprinting canvases: top {result.reach.unique_canvases_top}, "
+        f"tail {result.reach.unique_canvases_tail}"
+    )
+    if result.cross_machine_consistent is not None:
+        status = "identical" if result.cross_machine_consistent else "DIFFERENT"
+        sections[-1] += f"\ncross-machine canvas groupings (Intel vs M1): {status}"
+
+    _, t1 = table1(result)
+    sections.append("== Table 1: sites linked to each vendor ==\n" + t1)
+
+    _, t3 = table3(result.signatures)
+    sections.append("== Table 3: attribution methods ==\n" + t3)
+
+    if result.adblock_rows:
+        _, t2 = table2(result.adblock_rows)
+        sections.append("== Table 2: ad blocker impact ==\n" + t2)
+
+    if result.blocklist_context is not None:
+        _, t4 = table4(result.blocklist_context)
+        sections.append("== Table 4: blocklist coverage of canvases ==\n" + t4)
+
+    if include_figures:
+        sections.append(render_figure1(result, n=20))
+        sections.append(render_figure2(result))
+
+    comparisons = study_comparisons(result, paper)
+    sections.append(
+        "== Paper vs measured ==\n" + "\n".join(c.line for c in comparisons)
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,67 @@
+"""Small statistics helpers shared by reports and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["median", "mean", "percentile", "binomial_ci", "zipf_fit"]
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    mid = n // 2
+    return float(ordered[mid]) if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q out of range: {q}")
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def binomial_ci(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a proportion."""
+    if trials <= 0:
+        return (0.0, 0.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def zipf_fit(counts: Sequence[int]) -> float:
+    """Rough Zipf exponent of a descending count sequence (log-log slope).
+
+    Used to check Figure 1's long-tail shape: the paper's distribution is
+    strongly head-heavy with a power-law tail.
+    """
+    pairs = [(rank + 1, c) for rank, c in enumerate(counts) if c > 0]
+    if len(pairs) < 3:
+        return 0.0
+    xs = [math.log(r) for r, _ in pairs]
+    ys = [math.log(c) for _, c in pairs]
+    n = len(xs)
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    var = sum((x - mx) ** 2 for x in xs)
+    return -cov / var if var else 0.0

@@ -1,0 +1,19 @@
+"""Blocklist substrate: ABP filter rules, a matcher, and synthetic lists.
+
+Reimplements the matching semantics the paper relies on: the
+``adblockparser`` library for EasyList/EasyPrivacy rules (§5.1) and simple
+domain containment for the Disconnect list.
+"""
+
+from repro.blocklists.rules import FilterRule, ParseError, parse_rule, parse_list
+from repro.blocklists.matcher import RuleMatcher
+from repro.blocklists.disconnect import DisconnectList
+
+__all__ = [
+    "FilterRule",
+    "ParseError",
+    "parse_rule",
+    "parse_list",
+    "RuleMatcher",
+    "DisconnectList",
+]

@@ -1,0 +1,107 @@
+"""Drop-in compatibility shim for the ``adblockparser`` API.
+
+The paper drives its §5.1 analysis through Mikhail Korobov's
+``adblockparser`` package (``AdblockRules(raw_rules).should_block(url,
+options)``).  This module exposes the same call shape over our rule engine,
+so analysis code written against adblockparser runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.blocklists.matcher import RuleMatcher
+from repro.blocklists.rules import FilterRule, parse_rule
+
+__all__ = ["AdblockRule", "AdblockRules"]
+
+
+class AdblockRule:
+    """adblockparser's per-rule object: raw text + matching."""
+
+    def __init__(self, rule_text: str) -> None:
+        self.raw_rule_text = rule_text
+        parsed = parse_rule(rule_text)
+        if parsed is None:
+            raise ValueError(f"not a filter rule: {rule_text!r}")
+        self._rule: FilterRule = parsed
+
+    @property
+    def is_comment(self) -> bool:
+        return False  # comments raise in the constructor, as in adblockparser
+
+    @property
+    def is_exception(self) -> bool:
+        return self._rule.is_exception
+
+    @property
+    def options(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for t in self._rule.types:
+            out[t] = True
+        for t in self._rule.inverse_types:
+            out[t] = False
+        if self._rule.third_party is not None:
+            out["third-party"] = self._rule.third_party
+        if self._rule.domains_include or self._rule.domains_exclude:
+            domains = {d: True for d in self._rule.domains_include}
+            domains.update({d: False for d in self._rule.domains_exclude})
+            out["domain"] = domains
+        return out
+
+    def match_url(self, url: str, options: Optional[Dict[str, object]] = None) -> bool:
+        options = options or {}
+        resource_type = _resource_type_of(options)
+        return self._rule.matches(
+            url,
+            resource_type=resource_type or "other",
+            third_party=options.get("third-party"),
+            page_domain=options.get("domain"),
+        )
+
+
+def _resource_type_of(options: Dict[str, object]) -> Optional[str]:
+    from repro.blocklists.rules import RESOURCE_TYPE_OPTIONS
+
+    for key, value in options.items():
+        if value is True and key in RESOURCE_TYPE_OPTIONS:
+            return key
+    return None
+
+
+class AdblockRules:
+    """adblockparser's rule-set object."""
+
+    def __init__(self, rules: Iterable[str], skip_unsupported_rules: bool = True) -> None:
+        parsed: List[FilterRule] = []
+        self.rules: List[AdblockRule] = []
+        for text in rules:
+            try:
+                rule = parse_rule(text)
+            except ValueError:
+                if skip_unsupported_rules:
+                    continue
+                raise
+            if rule is None:
+                continue
+            parsed.append(rule)
+            shim = AdblockRule.__new__(AdblockRule)
+            shim.raw_rule_text = text
+            shim._rule = rule
+            self.rules.append(shim)
+        self._matcher = RuleMatcher(parsed, name="adblockparser-compat")
+
+    def should_block(self, url: str, options: Optional[Dict[str, object]] = None) -> bool:
+        """adblockparser's entry point.
+
+        ``options`` is the familiar dict, e.g. ``{"script": True,
+        "third-party": True, "domain": "example.com"}``.
+        """
+        options = options or {}
+        resource_type = _resource_type_of(options) or "other"
+        return self._matcher.should_block(
+            url,
+            resource_type=resource_type,
+            third_party=options.get("third-party"),
+            page_domain=options.get("domain"),
+        )

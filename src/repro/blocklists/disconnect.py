@@ -1,0 +1,80 @@
+"""Disconnect-style tracker protection list.
+
+Domain-based, unlike EasyList's URL patterns: the paper checks "is the
+domain of the script's URL included in the list" (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.net.url import URL, registrable_domain
+
+__all__ = ["DisconnectList"]
+
+
+class DisconnectList:
+    """A categorized domain list (categories mirror Disconnect's schema)."""
+
+    CATEGORIES = ("Advertising", "Analytics", "FingerprintingInvasive", "Social", "Content")
+
+    def __init__(self, name: str = "disconnect") -> None:
+        self.name = name
+        self._domains: Dict[str, str] = {}
+
+    def add(self, domain: str, category: str = "FingerprintingInvasive") -> None:
+        if category not in self.CATEGORIES:
+            raise ValueError(f"unknown Disconnect category {category!r}")
+        self._domains[domain.lower()] = category
+
+    def add_all(self, domains: Iterable[str], category: str = "FingerprintingInvasive") -> None:
+        for d in domains:
+            self.add(d, category)
+
+    def contains_domain(self, domain: str) -> bool:
+        domain = domain.lower()
+        if domain in self._domains:
+            return True
+        return registrable_domain(domain) in self._domains
+
+    def contains_url(self, url: "URL | str") -> bool:
+        host = url.host if isinstance(url, URL) else URL.parse(url).host
+        return self.contains_domain(host)
+
+    def category_of(self, domain: str) -> Optional[str]:
+        domain = domain.lower()
+        if domain in self._domains:
+            return self._domains[domain]
+        return self._domains.get(registrable_domain(domain))
+
+    def domains(self) -> Set[str]:
+        return set(self._domains)
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    # -- Disconnect's JSON interchange format ------------------------------------
+
+    def to_json(self) -> dict:
+        """Serialize in Disconnect's ``services.json``-style layout:
+        category -> entity -> {homepage: [domains]}."""
+        categories: Dict[str, Dict[str, Dict[str, list]]] = {}
+        for domain, category in sorted(self._domains.items()):
+            entity = domain.split(".")[0].title()
+            categories.setdefault(category, {}).setdefault(entity, {}).setdefault(
+                f"https://{domain}/", []
+            ).append(domain)
+        return {"license": "synthetic", "categories": categories}
+
+    @classmethod
+    def from_json(cls, data: dict, name: str = "disconnect") -> "DisconnectList":
+        """Load a Disconnect-style JSON document."""
+        out = cls(name)
+        for category, entities in data.get("categories", {}).items():
+            if category not in cls.CATEGORIES:
+                continue
+            for _entity, homepages in entities.items():
+                for _homepage, domains in homepages.items():
+                    for domain in domains:
+                        out.add(domain, category)
+        return out

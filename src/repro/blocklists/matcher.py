@@ -1,0 +1,73 @@
+"""adblockparser-equivalent matching over a rule set.
+
+The paper (§5.1) asks one static question — "does any EasyList/EasyPrivacy
+rule apply to this script URL with resource type *script*?" — and §5.2 asks
+the *practical* question ad blockers answer, which additionally honors
+exception rules, first-party context and the ``$document`` modifier.  Both
+go through :class:`RuleMatcher`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.blocklists.rules import FilterRule, parse_list
+
+__all__ = ["RuleMatcher"]
+
+
+class RuleMatcher:
+    """Matches URLs against a parsed filter list."""
+
+    def __init__(self, rules: Iterable[FilterRule], name: str = "") -> None:
+        all_rules = [r for r in rules if not r.is_element_hiding]
+        self.name = name
+        self.block_rules: List[FilterRule] = [r for r in all_rules if not r.is_exception]
+        self.exception_rules: List[FilterRule] = [r for r in all_rules if r.is_exception]
+
+    @classmethod
+    def from_text(cls, text: str, name: str = "") -> "RuleMatcher":
+        return cls(parse_list(text), name=name)
+
+    def __len__(self) -> int:
+        return len(self.block_rules) + len(self.exception_rules)
+
+    def first_match(
+        self,
+        url: str,
+        resource_type: str = "script",
+        third_party: Optional[bool] = None,
+        page_domain: Optional[str] = None,
+    ) -> Optional[FilterRule]:
+        """First blocking rule that applies, honoring exception rules."""
+        for rule in self.exception_rules:
+            if rule.matches(url, resource_type, third_party, page_domain):
+                return None
+        for rule in self.block_rules:
+            if rule.matches(url, resource_type, third_party, page_domain):
+                return rule
+        return None
+
+    def should_block(
+        self,
+        url: str,
+        resource_type: str = "script",
+        third_party: Optional[bool] = None,
+        page_domain: Optional[str] = None,
+    ) -> bool:
+        """adblockparser's ``should_block``: contextual match over the list."""
+        return self.first_match(url, resource_type, third_party, page_domain) is not None
+
+    def listed(self, url: str, resource_type: str = "script") -> bool:
+        """The paper's §5.1 static check: any rule applies to this URL with
+        the given resource type, ignoring dynamic context (third-party,
+        domain restrictions on the page) and exception rules."""
+        for rule in self.block_rules:
+            if not rule.matches_url(url):
+                continue
+            if resource_type in rule.inverse_types:
+                continue
+            if rule.types and resource_type not in rule.types:
+                continue
+            return True
+        return False

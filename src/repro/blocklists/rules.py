@@ -1,0 +1,229 @@
+"""Adblock Plus filter rule parsing.
+
+Supports the network-filter syntax subset that matters for fingerprinting
+scripts: ``||`` host anchors, ``|`` start/end anchors, ``*`` wildcards,
+``^`` separators, exception rules (``@@``), and the ``$`` option list
+(resource types, ``third-party``, ``domain=``, and the ``document`` modifier
+whose misuse Appendix A.6 documents).  Element-hiding rules (``##``) are
+recognized and marked non-network.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+__all__ = ["FilterRule", "ParseError", "parse_rule", "parse_list", "RESOURCE_TYPE_OPTIONS"]
+
+
+class ParseError(ValueError):
+    """Raised for malformed filter rules."""
+
+
+RESOURCE_TYPE_OPTIONS = frozenset(
+    {
+        "script",
+        "image",
+        "stylesheet",
+        "document",
+        "subdocument",
+        "xmlhttprequest",
+        "object",
+        "font",
+        "media",
+        "websocket",
+        "other",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One parsed network filter rule."""
+
+    raw: str
+    is_exception: bool
+    is_element_hiding: bool
+    regex: "re.Pattern[str]"
+    #: Resource types the rule is restricted to (empty = any type).
+    types: FrozenSet[str] = frozenset()
+    #: Resource types explicitly excluded (``~script``).
+    inverse_types: FrozenSet[str] = frozenset()
+    #: None = unrestricted, True = third-party only, False = first-party only.
+    third_party: Optional[bool] = None
+    domains_include: FrozenSet[str] = frozenset()
+    domains_exclude: FrozenSet[str] = frozenset()
+
+    def matches_url(self, url: str) -> bool:
+        return self.regex.search(url) is not None
+
+    def matches(
+        self,
+        url: str,
+        resource_type: str = "other",
+        third_party: Optional[bool] = None,
+        page_domain: Optional[str] = None,
+    ) -> bool:
+        """Full contextual match: pattern plus every option constraint."""
+        if self.is_element_hiding:
+            return False
+        if not self.matches_url(url):
+            return False
+        if resource_type in self.inverse_types:
+            return False
+        if self.types and resource_type not in self.types:
+            return False
+        if self.third_party is not None:
+            if third_party is None or third_party != self.third_party:
+                return False
+        if self.domains_include and (page_domain is None or not _domain_in(page_domain, self.domains_include)):
+            return False
+        if self.domains_exclude and page_domain is not None and _domain_in(page_domain, self.domains_exclude):
+            return False
+        return True
+
+
+def _domain_in(domain: str, candidates: FrozenSet[str]) -> bool:
+    domain = domain.lower()
+    for cand in candidates:
+        if domain == cand or domain.endswith("." + cand):
+            return True
+    return False
+
+
+def parse_rule(line: str) -> Optional[FilterRule]:
+    """Parse one filter line; returns None for comments/blank lines."""
+    text = line.strip()
+    if not text or text.startswith("!") or text.startswith("["):
+        return None
+
+    if "##" in text or "#@#" in text or "#?#" in text:
+        # Element hiding: kept so list statistics count them, never matches URLs.
+        return FilterRule(
+            raw=line,
+            is_exception=False,
+            is_element_hiding=True,
+            regex=re.compile(r"(?!)"),
+        )
+
+    is_exception = text.startswith("@@")
+    if is_exception:
+        text = text[2:]
+
+    options_text = ""
+    dollar = _find_options_separator(text)
+    if dollar is not None:
+        text, options_text = text[:dollar], text[dollar + 1 :]
+
+    if not text:
+        raise ParseError(f"empty pattern in rule {line!r}")
+
+    regex = _pattern_to_regex(text)
+    types: set = set()
+    inverse_types: set = set()
+    third_party: Optional[bool] = None
+    dom_inc: set = set()
+    dom_exc: set = set()
+
+    if options_text:
+        for opt in options_text.split(","):
+            opt = opt.strip()
+            if not opt:
+                continue
+            lower = opt.lower()
+            if lower == "third-party":
+                third_party = True
+            elif lower == "~third-party":
+                third_party = False
+            elif lower.startswith("domain="):
+                for dom in lower[len("domain=") :].split("|"):
+                    dom = dom.strip()
+                    if dom.startswith("~"):
+                        dom_exc.add(dom[1:])
+                    elif dom:
+                        dom_inc.add(dom)
+            elif lower.startswith("~") and lower[1:] in RESOURCE_TYPE_OPTIONS:
+                inverse_types.add(lower[1:])
+            elif lower in RESOURCE_TYPE_OPTIONS:
+                types.add(lower)
+            elif lower in ("match-case", "popup", "generichide", "genericblock", "elemhide"):
+                pass  # recognized, irrelevant to network matching here
+            else:
+                # Unknown option: conservative parsers drop the rule entirely;
+                # adblockparser raises. We follow adblockparser.
+                raise ParseError(f"unknown option {opt!r} in rule {line!r}")
+
+    return FilterRule(
+        raw=line,
+        is_exception=is_exception,
+        is_element_hiding=False,
+        regex=regex,
+        types=frozenset(types),
+        inverse_types=frozenset(inverse_types),
+        third_party=third_party,
+        domains_include=frozenset(dom_inc),
+        domains_exclude=frozenset(dom_exc),
+    )
+
+
+def _find_options_separator(text: str) -> Optional[int]:
+    """Position of the option ``$``, ignoring ``$`` inside the pattern body.
+
+    ABP defines the last ``$`` followed only by valid-looking option text as
+    the separator; a simple right-most search is what adblockparser does.
+    """
+    idx = text.rfind("$")
+    if idx <= 0 or idx == len(text) - 1:
+        return None if idx != 0 else None
+    tail = text[idx + 1 :]
+    if re.fullmatch(r"[a-zA-Z~][a-zA-Z0-9\-_=.|~,]*", tail):
+        return idx
+    return None
+
+
+def _pattern_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile an ABP URL pattern into a regex (adblockparser translation)."""
+    # Regex-literal rules: /.../
+    if len(pattern) > 2 and pattern.startswith("/") and pattern.endswith("/"):
+        try:
+            return re.compile(pattern[1:-1])
+        except re.error as exc:
+            raise ParseError(f"bad regex rule {pattern!r}: {exc}") from exc
+
+    out: List[str] = []
+    i = 0
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "*":
+            out.append(".*")
+        elif ch == "^":
+            out.append(r"(?:[^\w\-.%]|$)")
+        elif ch == "|":
+            if i == 0 and pattern.startswith("||"):
+                out.append(r"^[a-z][a-z0-9+.\-]*://(?:[^/?#]*\.)?")
+                i += 1  # consume second bar
+            elif i == 0:
+                out.append("^")
+            elif i == n - 1:
+                out.append("$")
+            else:
+                out.append(re.escape("|"))
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out))
+
+
+def parse_list(text: str) -> List[FilterRule]:
+    """Parse a filter list document, skipping comments and bad rules."""
+    rules: List[FilterRule] = []
+    for line in text.splitlines():
+        try:
+            rule = parse_rule(line)
+        except ParseError:
+            continue
+        if rule is not None:
+            rules.append(rule)
+    return rules

@@ -1,0 +1,19 @@
+"""Browser substrate: page loading, canvas instrumentation, extensions and
+privacy defenses."""
+
+from repro.browser.browser import Browser, Page
+from repro.browser.profile import BrowserProfile
+from repro.browser.privacy import CanvasRandomization
+from repro.browser.extensions import AdBlockerExtension, Extension
+from repro.browser.instrumentation import CanvasInstrument, VirtualClock
+
+__all__ = [
+    "Browser",
+    "Page",
+    "BrowserProfile",
+    "CanvasRandomization",
+    "Extension",
+    "AdBlockerExtension",
+    "CanvasInstrument",
+    "VirtualClock",
+]

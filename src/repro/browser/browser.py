@@ -1,0 +1,178 @@
+"""The page-load pipeline.
+
+``Browser.load(url)`` fetches the document over the synthetic network,
+scans it for scripts, and executes them in order in a fresh JS realm wired
+with ``window`` / ``document`` / ``navigator`` and an instrumented canvas
+factory.  Extensions see every subresource request; script errors are
+contained per-script like a real browser.
+
+Deferred script groups model crawler-relevant behaviors:
+
+* ``data-consent="required"`` scripts only run after a consent banner
+  opt-in (the crawler's autoconsent triggers this);
+* ``data-trigger="scroll"`` scripts only run when the page is scrolled
+  (the crawler's behavior simulation triggers this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.browser.bindings import JSCanvasElement
+from repro.browser.instrumentation import CanvasInstrument, VirtualClock
+from repro.browser.privacy import RandomizationState, make_extraction_filter
+from repro.browser.profile import BrowserProfile
+from repro.canvas.element import HTMLCanvasElement
+from repro.dom.document import Document
+from repro.dom.html import ScriptRef, parse_html
+from repro.dom.window import make_navigator, make_screen, make_window
+from repro.js.errors import JSError
+from repro.js.interpreter import Interpreter
+from repro.net.http import Request, ResourceType
+from repro.net.server import Network
+from repro.net.url import URL
+
+__all__ = ["Browser", "Page"]
+
+
+@dataclass
+class Page:
+    """Everything a single page load produced."""
+
+    url: URL
+    ok: bool
+    status: int = 0
+    title: str = ""
+    instrument: CanvasInstrument = field(default_factory=CanvasInstrument)
+    document: Optional[Document] = None
+    blocked_urls: List[str] = field(default_factory=list)
+    script_errors: List[str] = field(default_factory=list)
+    executed_scripts: List[str] = field(default_factory=list)
+    #: script_url -> source, for every script that actually executed.
+    script_sources: Dict[str, str] = field(default_factory=dict)
+    console: List[str] = field(default_factory=list)
+    has_consent_banner: bool = False
+    _pending: Dict[str, List[Tuple[Optional[str], str]]] = field(default_factory=dict)
+    _browser: Optional["Browser"] = None
+    _interp: Optional[Interpreter] = None
+
+    def pending_count(self, group: str) -> int:
+        return len(self._pending.get(group, []))
+
+    def trigger(self, group: str) -> int:
+        """Run a deferred script group ("consent" / "scroll"); returns count run."""
+        pending = self._pending.pop(group, [])
+        for script_url, source in pending:
+            assert self._browser is not None and self._interp is not None
+            self._browser._execute(self, self._interp, script_url, source)
+        return len(pending)
+
+
+class Browser:
+    """A scriptable browser over the synthetic network."""
+
+    def __init__(self, network: Network, profile: Optional[BrowserProfile] = None) -> None:
+        self.network = network
+        self.profile = profile or BrowserProfile()
+        self._randomization = RandomizationState(self.profile.session_seed)
+        #: Parse cache shared across page loads: each script URL+source is
+        #: parsed once per browser, a large win when thousands of sites embed
+        #: the same vendor script.
+        self._ast_cache: Dict = {}
+
+    # -- page loading -------------------------------------------------------------------
+
+    def load(self, url: "URL | str") -> Page:
+        if isinstance(url, str):
+            url = URL.parse(url)
+
+        response = self.network.fetch(Request(url=url, resource_type=ResourceType.DOCUMENT))
+        page = Page(url=url, ok=response.ok, status=response.status)
+        if not response.ok:
+            return page
+
+        clock = VirtualClock()
+        page.instrument = CanvasInstrument(clock)
+
+        interp = Interpreter(ast_cache=self._ast_cache)
+        canvas_counter = {"next": 0}
+        document = Document(url=str(url))
+        page.document = document
+
+        def canvas_factory():
+            canvas_counter["next"] += 1
+            impl = HTMLCanvasElement(device=self.profile.device)
+            impl.extraction_filter = make_extraction_filter(
+                self.profile.privacy_mode, self._randomization
+            )
+            return JSCanvasElement(
+                impl, page.instrument, interp, canvas_counter["next"], document=document
+            )
+
+        document.canvas_factory = canvas_factory
+
+        navigator = make_navigator(self.profile.device.name, webdriver=self.profile.expose_webdriver)
+        screen = make_screen()
+        window = make_window(document, navigator, screen, clock)
+        interp.define_global("window", window)
+        interp.define_global("document", document)
+        interp.define_global("navigator", navigator)
+        interp.define_global("screen", screen)
+        interp.define_global("location", window)
+        interp.define_global("performance", window.get("performance"))
+        interp.define_global("setTimeout", window.get("setTimeout"))
+        interp.define_global("addEventListener", window.get("addEventListener"))
+
+        page._browser = self
+        page._interp = interp
+
+        structure = parse_html(response.body)
+        page.title = structure.title
+        page.has_consent_banner = structure.has_consent_banner
+
+        for ref in structure.scripts:
+            self._process_script_tag(page, interp, ref)
+
+        page.console = interp.console_log
+        return page
+
+    # -- script execution ------------------------------------------------------------------
+
+    def _process_script_tag(self, page: Page, interp: Interpreter, ref: ScriptRef) -> None:
+        group = None
+        if ref.attr("data-consent") == "required":
+            group = "consent"
+        elif ref.attr("data-trigger") == "scroll":
+            group = "scroll"
+
+        if ref.is_inline:
+            script_url, source = None, ref.source
+        else:
+            resolved = page.url.join(ref.src)
+            request = Request(
+                url=resolved, resource_type=ResourceType.SCRIPT, document_url=page.url
+            )
+            for extension in self.profile.extensions:
+                if extension.on_request(request):
+                    page.blocked_urls.append(str(resolved))
+                    return
+            response = self.network.fetch(request)
+            if not response.ok:
+                page.script_errors.append(f"fetch failed ({response.status}): {resolved}")
+                return
+            script_url, source = str(resolved), response.body
+
+        if group is not None:
+            page._pending.setdefault(group, []).append((script_url, source))
+            return
+        self._execute(page, interp, script_url, source)
+
+    def _execute(self, page: Page, interp: Interpreter, script_url: Optional[str], source: str) -> None:
+        effective_url = script_url if script_url is not None else f"{page.url}#inline"
+        page.executed_scripts.append(effective_url)
+        page.script_sources[effective_url] = source
+        try:
+            interp.run(source, script_url=effective_url, cache_key=(effective_url, hash(source)))
+        except JSError as exc:
+            page.script_errors.append(f"{effective_url}: {exc.message}")

@@ -1,0 +1,63 @@
+"""Canvas randomization defenses (§5.3).
+
+Two real-world designs are modelled:
+
+* ``PER_RENDER`` — fresh noise on every read-out (Canvas Defender-style
+  extensions).  Detectable by the render-twice inconsistency check
+  (Algorithm 1): two extractions of the same canvas differ.
+* ``PER_SESSION`` — noise seeded once per browsing session (Firefox-style,
+  footnote 7).  Two extractions agree, so the render-twice check is blind
+  to it, while the fingerprint still differs across sessions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["CanvasRandomization", "RandomizationState", "make_extraction_filter"]
+
+
+class CanvasRandomization(str, enum.Enum):
+    NONE = "none"
+    PER_RENDER = "per-render"
+    PER_SESSION = "per-session"
+
+
+class RandomizationState:
+    """Per-browser-session state for the noise source."""
+
+    def __init__(self, session_seed: int) -> None:
+        self.session_seed = int(session_seed)
+        self.readout_counter = 0
+
+
+def make_extraction_filter(
+    mode: CanvasRandomization, state: RandomizationState
+) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """Build the extraction filter to install on canvas elements."""
+    if mode is CanvasRandomization.NONE:
+        return None
+
+    def add_noise(pixels: np.ndarray) -> np.ndarray:
+        if mode is CanvasRandomization.PER_RENDER:
+            state.readout_counter += 1
+            seed = (state.session_seed * 1_000_003 + state.readout_counter) & 0xFFFFFFFF
+        else:
+            seed = state.session_seed & 0xFFFFFFFF
+        rng = np.random.default_rng(seed)
+        out = pixels.copy()
+        # Flip the low bit of ~3% of RGB channel values on drawn pixels only
+        # (noising fully transparent pixels would be trivially detectable).
+        drawn = out[..., 3] > 0
+        if drawn.any():
+            mask = rng.random(out.shape[:2]) < 0.03
+            mask &= drawn
+            channel = rng.integers(0, 3, size=out.shape[:2])
+            ys, xs = np.nonzero(mask)
+            out[ys, xs, channel[ys, xs]] ^= 1
+        return out
+
+    return add_noise

@@ -1,0 +1,35 @@
+"""Browser profile: the knobs a crawl configuration sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.browser.extensions import Extension
+from repro.browser.privacy import CanvasRandomization
+from repro.canvas.device import DeviceProfile, INTEL_UBUNTU
+
+__all__ = ["BrowserProfile"]
+
+
+@dataclass
+class BrowserProfile:
+    """One browser configuration used for a crawl."""
+
+    device: DeviceProfile = INTEL_UBUNTU
+    privacy_mode: CanvasRandomization = CanvasRandomization.NONE
+    extensions: Tuple[Extension, ...] = ()
+    #: Whether navigator.webdriver is exposed (true for a naive crawler;
+    #: the paper's crawler masks it — "handles common anti-bot detection").
+    expose_webdriver: bool = False
+    #: Seed for the session-scoped randomization defense.
+    session_seed: int = 0xC0FFEE
+
+    def with_extensions(self, *extensions: Extension) -> "BrowserProfile":
+        return BrowserProfile(
+            device=self.device,
+            privacy_mode=self.privacy_mode,
+            extensions=tuple(extensions),
+            expose_webdriver=self.expose_webdriver,
+            session_seed=self.session_seed,
+        )

@@ -1,0 +1,32 @@
+"""Software implementation of the HTML Canvas 2D API.
+
+A numpy-backed rasterizer exposing ``HTMLCanvasElement`` and
+``CanvasRenderingContext2D`` with the surface fingerprinting scripts rely on:
+rect/path/text drawing, gradients, compositing modes, transforms,
+``getImageData`` and ``toDataURL`` (real PNG, plus lossy JPEG/WebP-like
+encoders).
+
+Rendering is deterministic given a :class:`~repro.canvas.device.DeviceProfile`
+and *device-dependent* in the anti-aliased edges of text and curves — exactly
+the property canvas fingerprinting exploits: the same script yields identical
+bytes on one machine and different bytes across machines.
+"""
+
+from repro.canvas.color import parse_color
+from repro.canvas.context2d import CanvasRenderingContext2D
+from repro.canvas.device import APPLE_M1, DEVICE_PROFILES, INTEL_UBUNTU, DeviceProfile
+from repro.canvas.element import HTMLCanvasElement
+from repro.canvas.encode import data_url, png_decode, png_encode
+
+__all__ = [
+    "HTMLCanvasElement",
+    "CanvasRenderingContext2D",
+    "DeviceProfile",
+    "INTEL_UBUNTU",
+    "APPLE_M1",
+    "DEVICE_PROFILES",
+    "parse_color",
+    "png_encode",
+    "png_decode",
+    "data_url",
+]

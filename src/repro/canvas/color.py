@@ -1,0 +1,169 @@
+"""CSS color parsing for canvas fill/stroke styles.
+
+Supports ``#rgb``, ``#rgba``, ``#rrggbb``, ``#rrggbbaa``, ``rgb()``,
+``rgba()``, ``hsl()``, ``hsla()`` and the named colors that appear in
+real-world fingerprinting scripts.  Returns ``(r, g, b, a)`` with channels in
+0..255 (floats, so alpha keeps precision).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+__all__ = ["parse_color", "ColorError", "NAMED_COLORS"]
+
+RGBA = Tuple[float, float, float, float]
+
+
+class ColorError(ValueError):
+    """Raised for unparseable color strings."""
+
+
+NAMED_COLORS = {
+    "black": (0, 0, 0),
+    "white": (255, 255, 255),
+    "red": (255, 0, 0),
+    "green": (0, 128, 0),
+    "lime": (0, 255, 0),
+    "blue": (0, 0, 255),
+    "yellow": (255, 255, 0),
+    "cyan": (0, 255, 255),
+    "aqua": (0, 255, 255),
+    "magenta": (255, 0, 255),
+    "fuchsia": (255, 0, 255),
+    "orange": (255, 165, 0),
+    "purple": (128, 0, 128),
+    "pink": (255, 192, 203),
+    "brown": (165, 42, 42),
+    "gray": (128, 128, 128),
+    "grey": (128, 128, 128),
+    "silver": (192, 192, 192),
+    "navy": (0, 0, 128),
+    "teal": (0, 128, 128),
+    "olive": (128, 128, 0),
+    "maroon": (128, 0, 0),
+    "gold": (255, 215, 0),
+    "coral": (255, 127, 80),
+    "tomato": (255, 99, 71),
+    "crimson": (220, 20, 60),
+    "indigo": (75, 0, 130),
+    "violet": (238, 130, 238),
+    "khaki": (240, 230, 140),
+    "salmon": (250, 128, 114),
+    "turquoise": (64, 224, 208),
+    "orchid": (218, 112, 214),
+    "transparent": (0, 0, 0),
+}
+
+_RGB_RE = re.compile(r"rgba?\(\s*([^)]*)\)")
+_HSL_RE = re.compile(r"hsla?\(\s*([^)]*)\)")
+
+
+def parse_color(text: str) -> RGBA:
+    """Parse a CSS color string into an ``(r, g, b, a)`` tuple (0..255)."""
+    if not isinstance(text, str):
+        raise ColorError(f"color must be a string, got {type(text).__name__}")
+    s = text.strip().lower()
+    if not s:
+        raise ColorError("empty color string")
+
+    if s.startswith("#"):
+        return _parse_hex(s)
+
+    m = _RGB_RE.fullmatch(s)
+    if m:
+        return _parse_rgb_args(m.group(1))
+
+    m = _HSL_RE.fullmatch(s)
+    if m:
+        return _parse_hsl_args(m.group(1))
+
+    if s in NAMED_COLORS:
+        r, g, b = NAMED_COLORS[s]
+        a = 0.0 if s == "transparent" else 255.0
+        return (float(r), float(g), float(b), a)
+
+    raise ColorError(f"unrecognized color: {text!r}")
+
+
+def _parse_hex(s: str) -> RGBA:
+    digits = s[1:]
+    if not re.fullmatch(r"[0-9a-f]+", digits):
+        raise ColorError(f"bad hex color: {s!r}")
+    if len(digits) == 3:
+        r, g, b = (int(c * 2, 16) for c in digits)
+        return (float(r), float(g), float(b), 255.0)
+    if len(digits) == 4:
+        r, g, b, a = (int(c * 2, 16) for c in digits)
+        return (float(r), float(g), float(b), float(a))
+    if len(digits) == 6:
+        return (
+            float(int(digits[0:2], 16)),
+            float(int(digits[2:4], 16)),
+            float(int(digits[4:6], 16)),
+            255.0,
+        )
+    if len(digits) == 8:
+        return (
+            float(int(digits[0:2], 16)),
+            float(int(digits[2:4], 16)),
+            float(int(digits[4:6], 16)),
+            float(int(digits[6:8], 16)),
+        )
+    raise ColorError(f"bad hex color length: {s!r}")
+
+
+def _parse_rgb_args(args: str) -> RGBA:
+    parts = [p.strip() for p in re.split(r"[,\s/]+", args.strip()) if p.strip()]
+    if len(parts) not in (3, 4):
+        raise ColorError(f"rgb() needs 3 or 4 components, got {len(parts)}")
+    channels = []
+    for p in parts[:3]:
+        if p.endswith("%"):
+            channels.append(_clamp(float(p[:-1]) * 255.0 / 100.0, 0, 255))
+        else:
+            channels.append(_clamp(float(p), 0, 255))
+    alpha = 255.0
+    if len(parts) == 4:
+        alpha = _parse_alpha(parts[3])
+    return (channels[0], channels[1], channels[2], alpha)
+
+
+def _parse_hsl_args(args: str) -> RGBA:
+    parts = [p.strip() for p in re.split(r"[,\s/]+", args.strip()) if p.strip()]
+    if len(parts) not in (3, 4):
+        raise ColorError(f"hsl() needs 3 or 4 components, got {len(parts)}")
+    h = float(parts[0].replace("deg", "")) % 360.0
+    s = _clamp(float(parts[1].rstrip("%")), 0, 100) / 100.0
+    lightness = _clamp(float(parts[2].rstrip("%")), 0, 100) / 100.0
+    alpha = _parse_alpha(parts[3]) if len(parts) == 4 else 255.0
+
+    c = (1 - abs(2 * lightness - 1)) * s
+    x = c * (1 - abs((h / 60.0) % 2 - 1))
+    m = lightness - c / 2
+    sector = int(h // 60) % 6
+    r1, g1, b1 = [
+        (c, x, 0.0),
+        (x, c, 0.0),
+        (0.0, c, x),
+        (0.0, x, c),
+        (x, 0.0, c),
+        (c, 0.0, x),
+    ][sector]
+    return (
+        round((r1 + m) * 255.0, 4),
+        round((g1 + m) * 255.0, 4),
+        round((b1 + m) * 255.0, 4),
+        alpha,
+    )
+
+
+def _parse_alpha(p: str) -> float:
+    if p.endswith("%"):
+        return _clamp(float(p[:-1]) / 100.0, 0, 1) * 255.0
+    return _clamp(float(p), 0, 1) * 255.0
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, x))

@@ -1,0 +1,65 @@
+"""2D affine transforms and small geometry helpers for the rasterizer."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Transform"]
+
+
+@dataclass(frozen=True)
+class Transform:
+    """Affine transform matrix, canvas convention::
+
+        | a c e |
+        | b d f |
+        | 0 0 1 |
+    """
+
+    a: float = 1.0
+    b: float = 0.0
+    c: float = 0.0
+    d: float = 1.0
+    e: float = 0.0
+    f: float = 0.0
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        return cls()
+
+    def multiply(self, o: "Transform") -> "Transform":
+        """Return self ∘ o (apply ``o`` first, then self)."""
+        return Transform(
+            a=self.a * o.a + self.c * o.b,
+            b=self.b * o.a + self.d * o.b,
+            c=self.a * o.c + self.c * o.d,
+            d=self.b * o.c + self.d * o.d,
+            e=self.a * o.e + self.c * o.f + self.e,
+            f=self.b * o.e + self.d * o.f + self.f,
+        )
+
+    def translate(self, tx: float, ty: float) -> "Transform":
+        return self.multiply(Transform(e=tx, f=ty))
+
+    def scale(self, sx: float, sy: float) -> "Transform":
+        return self.multiply(Transform(a=sx, d=sy))
+
+    def rotate(self, angle: float) -> "Transform":
+        cos, sin = math.cos(angle), math.sin(angle)
+        return self.multiply(Transform(a=cos, b=sin, c=-sin, d=cos))
+
+    def apply(self, x: float, y: float) -> Tuple[float, float]:
+        return (self.a * x + self.c * y + self.e, self.b * x + self.d * y + self.f)
+
+    @property
+    def is_identity(self) -> bool:
+        return self == Transform()
+
+    @property
+    def scale_magnitude(self) -> float:
+        """Approximate uniform scale factor (used for curve flattening)."""
+        sx = math.hypot(self.a, self.b)
+        sy = math.hypot(self.c, self.d)
+        return max(sx, sy, 1e-9)

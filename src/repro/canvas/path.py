@@ -1,0 +1,418 @@
+"""Path construction and anti-aliased rasterization.
+
+Paths are stored as flattened polylines (arcs and béziers are subdivided at
+construction time, in device space).  Filling uses a supersampled winding
+test (non-zero or even-odd) vectorized with numpy; stroking builds per-segment
+quads plus joint disks.  Anti-aliased edge pixels receive the device
+profile's deterministic perturbation — the core fingerprintable signal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.canvas.device import DeviceProfile
+from repro.canvas.geometry import Transform
+
+__all__ = ["Path", "rasterize_fill", "rasterize_stroke"]
+
+#: Supersampling factor per axis for coverage estimation.
+SUPERSAMPLE = 3
+
+
+class Path:
+    """A sequence of subpaths (polylines), built in *device* coordinates.
+
+    The context transforms points before handing them to the path, matching
+    canvas semantics where the CTM applies at path-construction time.
+    """
+
+    def __init__(self) -> None:
+        self.subpaths: List[List[Tuple[float, float]]] = []
+        self._closed: List[bool] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def move_to(self, x: float, y: float) -> None:
+        self.subpaths.append([(x, y)])
+        self._closed.append(False)
+
+    def line_to(self, x: float, y: float) -> None:
+        if not self.subpaths:
+            self.move_to(x, y)
+            return
+        self.subpaths[-1].append((x, y))
+
+    def close(self) -> None:
+        if self.subpaths and len(self.subpaths[-1]) > 1:
+            self._closed[-1] = True
+
+    def add_polyline(self, points: Sequence[Tuple[float, float]], closed: bool = False) -> None:
+        pts = list(points)
+        if len(pts) >= 2:
+            self.subpaths.append(pts)
+            self._closed.append(closed)
+
+    @property
+    def current_point(self) -> Optional[Tuple[float, float]]:
+        if self.subpaths and self.subpaths[-1]:
+            return self.subpaths[-1][-1]
+        return None
+
+    def is_empty(self) -> bool:
+        return not any(len(sp) >= 2 for sp in self.subpaths)
+
+    # -- geometry helpers ----------------------------------------------------------
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(E, 4)`` array of (x1, y1, x2, y2).
+
+        Open subpaths are implicitly closed for filling, per canvas fill
+        semantics.
+        """
+        rows: List[Tuple[float, float, float, float]] = []
+        for pts, _closed in zip(self.subpaths, self._closed):
+            if len(pts) < 2:
+                continue
+            for a, b in zip(pts, pts[1:]):
+                rows.append((a[0], a[1], b[0], b[1]))
+            if pts[0] != pts[-1]:
+                rows.append((pts[-1][0], pts[-1][1], pts[0][0], pts[0][1]))
+        if not rows:
+            return np.zeros((0, 4), dtype=np.float64)
+        return np.asarray(rows, dtype=np.float64)
+
+    def stroke_segments(self) -> List[Tuple[Tuple[float, float], Tuple[float, float]]]:
+        """Segments to stroke (closing segment included for closed subpaths)."""
+        segments = []
+        for pts, closed in zip(self.subpaths, self._closed):
+            if len(pts) < 2:
+                continue
+            for a, b in zip(pts, pts[1:]):
+                segments.append((a, b))
+            if closed and pts[0] != pts[-1]:
+                segments.append((pts[-1], pts[0]))
+        return segments
+
+    def bounds(self, pad: float = 1.0) -> Optional[Tuple[float, float, float, float]]:
+        xs: List[float] = []
+        ys: List[float] = []
+        for pts in self.subpaths:
+            for x, y in pts:
+                xs.append(x)
+                ys.append(y)
+        if not xs:
+            return None
+        return (min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad)
+
+    def contains_point(self, x: float, y: float, rule: str = "nonzero") -> bool:
+        """Point-in-path test (isPointInPath)."""
+        edges = self.edges()
+        if edges.shape[0] == 0:
+            return False
+        winding = _winding_numbers(edges, np.array([x]), np.array([y]))
+        if rule == "evenodd":
+            return bool(winding[0] % 2 != 0)
+        return bool(winding[0] != 0)
+
+
+# --- flattening helpers (used by the context when building paths) ------------------
+
+
+def flatten_arc(
+    cx: float,
+    cy: float,
+    radius: float,
+    start: float,
+    end: float,
+    anticlockwise: bool,
+    transform: Transform,
+    rx_scale: float = 1.0,
+    ry_scale: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """Flatten an arc/ellipse into transformed polyline points."""
+    if radius < 0:
+        raise ValueError("negative radius")
+    sweep = end - start
+    two_pi = 2 * math.pi
+    if anticlockwise:
+        if sweep <= -two_pi:
+            sweep = -two_pi
+        else:
+            sweep = -(((-sweep) % two_pi) or (two_pi if sweep != 0 else 0))
+            if sweep == 0 and (end - start) != 0:
+                sweep = -two_pi
+    else:
+        if sweep >= two_pi:
+            sweep = two_pi
+        else:
+            sweep = (sweep % two_pi) or (two_pi if (end - start) != 0 and (end - start) % two_pi == 0 else sweep % two_pi)
+    # Segment count scales with radius and transform magnitude for smoothness.
+    scale = transform.scale_magnitude
+    n = max(8, min(128, int(abs(sweep) * max(radius * max(rx_scale, ry_scale), 1.0) * scale * 0.75)))
+    points = []
+    for i in range(n + 1):
+        t = start + sweep * (i / n)
+        x = cx + radius * rx_scale * math.cos(t)
+        y = cy + radius * ry_scale * math.sin(t)
+        points.append(transform.apply(x, y))
+    return points
+
+
+def flatten_cubic(
+    p0: Tuple[float, float],
+    p1: Tuple[float, float],
+    p2: Tuple[float, float],
+    p3: Tuple[float, float],
+    transform: Transform,
+) -> List[Tuple[float, float]]:
+    """Flatten a cubic bézier (control points in user space) to device points."""
+    n = 24
+    out = []
+    for i in range(1, n + 1):
+        t = i / n
+        mt = 1 - t
+        x = mt**3 * p0[0] + 3 * mt**2 * t * p1[0] + 3 * mt * t**2 * p2[0] + t**3 * p3[0]
+        y = mt**3 * p0[1] + 3 * mt**2 * t * p1[1] + 3 * mt * t**2 * p2[1] + t**3 * p3[1]
+        out.append(transform.apply(x, y))
+    return out
+
+
+def flatten_quadratic(
+    p0: Tuple[float, float],
+    p1: Tuple[float, float],
+    p2: Tuple[float, float],
+    transform: Transform,
+) -> List[Tuple[float, float]]:
+    n = 16
+    out = []
+    for i in range(1, n + 1):
+        t = i / n
+        mt = 1 - t
+        x = mt**2 * p0[0] + 2 * mt * t * p1[0] + t**2 * p2[0]
+        y = mt**2 * p0[1] + 2 * mt * t * p1[1] + t**2 * p2[1]
+        out.append(transform.apply(x, y))
+    return out
+
+
+# --- rasterization ------------------------------------------------------------------
+
+
+def rasterize_fill(
+    path: Path,
+    width: int,
+    height: int,
+    rule: str = "nonzero",
+    device: Optional[DeviceProfile] = None,
+    noise_tag: int = 1,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rasterize a filled path.
+
+    Returns ``(coverage, (x_offset, y_offset))`` where coverage is a float
+    array in [0, 1] covering the path's clipped bounding box.
+    """
+    edges = path.edges()
+    bounds = path.bounds()
+    if edges.shape[0] == 0 or bounds is None:
+        return np.zeros((0, 0)), (0, 0)
+    x0 = max(0, int(math.floor(bounds[0])))
+    y0 = max(0, int(math.floor(bounds[1])))
+    x1 = min(width, int(math.ceil(bounds[2])))
+    y1 = min(height, int(math.ceil(bounds[3])))
+    if x1 <= x0 or y1 <= y0:
+        return np.zeros((0, 0)), (0, 0)
+
+    coverage = _coverage_from_edges(edges, x0, y0, x1, y1, rule)
+    if device is not None:
+        _perturb_edges(coverage, device, noise_tag, x0, y0)
+    return coverage, (x0, y0)
+
+
+def rasterize_stroke(
+    path: Path,
+    width: int,
+    height: int,
+    line_width: float,
+    device: Optional[DeviceProfile] = None,
+    noise_tag: int = 2,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rasterize a stroked path as union coverage of segment quads + joint disks."""
+    segments = path.stroke_segments()
+    if not segments or line_width <= 0:
+        return np.zeros((0, 0)), (0, 0)
+    half = max(line_width / 2.0, 0.35)
+
+    bounds = path.bounds(pad=half + 1.0)
+    assert bounds is not None
+    x0 = max(0, int(math.floor(bounds[0])))
+    y0 = max(0, int(math.floor(bounds[1])))
+    x1 = min(width, int(math.ceil(bounds[2])))
+    y1 = min(height, int(math.ceil(bounds[3])))
+    if x1 <= x0 or y1 <= y0:
+        return np.zeros((0, 0)), (0, 0)
+
+    coverage = np.zeros((y1 - y0, x1 - x0), dtype=np.float64)
+    for (ax, ay), (bx, by) in segments:
+        dx, dy = bx - ax, by - ay
+        length = math.hypot(dx, dy)
+        if length < 1e-9:
+            quad_edges = _disk_edges(ax, ay, half)
+        else:
+            nx, ny = -dy / length * half, dx / length * half
+            quad = [
+                (ax + nx, ay + ny),
+                (bx + nx, by + ny),
+                (bx - nx, by - ny),
+                (ax - nx, ay - ny),
+            ]
+            quad_edges = _polygon_edges(quad)
+        seg_cov = _coverage_from_edges(quad_edges, x0, y0, x1, y1, "nonzero")
+        np.maximum(coverage, seg_cov, out=coverage)
+
+    # Joint and cap disks give smooth round joins.
+    joint_points = {seg[0] for seg in segments} | {seg[1] for seg in segments}
+    if half > 0.6:
+        for jx, jy in joint_points:
+            disk = _coverage_from_edges(_disk_edges(jx, jy, half), x0, y0, x1, y1, "nonzero")
+            np.maximum(coverage, disk, out=coverage)
+
+    if device is not None:
+        _perturb_edges(coverage, device, noise_tag, x0, y0)
+    return coverage, (x0, y0)
+
+
+def _polygon_edges(points: List[Tuple[float, float]]) -> np.ndarray:
+    rows = []
+    for a, b in zip(points, points[1:] + points[:1]):
+        rows.append((a[0], a[1], b[0], b[1]))
+    return np.asarray(rows, dtype=np.float64)
+
+
+def _disk_edges(cx: float, cy: float, r: float, n: int = 16) -> np.ndarray:
+    pts = [(cx + r * math.cos(2 * math.pi * i / n), cy + r * math.sin(2 * math.pi * i / n)) for i in range(n)]
+    return _polygon_edges(pts)
+
+
+#: Pure-function cache for winding-rule coverage: identical fingerprinting
+#: scripts rasterize identical geometry on thousands of sites, so the first
+#: site pays for the supersampled winding test and the rest hit the cache.
+_COVERAGE_CACHE: dict = {}
+_COVERAGE_CACHE_LIMIT = 2048
+
+
+def _coverage_from_edges(
+    edges: np.ndarray, x0: int, y0: int, x1: int, y1: int, rule: str
+) -> np.ndarray:
+    """Supersampled winding-rule coverage over the [x0,x1)x[y0,y1) pixel box."""
+    import hashlib
+
+    key = (hashlib.blake2b(edges.tobytes(), digest_size=16).digest(), x0, y0, x1, y1, rule)
+    cached = _COVERAGE_CACHE.get(key)
+    if cached is not None:
+        return cached.copy()  # callers mutate (noise, union) — protect the cache
+    if len(_COVERAGE_CACHE) > _COVERAGE_CACHE_LIMIT:
+        _COVERAGE_CACHE.clear()
+    coverage = _coverage_uncached(edges, x0, y0, x1, y1, rule)
+    _COVERAGE_CACHE[key] = coverage
+    return coverage.copy()
+
+
+def _coverage_uncached(
+    edges: np.ndarray, x0: int, y0: int, x1: int, y1: int, rule: str
+) -> np.ndarray:
+    """Scanline coverage: supersampled rows, analytically exact columns.
+
+    For each sample row, edge crossings are computed vectorized over all
+    edges, sorted, and converted to winding spans; span x-extents contribute
+    fractional coverage to their pixel columns exactly (no x supersampling).
+    """
+    ss = SUPERSAMPLE
+    w, h = x1 - x0, y1 - y0
+    coverage = np.zeros((h, w), dtype=np.float64)
+
+    ex1, ey1, ex2, ey2 = edges[:, 0], edges[:, 1], edges[:, 2], edges[:, 3]
+    dy = ey2 - ey1
+    safe_dy = np.where(np.abs(dy) < 1e-12, 1.0, dy)
+    inv_dy = (ex2 - ex1) / safe_dy
+    row_weight = 1.0 / ss
+
+    for sub in range(h * ss):
+        y = y0 + (sub + 0.5) / ss
+        upward = (ey1 <= y) & (ey2 > y)
+        downward = (ey2 <= y) & (ey1 > y)
+        crossing = upward | downward
+        if not crossing.any():
+            continue
+        xi = ex1[crossing] + (y - ey1[crossing]) * inv_dy[crossing]
+        direction = np.where(upward[crossing], 1, -1)
+        order = np.argsort(xi, kind="stable")
+        xi = xi[order]
+        winding = np.cumsum(direction[order])
+        if rule == "evenodd":
+            inside = (winding % 2) != 0
+        else:
+            inside = winding != 0
+
+        row = coverage[sub // ss]
+        span_start = None
+        for k in range(len(xi)):
+            if inside[k] and span_start is None:
+                span_start = xi[k]
+            elif not inside[k] and span_start is not None:
+                _add_span(row, span_start - x0, xi[k] - x0, row_weight, w)
+                span_start = None
+        # A final open span cannot occur: total winding returns to zero for
+        # closed polygons, but guard against numeric degeneracy.
+        if span_start is not None:
+            _add_span(row, span_start - x0, float(w), row_weight, w)
+    return coverage
+
+
+def _add_span(row: np.ndarray, xa: float, xb: float, weight: float, w: int) -> None:
+    """Accumulate one horizontal span with exact fractional end-columns."""
+    xa = max(0.0, xa)
+    xb = min(float(w), xb)
+    if xb <= xa:
+        return
+    ca = int(xa)
+    cb = int(xb)
+    if ca == cb:
+        row[ca] += (xb - xa) * weight
+        return
+    row[ca] += (ca + 1 - xa) * weight
+    if cb < w:
+        row[cb] += (xb - cb) * weight
+    if cb > ca + 1:
+        row[ca + 1 : cb] += weight
+
+
+def _winding_numbers(edges: np.ndarray, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """Winding number of each point, computed against all edges at once."""
+    x1, y1, x2, y2 = edges[:, 0], edges[:, 1], edges[:, 2], edges[:, 3]
+    # Broadcast points (N, 1) against edges (E,).
+    pyc = py[:, None]
+    pxc = px[:, None]
+    upward = (y1[None, :] <= pyc) & (y2[None, :] > pyc)
+    downward = (y2[None, :] <= pyc) & (y1[None, :] > pyc)
+    crossing = upward | downward
+    dy = y2 - y1
+    safe_dy = np.where(np.abs(dy) < 1e-12, 1.0, dy)
+    t = (pyc - y1[None, :]) / safe_dy[None, :]
+    xi = x1[None, :] + t * (x2 - x1)[None, :]
+    right = xi > pxc
+    contrib = np.where(crossing & right, np.where(upward, 1, -1), 0)
+    return contrib.sum(axis=1)
+
+
+def _perturb_edges(coverage: np.ndarray, device: DeviceProfile, tag: int, x0: int, y0: int) -> None:
+    """Apply the device's deterministic AA perturbation to edge pixels in place."""
+    edge_mask = (coverage > 0.0) & (coverage < 1.0)
+    if not edge_mask.any():
+        return
+    ys, xs = np.nonzero(edge_mask)
+    quanta = np.rint(coverage[ys, xs] * 64).astype(np.int64)
+    noise = device.edge_noise_array(tag, xs + x0, ys + y0, quanta)
+    coverage[ys, xs] = np.clip(coverage[ys, xs] + noise, 0.0, 1.0)

@@ -1,0 +1,169 @@
+"""Calibration targets taken verbatim from the paper.
+
+Every number the paper reports — prevalence percentages, per-vendor site
+counts, blocklist coverage, evasion rates — lives here in one frozen
+dataclass so that (a) the synthetic-web generator can derive adoption
+probabilities from it and (b) ``EXPERIMENTS.md`` can diff measured values
+against it.  Nothing else in the code base hard-codes a paper number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class VendorTargets:
+    """Table 1 row: sites linked to one fingerprinting vendor.
+
+    ``top`` / ``tail`` are the absolute site counts the paper reports among
+    fingerprinting sites in each population.  ``security`` marks the vendors
+    the paper bolds as security applications.
+    """
+
+    name: str
+    top: int
+    tail: int
+    security: bool = False
+
+
+#: Table 1 of the paper, in the paper's row order.
+TABLE1_VENDORS: Tuple[VendorTargets, ...] = (
+    VendorTargets("Akamai", 485, 205, security=True),
+    VendorTargets("FingerprintJS", 462, 298, security=False),
+    VendorTargets("mail.ru", 242, 173, security=False),
+    VendorTargets("FingerprintJS (legacy)", 179, 90, security=False),
+    VendorTargets("Imperva", 49, 13, security=True),
+    VendorTargets("AWS Firewall", 48, 14, security=True),
+    VendorTargets("InsurAds", 40, 1, security=False),
+    VendorTargets("Signifyd", 39, 18, security=True),
+    VendorTargets("PerimeterX", 35, 2, security=True),
+    VendorTargets("Sift Science", 31, 8, security=True),
+    VendorTargets("Shopify", 32, 457, security=False),
+    VendorTargets("Adscore", 25, 30, security=True),
+    VendorTargets("GeeTest", 1, 0, security=True),
+)
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """All quantitative results of the paper, used for calibration/diffing."""
+
+    # --- §3 crawl populations -------------------------------------------------
+    top_sites_crawled: int = 20_000
+    tail_sites_crawled: int = 20_000
+    top_sites_success: int = 16_276
+    tail_sites_success: int = 17_260
+    tail_rank_min: int = 20_001
+    tail_rank_max: int = 1_000_000
+    tail_observed_min_rank: int = 20_025
+    tail_observed_max_rank: int = 997_854
+
+    # --- §4.1 prevalence -------------------------------------------------------
+    top_fp_sites: int = 2_067            # 12.7% of successful popular sites
+    tail_fp_sites: int = 1_715           # 9.9% of successful tail sites
+    mean_canvases_per_fp_site: float = 3.31
+    median_canvases_per_fp_site: int = 2
+    max_canvases_per_fp_site: int = 60
+
+    # --- §3.2 detection --------------------------------------------------------
+    fingerprintable_fraction: float = 0.83   # of all extracted canvases
+    webp_check_sites_top: int = 306
+    small_canvas_sites_top: int = 216
+    fully_excluded_sites_top: int = 155
+    fully_excluded_sites_tail: int = 138
+
+    # --- §4.2 reach ------------------------------------------------------------
+    unique_canvases_top: int = 504
+    unique_canvases_tail: int = 288
+    top_canvas_max_sites: int = 483          # most popular canvas, popular sites
+    shopify_canvas_tail_sites: int = 457     # Table 1 row; Figure 1 outlier ~454
+    shopify_canvas_top_sites: int = 32
+    top6_share_top: float = 0.701            # of popular FP sites
+    top6_share_tail: float = 0.471
+    tail_overlap_fraction: float = 0.914     # tail FP sites sharing a top canvas
+    largest_tail_only_group: int = 15
+    second_tail_only_group: int = 3
+
+    # --- §4.3 attribution (Table 1) ---------------------------------------------
+    vendors: Tuple[VendorTargets, ...] = TABLE1_VENDORS
+    vendor_total_top: int = 1_513            # 73% of popular FP sites
+    vendor_total_tail: int = 1_222           # 71% of tail FP sites
+    fpjs_commercial_top: int = 23
+    fpjs_commercial_tail: int = 10
+
+    # --- §5.1 / Table 4 blocklist coverage (canvas counts) -----------------------
+    total_canvases_top: int = 6_037
+    total_canvases_tail: int = 4_422
+    easylist_canvases: Tuple[int, int] = (1_869, 1_179)
+    easyprivacy_canvases: Tuple[int, int] = (2_157, 1_340)
+    disconnect_canvases: Tuple[int, int] = (1_251, 833)
+    any_blocklist_canvases: Tuple[int, int] = (2_696, 1_635)
+    all_blocklists_canvases: Tuple[int, int] = (942, 670)
+
+    # --- §5.2 / Table 2 ad blocker crawls ----------------------------------------
+    adblock_plus_canvases: Tuple[int, int] = (5_834, 4_228)
+    ublock_canvases: Tuple[int, int] = (5_776, 4_175)
+    adblock_plus_sites: Tuple[int, int] = (1_948, 1_656)
+    ublock_sites: Tuple[int, int] = (1_976, 1_651)
+
+    # --- §5.2 evasion (fractions of FP sites) ------------------------------------
+    first_party_fraction: Tuple[float, float] = (0.49, 0.52)
+    subdomain_fraction: Tuple[float, float] = (0.095, 0.021)
+    cdn_fraction: Tuple[float, float] = (0.021, 0.019)
+
+    # --- §5.3 randomization detection ---------------------------------------------
+    render_twice_fraction: float = 0.45
+
+    # Derived conveniences -----------------------------------------------------
+    @property
+    def top_prevalence(self) -> float:
+        """Fraction of successfully crawled popular sites that fingerprint."""
+        return self.top_fp_sites / self.top_sites_success
+
+    @property
+    def tail_prevalence(self) -> float:
+        """Fraction of successfully crawled tail sites that fingerprint."""
+        return self.tail_fp_sites / self.tail_sites_success
+
+    def vendor(self, name: str) -> VendorTargets:
+        """Look up a Table 1 vendor row by name."""
+        for v in self.vendors:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+
+#: Module-level default used throughout the code base.
+PAPER = PaperTargets()
+
+
+@dataclass(frozen=True)
+class StudyScale:
+    """Scale factor applied to the crawl populations.
+
+    The paper crawls 20k + 20k homepages.  Benchmarks and examples use a
+    reduced scale so they complete in seconds; ``fraction=1.0`` reproduces the
+    full study.  All *rates* are scale-invariant; absolute counts shrink
+    proportionally.
+    """
+
+    fraction: float = 1.0
+    seed: int = 20250504
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"scale fraction must be in (0, 1], got {self.fraction}")
+
+    @property
+    def top_sites(self) -> int:
+        return max(1, round(PAPER.top_sites_crawled * self.fraction))
+
+    @property
+    def tail_sites(self) -> int:
+        return max(1, round(PAPER.tail_sites_crawled * self.fraction))
+
+
+FULL_SCALE = StudyScale(fraction=1.0)
+BENCH_SCALE = StudyScale(fraction=0.05)

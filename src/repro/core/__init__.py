@@ -1,0 +1,22 @@
+"""The paper's contribution: detection, clustering, attribution and context
+analysis of canvas fingerprinting, over crawler observations."""
+
+from repro.core.records import CanvasApiCall, CanvasExtraction, PropertyAccess, SiteObservation
+from repro.core.detection import FingerprintDetector, DetectionOutcome, ExclusionReason
+from repro.core.clustering import CanvasCluster, cluster_canvases
+from repro.core.attribution import AttributionMethod, VendorAttributor, VendorSignature
+
+__all__ = [
+    "CanvasApiCall",
+    "CanvasExtraction",
+    "PropertyAccess",
+    "SiteObservation",
+    "FingerprintDetector",
+    "DetectionOutcome",
+    "ExclusionReason",
+    "CanvasCluster",
+    "cluster_canvases",
+    "AttributionMethod",
+    "VendorAttributor",
+    "VendorSignature",
+]

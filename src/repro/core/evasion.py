@@ -1,0 +1,155 @@
+"""§5.2-§5.3 — Evasion analyses.
+
+* Serving-context analysis: which fingerprinting sites have canvases
+  rendered by first-party-served scripts, subdomain-served scripts, or
+  popular-CDN-served scripts (the blocklist-evasion surface).
+* CNAME-cloak detection against the DNS zone (first-party URLs whose
+  canonical name is another site).
+* Ad-blocker impact (Table 2): compare a control crawl against crawls with
+  blocking extensions.
+* Render-twice inconsistency check prevalence (§5.3): sites where some
+  canvas was generated and extracted at least twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.detection import DetectionOutcome, FingerprintDetector
+from repro.crawler.crawl import CrawlDataset
+from repro.net.cdn import is_cdn_url
+from repro.net.dns import DNSZone
+from repro.net.url import URL, URLError, same_site
+
+__all__ = [
+    "ServingContext",
+    "analyze_serving_context",
+    "AdblockImpact",
+    "compare_adblock_crawls",
+    "render_twice_fraction",
+]
+
+
+@dataclass
+class ServingContext:
+    """§5.2's per-population site fractions."""
+
+    fp_sites: Dict[str, int] = field(default_factory=lambda: {"top": 0, "tail": 0})
+    first_party_sites: Dict[str, int] = field(default_factory=lambda: {"top": 0, "tail": 0})
+    subdomain_sites: Dict[str, int] = field(default_factory=lambda: {"top": 0, "tail": 0})
+    cdn_sites: Dict[str, int] = field(default_factory=lambda: {"top": 0, "tail": 0})
+    cname_cloaked_sites: Dict[str, int] = field(default_factory=lambda: {"top": 0, "tail": 0})
+
+    def fraction(self, counter: Mapping[str, int], population: str) -> float:
+        total = self.fp_sites.get(population, 0)
+        return counter.get(population, 0) / total if total else 0.0
+
+    def first_party_fraction(self, population: str) -> float:
+        return self.fraction(self.first_party_sites, population)
+
+    def subdomain_fraction(self, population: str) -> float:
+        return self.fraction(self.subdomain_sites, population)
+
+    def cdn_fraction(self, population: str) -> float:
+        return self.fraction(self.cdn_sites, population)
+
+    def cname_fraction(self, population: str) -> float:
+        return self.fraction(self.cname_cloaked_sites, population)
+
+
+def analyze_serving_context(
+    outcomes: Mapping[str, DetectionOutcome],
+    populations: Mapping[str, str],
+    dns: Optional[DNSZone] = None,
+) -> ServingContext:
+    """Classify each fingerprinting site by how its canvases' scripts are
+    served relative to the site (first-party / subdomain / CDN / cloaked)."""
+    ctx = ServingContext()
+    for domain, outcome in outcomes.items():
+        if not outcome.is_fingerprinting_site:
+            continue
+        population = populations.get(domain, "top")
+        ctx.fp_sites[population] = ctx.fp_sites.get(population, 0) + 1
+
+        site_home = f"https://{domain}/"
+        first_party = subdomain = cdn = cloaked = False
+        for extraction in outcome.fingerprintable:
+            url_text = extraction.script_url
+            if url_text is None:
+                continue
+            if "#inline" in url_text:
+                first_party = True
+                continue
+            try:
+                url = URL.parse(url_text)
+            except URLError:
+                continue
+            if same_site(url_text, site_home):
+                first_party = True
+                if url.host != domain and url.host.endswith("." + domain):
+                    subdomain = True
+                if dns is not None and dns.is_cloaked(url.host):
+                    cloaked = True
+                    subdomain = False  # cloaking, not genuine delegation
+            if is_cdn_url(url):
+                cdn = True
+        for flag, counter in (
+            (first_party, ctx.first_party_sites),
+            (subdomain, ctx.subdomain_sites),
+            (cdn, ctx.cdn_sites),
+            (cloaked, ctx.cname_cloaked_sites),
+        ):
+            if flag:
+                counter[population] = counter.get(population, 0) + 1
+    return ctx
+
+
+@dataclass
+class AdblockImpact:
+    """One Table 2 row: canvases and FP-site counts for a crawl config."""
+
+    label: str
+    canvases: Dict[str, int]
+    sites: Dict[str, int]
+
+
+def _crawl_row(label: str, dataset: CrawlDataset, detector: FingerprintDetector) -> AdblockImpact:
+    canvases = {"top": 0, "tail": 0}
+    sites = {"top": 0, "tail": 0}
+    for obs in dataset.successful():
+        outcome = detector.detect(obs)
+        if outcome.is_fingerprinting_site:
+            sites[obs.population] += 1
+            canvases[obs.population] += len(outcome.fingerprintable)
+    return AdblockImpact(label=label, canvases=canvases, sites=sites)
+
+
+def compare_adblock_crawls(
+    control: CrawlDataset,
+    blocked_crawls: Mapping[str, CrawlDataset],
+    detector: Optional[FingerprintDetector] = None,
+) -> Tuple[AdblockImpact, ...]:
+    """Build Table 2: control row plus one row per ad-blocker crawl."""
+    detector = detector or FingerprintDetector()
+    rows = [_crawl_row("Control", control, detector)]
+    for label, dataset in blocked_crawls.items():
+        rows.append(_crawl_row(label, dataset, detector))
+    return tuple(rows)
+
+
+def render_twice_fraction(outcomes: Mapping[str, DetectionOutcome]) -> float:
+    """§5.3: fraction of FP sites with some canvas generated and extracted
+    at least twice (the randomization-detection signature)."""
+    fp_sites = 0
+    double_sites = 0
+    for outcome in outcomes.values():
+        if not outcome.is_fingerprinting_site:
+            continue
+        fp_sites += 1
+        seen: Dict[str, int] = {}
+        for extraction in outcome.fingerprintable:
+            seen[extraction.canvas_hash] = seen.get(extraction.canvas_hash, 0) + 1
+        if any(count >= 2 for count in seen.values()):
+            double_sites += 1
+    return double_sites / fp_sites if fp_sites else 0.0

@@ -1,0 +1,270 @@
+"""End-to-end study orchestration.
+
+``run_study`` reproduces the paper's whole methodology over a synthetic (or
+any) :class:`~repro.net.server.Network`:
+
+1. control crawl of the top + tail populations (§3.1),
+2. fingerprintability detection (§3.2),
+3. canvas clustering and reach (§4.2),
+4. vendor ground-truth harvesting (demo pages, known customers, script
+   patterns — A.3) and attribution (§4.3),
+5. blocklist context (§5.1) and serving-context evasions (§5.2),
+6. optional ad-blocker crawls (Table 2) and §5.3 randomization stats,
+7. optional cross-machine validation crawl (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.blocklists.matcher import RuleMatcher
+from repro.browser.extensions import AdBlockerExtension
+from repro.browser.profile import BrowserProfile
+from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
+from repro.core.attribution import (
+    IMPERVA_URL_REGEX,
+    AttributionMethod,
+    SiteAttribution,
+    VendorAttributor,
+    VendorSignature,
+)
+from repro.core.clustering import CanvasCluster, cluster_canvases
+from repro.core.context import BlocklistContext, analyze_blocklist_context
+from repro.core.detection import DetectionOutcome, FingerprintDetector
+from repro.core.evasion import (
+    AdblockImpact,
+    ServingContext,
+    analyze_serving_context,
+    compare_adblock_crawls,
+    render_twice_fraction,
+)
+from repro.core.prevalence import PrevalenceReport, compute_prevalence
+from repro.core.reach import ReachReport, compute_reach
+from repro.crawler.collector import CanvasCollector
+from repro.crawler.crawl import CrawlDataset, CrawlTarget, run_crawl
+from repro.net.server import Network
+from repro.net.url import URL
+
+__all__ = ["VendorKnowledge", "StudyResult", "run_study", "harvest_vendor_signatures"]
+
+
+@dataclass(frozen=True)
+class VendorKnowledge:
+    """Public knowledge about one vendor, as the authors gathered it (A.3)."""
+
+    name: str
+    security: bool = False
+    demo_url: Optional[str] = None
+    known_customers: Tuple[str, ...] = ()
+    script_pattern: Optional[str] = None
+    uses_url_regex: bool = False  # Imperva's special case
+
+    @property
+    def methods(self) -> Tuple[AttributionMethod, ...]:
+        methods: List[AttributionMethod] = []
+        if self.demo_url:
+            methods.append(AttributionMethod.DEMO)
+        if self.known_customers:
+            methods.append(AttributionMethod.KNOWN_CUSTOMER)
+        if self.script_pattern or self.uses_url_regex:
+            methods.append(AttributionMethod.SCRIPT_PATTERN)
+        return tuple(methods)
+
+
+def harvest_vendor_signatures(
+    network: Network,
+    knowledge: Sequence[VendorKnowledge],
+    control: CrawlDataset,
+    device: DeviceProfile = INTEL_UBUNTU,
+) -> List[VendorSignature]:
+    """Build vendor signatures exactly as Appendix A.3 describes.
+
+    Precedence: demo page crawl > known-customer crawl (confirmed by script
+    pattern) > script pattern over the main crawl's scripts.
+    """
+    from repro.browser.browser import Browser
+
+    detector = FingerprintDetector()
+    collector = CanvasCollector(Browser(network, BrowserProfile(device=device)))
+    signatures: List[VendorSignature] = []
+
+    for vendor in knowledge:
+        hashes: Set[str] = set()
+
+        if vendor.demo_url is not None:
+            url = URL.parse(vendor.demo_url)
+            obs = collector.collect(url.host, rank=0, population="top")
+            outcome = detector.detect(obs)
+            hashes |= {e.canvas_hash for e in outcome.fingerprintable}
+
+        if not hashes and vendor.known_customers and vendor.script_pattern:
+            for customer in vendor.known_customers:
+                obs = collector.collect(customer, rank=0, population="top")
+                outcome = detector.detect(obs)
+                for extraction in outcome.fingerprintable:
+                    # Always confirmed with the script pattern (A.3): the
+                    # customer may run several fingerprinters.
+                    if extraction.script_url and vendor.script_pattern in extraction.script_url:
+                        hashes.add(extraction.canvas_hash)
+
+        if not hashes and vendor.script_pattern and not vendor.uses_url_regex:
+            # Pattern-only vendors: associate canvases via the main crawl.
+            for obs in control.successful():
+                outcome = detector.detect(obs)
+                for extraction in outcome.fingerprintable:
+                    if extraction.script_url and vendor.script_pattern in extraction.script_url:
+                        hashes.add(extraction.canvas_hash)
+
+        signatures.append(
+            VendorSignature(
+                name=vendor.name,
+                security=vendor.security,
+                canvas_hashes=hashes,
+                script_pattern=vendor.script_pattern,
+                url_regex=IMPERVA_URL_REGEX if vendor.uses_url_regex else None,
+                methods=vendor.methods,
+            )
+        )
+    return signatures
+
+
+@dataclass
+class StudyResult:
+    """Everything the study produces — inputs to every table and figure."""
+
+    control: CrawlDataset
+    outcomes: Dict[str, DetectionOutcome]
+    populations: Dict[str, str]
+    clusters: Dict[str, CanvasCluster]
+    prevalence: PrevalenceReport
+    reach: ReachReport
+    signatures: List[VendorSignature]
+    attributions: Dict[str, SiteAttribution]
+    vendor_counts: Dict[str, Dict[str, int]]
+    vendor_totals: Dict[str, int]
+    blocklist_context: Optional[BlocklistContext] = None
+    serving_context: Optional[ServingContext] = None
+    adblock_rows: Tuple[AdblockImpact, ...] = ()
+    render_twice: float = 0.0
+    cross_machine_consistent: Optional[bool] = None
+
+    @property
+    def fp_sites(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {"top": set(), "tail": set()}
+        for domain, outcome in self.outcomes.items():
+            if outcome.is_fingerprinting_site:
+                out[self.populations.get(domain, "top")].add(domain)
+        return out
+
+
+def run_study(
+    network: Network,
+    targets: Sequence[CrawlTarget],
+    vendor_knowledge: Sequence[VendorKnowledge],
+    easylist_text: str = "",
+    easyprivacy_text: str = "",
+    disconnect=None,
+    ubo_extra_text: str = "",
+    dns=None,
+    include_adblock_crawls: bool = True,
+    include_cross_machine: bool = False,
+    cross_machine_sample: int = 200,
+) -> StudyResult:
+    """Run the full measurement study over a network."""
+    detector = FingerprintDetector()
+
+    control = run_crawl(network, targets, BrowserProfile(device=INTEL_UBUNTU), label="control")
+    observations = control.by_domain()
+    populations = control.populations()
+    outcomes = detector.detect_all(control.successful())
+
+    clusters = cluster_canvases(outcomes, populations)
+    prevalence = compute_prevalence(control, outcomes)
+
+    fp_top = {d for d, o in outcomes.items() if o.is_fingerprinting_site and populations[d] == "top"}
+    fp_tail = {d for d, o in outcomes.items() if o.is_fingerprinting_site and populations[d] == "tail"}
+    reach = compute_reach(clusters, fp_top, fp_tail, prevalence.top.sites_successful)
+
+    signatures = harvest_vendor_signatures(network, vendor_knowledge, control)
+    attributor = VendorAttributor(signatures)
+    attributions = attributor.attribute_all(observations, outcomes)
+    vendor_counts = attributor.vendor_site_counts(attributions, populations)
+    vendor_totals = attributor.attributed_site_totals(attributions, populations)
+
+    result = StudyResult(
+        control=control,
+        outcomes=outcomes,
+        populations=populations,
+        clusters=clusters,
+        prevalence=prevalence,
+        reach=reach,
+        signatures=signatures,
+        attributions=attributions,
+        vendor_counts=vendor_counts,
+        vendor_totals=vendor_totals,
+        render_twice=render_twice_fraction(outcomes),
+    )
+
+    if easylist_text and easyprivacy_text and disconnect is not None:
+        result.blocklist_context = analyze_blocklist_context(
+            outcomes,
+            populations,
+            RuleMatcher.from_text(easylist_text, "easylist"),
+            RuleMatcher.from_text(easyprivacy_text, "easyprivacy"),
+            disconnect,
+        )
+
+    result.serving_context = analyze_serving_context(outcomes, populations, dns=dns)
+
+    if include_adblock_crawls and easylist_text:
+        easylist = RuleMatcher.from_text(easylist_text, "easylist")
+        abp = AdBlockerExtension("Adblock Plus", [easylist])
+        ubo_matchers = [easylist]
+        extra = []
+        if ubo_extra_text:
+            extra.append(RuleMatcher.from_text(ubo_extra_text, "ubo-extra"))
+        ubo = AdBlockerExtension("UBlock Origin", ubo_matchers, extra_matchers=extra)
+        abp_crawl = run_crawl(
+            network, targets, BrowserProfile(device=INTEL_UBUNTU, extensions=(abp,)), label="abp"
+        )
+        ubo_crawl = run_crawl(
+            network, targets, BrowserProfile(device=INTEL_UBUNTU, extensions=(ubo,)), label="ubo"
+        )
+        result.adblock_rows = compare_adblock_crawls(
+            control, {"Adblock Plus": abp_crawl, "UBlock Origin": ubo_crawl}, detector
+        )
+
+    if include_cross_machine:
+        result.cross_machine_consistent = validate_cross_machine(
+            network, targets[:cross_machine_sample], detector
+        )
+
+    return result
+
+
+def validate_cross_machine(
+    network: Network,
+    targets: Sequence[CrawlTarget],
+    detector: Optional[FingerprintDetector] = None,
+    devices: Sequence[DeviceProfile] = (INTEL_UBUNTU, APPLE_M1),
+) -> bool:
+    """§3.1's validation, generalized to any device fleet.
+
+    Recrawl the targets on every device profile and check that the
+    canvas-equality site groupings agree across all of them — even though
+    each device renders the canvases to different bytes.
+    """
+    detector = detector or FingerprintDetector()
+
+    def grouping(device: DeviceProfile) -> Tuple[Tuple[str, ...], ...]:
+        dataset = run_crawl(network, targets, BrowserProfile(device=device), label=device.name)
+        outcomes = detector.detect_all(dataset.successful())
+        clusters = cluster_canvases(outcomes, dataset.populations())
+        groups = [tuple(sorted(c.all_sites())) for c in clusters.values() if c.all_sites()]
+        return tuple(sorted(groups))
+
+    if len(devices) < 2:
+        raise ValueError("cross-machine validation needs at least two devices")
+    reference = grouping(devices[0])
+    return all(grouping(device) == reference for device in devices[1:])

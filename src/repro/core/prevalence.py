@@ -1,0 +1,94 @@
+"""§4.1 — Prevalence of canvas fingerprinting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.detection import DetectionOutcome
+from repro.crawler.crawl import CrawlDataset
+
+__all__ = ["PopulationPrevalence", "PrevalenceReport", "compute_prevalence"]
+
+
+@dataclass
+class PopulationPrevalence:
+    """Prevalence statistics for one population."""
+
+    population: str
+    sites_crawled: int
+    sites_successful: int
+    fp_sites: int
+    total_fingerprintable_canvases: int
+    canvases_per_fp_site: List[int]
+
+    @property
+    def prevalence(self) -> float:
+        """Fraction of successfully crawled sites that fingerprint."""
+        return self.fp_sites / self.sites_successful if self.sites_successful else 0.0
+
+    @property
+    def mean_canvases(self) -> float:
+        if not self.canvases_per_fp_site:
+            return 0.0
+        return sum(self.canvases_per_fp_site) / len(self.canvases_per_fp_site)
+
+    @property
+    def median_canvases(self) -> float:
+        values = sorted(self.canvases_per_fp_site)
+        if not values:
+            return 0.0
+        n = len(values)
+        mid = n // 2
+        return float(values[mid]) if n % 2 else (values[mid - 1] + values[mid]) / 2.0
+
+    @property
+    def max_canvases(self) -> int:
+        return max(self.canvases_per_fp_site, default=0)
+
+
+@dataclass
+class PrevalenceReport:
+    top: PopulationPrevalence
+    tail: PopulationPrevalence
+
+    def population(self, name: str) -> PopulationPrevalence:
+        if name == "top":
+            return self.top
+        if name == "tail":
+            return self.tail
+        raise KeyError(name)
+
+    @property
+    def combined_canvases_per_site(self) -> List[int]:
+        return self.top.canvases_per_fp_site + self.tail.canvases_per_fp_site
+
+
+def compute_prevalence(
+    dataset: CrawlDataset, outcomes: Mapping[str, DetectionOutcome]
+) -> PrevalenceReport:
+    """Compute §4.1's prevalence statistics from detection outcomes."""
+    stats: Dict[str, PopulationPrevalence] = {}
+    for population in ("top", "tail"):
+        observations = [o for o in dataset.observations if o.population == population]
+        successful = [o for o in observations if o.success]
+        per_site: List[int] = []
+        canvases = 0
+        fp_sites = 0
+        for obs in successful:
+            outcome = outcomes.get(obs.domain)
+            if outcome is None or not outcome.is_fingerprinting_site:
+                continue
+            fp_sites += 1
+            count = len(outcome.fingerprintable)
+            canvases += count
+            per_site.append(count)
+        stats[population] = PopulationPrevalence(
+            population=population,
+            sites_crawled=len(observations),
+            sites_successful=len(successful),
+            fp_sites=fp_sites,
+            total_fingerprintable_canvases=canvases,
+            canvases_per_fp_site=per_site,
+        )
+    return PrevalenceReport(top=stats["top"], tail=stats["tail"])

@@ -1,0 +1,85 @@
+"""§4.2 — Reach of fingerprinting services and top/tail canvas overlap."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Set, Tuple
+
+from repro.core.clustering import CanvasCluster, rank_clusters
+
+__all__ = ["ReachReport", "compute_reach"]
+
+
+@dataclass
+class ReachReport:
+    """All §4.2 statistics."""
+
+    unique_canvases_top: int
+    unique_canvases_tail: int
+    #: Figure 1's series: (top-site count, tail-site count) per rank.
+    top50: List[Tuple[int, int]]
+    #: Share of FP sites covered by the six most frequent canvases.
+    top6_share_top: float
+    top6_share_tail: float
+    #: Fraction of tail FP sites sharing a canvas with some popular site.
+    tail_overlap_fraction: float
+    #: Sizes of the largest tail-only canvas groups (descending).
+    tail_only_group_sizes: List[int]
+    #: Maximum reach of any single canvas as a fraction of popular sites
+    #: crawled successfully (the §4.2 cross-site-tracking upper bound).
+    max_reach_fraction_top: float
+
+
+def compute_reach(
+    clusters: Mapping[str, CanvasCluster],
+    fp_sites_top: Set[str],
+    fp_sites_tail: Set[str],
+    successful_top: int,
+) -> ReachReport:
+    """Compute reach/overlap statistics from canvas clusters."""
+    top_clusters = [c for c in clusters.values() if c.site_count("top") > 0]
+    tail_clusters = [c for c in clusters.values() if c.site_count("tail") > 0]
+
+    ranked = rank_clusters(clusters, "top")
+    top50 = [(c.site_count("top"), c.site_count("tail")) for c in ranked[:50]]
+
+    def covered_share(population: str, fp_sites: Set[str], n: int = 6) -> float:
+        if not fp_sites:
+            return 0.0
+        covered: Set[str] = set()
+        for cluster in ranked[:n]:
+            covered |= cluster.sites.get(population, set())
+        return len(covered & fp_sites) / len(fp_sites)
+
+    # Overlap: tail FP sites that rendered at least one canvas also seen on
+    # a popular site.
+    tail_sites_overlapping: Set[str] = set()
+    tail_only_sizes: List[int] = []
+    for cluster in clusters.values():
+        tail_sites = cluster.sites.get("tail", set())
+        if not tail_sites:
+            continue
+        if cluster.site_count("top") > 0:
+            tail_sites_overlapping |= tail_sites
+        else:
+            tail_only_sizes.append(len(tail_sites))
+    tail_only_sizes.sort(reverse=True)
+
+    overlap_fraction = (
+        len(tail_sites_overlapping & fp_sites_tail) / len(fp_sites_tail) if fp_sites_tail else 0.0
+    )
+
+    max_reach = 0.0
+    if ranked and successful_top:
+        max_reach = ranked[0].site_count("top") / successful_top
+
+    return ReachReport(
+        unique_canvases_top=len(top_clusters),
+        unique_canvases_tail=len(tail_clusters),
+        top50=top50,
+        top6_share_top=covered_share("top", fp_sites_top),
+        top6_share_tail=covered_share("tail", fp_sites_tail),
+        tail_overlap_fraction=overlap_fraction,
+        tail_only_group_sizes=tail_only_sizes,
+        max_reach_fraction_top=max_reach,
+    )

@@ -1,0 +1,18 @@
+"""Crawler substrate: the instrumented measurement crawler of §3.1."""
+
+from repro.crawler.autoconsent import Autoconsent
+from repro.crawler.behavior import UserBehavior
+from repro.crawler.collector import CanvasCollector
+from repro.crawler.crawl import CrawlDataset, CrawlTarget, run_crawl
+from repro.crawler.storage import load_dataset, save_dataset
+
+__all__ = [
+    "Autoconsent",
+    "UserBehavior",
+    "CanvasCollector",
+    "CrawlDataset",
+    "CrawlTarget",
+    "run_crawl",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,78 @@
+"""Crawl the synthetic web and persist the dataset as JSONL.
+
+Decouples collection from analysis, like the real study: crawl once, then
+analyze the saved dataset offline.
+
+Usage::
+
+    python -m repro.crawler --scale 0.05 --out crawl.jsonl.gz
+    python -m repro.crawler --scale 0.05 --adblock abp --out crawl-abp.jsonl.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.blocklists.matcher import RuleMatcher
+from repro.browser.extensions import AdBlockerExtension
+from repro.browser.profile import BrowserProfile
+from repro.canvas.device import DEVICE_PROFILES, INTEL_UBUNTU
+from repro.config import StudyScale
+from repro.crawler.crawl import run_crawl
+from repro.crawler.storage import save_dataset
+from repro.webgen import build_world
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=20250504)
+    parser.add_argument("--out", default="crawl.jsonl.gz")
+    parser.add_argument(
+        "--device",
+        choices=sorted(DEVICE_PROFILES),
+        default=INTEL_UBUNTU.name,
+        help="crawl machine profile (§3.1 used two)",
+    )
+    parser.add_argument(
+        "--adblock",
+        choices=["none", "abp", "ubo"],
+        default="none",
+        help="install an ad blocker extension (§5.2 crawls)",
+    )
+    args = parser.parse_args(argv)
+
+    world = build_world(StudyScale(fraction=args.scale, seed=args.seed))
+    extensions = ()
+    if args.adblock != "none":
+        easylist = RuleMatcher.from_text(world.easylist_text, "easylist")
+        if args.adblock == "abp":
+            extensions = (AdBlockerExtension("Adblock Plus", [easylist]),)
+        else:
+            extra = [RuleMatcher.from_text(world.ubo_extra_text, "ubo-extra")]
+            extensions = (AdBlockerExtension("UBlock Origin", [easylist], extra_matchers=extra),)
+
+    profile = BrowserProfile(device=DEVICE_PROFILES[args.device], extensions=extensions)
+
+    started = time.time()
+    done = {"n": 0}
+
+    def progress(index, observation):
+        done["n"] = index + 1
+        if done["n"] % 500 == 0:
+            rate = done["n"] / (time.time() - started)
+            print(f"  {done['n']} sites crawled ({rate:.0f}/s)", flush=True)
+
+    label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
+    dataset = run_crawl(world.network, world.all_targets, profile, label=label, progress=progress)
+    save_dataset(dataset, args.out)
+    ok = sum(1 for o in dataset.observations if o.success)
+    print(f"crawled {len(dataset.observations)} sites ({ok} ok) in "
+          f"{time.time() - started:.1f}s -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

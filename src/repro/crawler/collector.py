@@ -1,0 +1,90 @@
+"""Per-page collection: load, consent, behave, and assemble the observation."""
+
+from __future__ import annotations
+
+
+from repro.browser.browser import Browser, Page
+from repro.core.records import SiteObservation
+from repro.crawler.autoconsent import Autoconsent
+from repro.crawler.behavior import UserBehavior
+from repro.net.url import URL
+
+__all__ = ["CanvasCollector"]
+
+
+class CanvasCollector:
+    """The modified-Tracker-Radar-Collector analogue.
+
+    Wraps a browser, handles banners and behavior simulation, and flattens
+    the page's instrumentation into a :class:`SiteObservation`.
+    """
+
+    def __init__(self, browser: Browser, inner_paths: tuple = ()) -> None:
+        self.browser = browser
+        self.autoconsent = Autoconsent()
+        self.behavior = UserBehavior()
+        #: Optional inner pages to also visit (e.g. ("/login",)).  The
+        #: paper's crawl is homepage-only — a stated lower bound; enabling
+        #: inner paths measures what that bound misses.
+        self.inner_paths = tuple(inner_paths)
+
+    def collect(self, domain: str, rank: int, population: str) -> SiteObservation:
+        """Crawl one homepage (plus any configured inner pages)."""
+        url = URL("https", domain)
+        page = self.browser.load(url)
+        if not page.ok:
+            return SiteObservation(
+                domain=domain,
+                rank=rank,
+                population=population,
+                success=False,
+                failure_reason=self._failure_reason(page),
+            )
+
+        self.autoconsent.handle(page)
+        self.behavior.simulate(page)
+        observation = self._assemble(domain, rank, population, page)
+
+        for path in self.inner_paths:
+            inner = self.browser.load(url.with_path(path))
+            if not inner.ok:
+                continue  # most sites have no such page
+            self.autoconsent.handle(inner)
+            self.behavior.simulate(inner)
+            self._merge(observation, inner)
+        return observation
+
+    @staticmethod
+    def _merge(observation: SiteObservation, page: Page) -> None:
+        instrument = page.instrument
+        observation.calls.extend(instrument.calls)
+        observation.property_accesses.extend(instrument.property_accesses)
+        observation.extractions.extend(instrument.extractions)
+        observation.blocked_urls.extend(page.blocked_urls)
+        observation.script_errors.extend(page.script_errors)
+        observation.script_sources.update(page.script_sources)
+
+    def _failure_reason(self, page: Page) -> str:
+        if page.status == 0:
+            return "network-error"
+        if page.status == 403:
+            return "bot-blocked"
+        if page.status == 404:
+            return "not-found"
+        return f"http-{page.status}"
+
+    def _assemble(self, domain: str, rank: int, population: str, page: Page) -> SiteObservation:
+        instrument = page.instrument
+        return SiteObservation(
+            domain=domain,
+            rank=rank,
+            population=population,
+            success=True,
+            final_url=str(page.url),
+            calls=list(instrument.calls),
+            property_accesses=list(instrument.property_accesses),
+            extractions=list(instrument.extractions),
+            blocked_urls=list(page.blocked_urls),
+            script_errors=list(page.script_errors),
+            script_sources=dict(page.script_sources),
+        )

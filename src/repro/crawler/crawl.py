@@ -1,0 +1,79 @@
+"""Crawl orchestration over site lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.browser.browser import Browser
+from repro.browser.profile import BrowserProfile
+from repro.core.records import SiteObservation
+from repro.crawler.collector import CanvasCollector
+from repro.net.server import Network
+
+__all__ = ["CrawlTarget", "CrawlDataset", "run_crawl"]
+
+
+@dataclass(frozen=True)
+class CrawlTarget:
+    """One site to visit."""
+
+    domain: str
+    rank: int
+    population: str  # "top" | "tail"
+
+
+@dataclass
+class CrawlDataset:
+    """The output of one crawl configuration over a site list."""
+
+    label: str
+    observations: List[SiteObservation] = field(default_factory=list)
+
+    def by_domain(self) -> Dict[str, SiteObservation]:
+        return {o.domain: o for o in self.observations}
+
+    def populations(self) -> Dict[str, str]:
+        return {o.domain: o.population for o in self.observations}
+
+    def successful(self, population: Optional[str] = None) -> List[SiteObservation]:
+        return [
+            o
+            for o in self.observations
+            if o.success and (population is None or o.population == population)
+        ]
+
+    def success_count(self, population: str) -> int:
+        return len(self.successful(population))
+
+    def failure_reasons(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for o in self.observations:
+            if not o.success and o.failure_reason:
+                out[o.failure_reason] = out.get(o.failure_reason, 0) + 1
+        return out
+
+
+def run_crawl(
+    network: Network,
+    targets: Iterable[CrawlTarget],
+    profile: Optional[BrowserProfile] = None,
+    label: str = "control",
+    progress: Optional[Callable[[int, SiteObservation], None]] = None,
+    inner_paths: tuple = (),
+) -> CrawlDataset:
+    """Visit every target with one browser configuration.
+
+    The same browser instance is reused across sites (shared script parse
+    cache), but each page load gets a fresh JS realm — matching how the
+    real collector isolates page contexts within one browser process.
+    """
+    browser = Browser(network, profile)
+    collector = CanvasCollector(browser, inner_paths=inner_paths)
+    dataset = CrawlDataset(label=label)
+    for index, target in enumerate(targets):
+        observation = collector.collect(target.domain, target.rank, target.population)
+        dataset.observations.append(observation)
+        if progress is not None:
+            progress(index, observation)
+    return dataset

@@ -1,0 +1,55 @@
+"""Crawl dataset persistence: JSONL, optionally gzipped.
+
+One observation per line, so multi-GB crawls stream without loading fully
+into memory — the format the real collector family also uses.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.core.records import SiteObservation
+from repro.crawler.crawl import CrawlDataset
+
+__all__ = ["save_dataset", "load_dataset", "iter_observations"]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_dataset(dataset: CrawlDataset, path: Union[str, Path]) -> None:
+    """Write a crawl dataset as JSONL (header line + one line per site)."""
+    path = Path(path)
+    with _open(path, "w") as fh:
+        fh.write(json.dumps({"label": dataset.label, "format": "repro-crawl-v1"}) + "\n")
+        for obs in dataset.observations:
+            fh.write(json.dumps(obs.to_json(), separators=(",", ":")) + "\n")
+
+
+def iter_observations(path: Union[str, Path]) -> Iterator[SiteObservation]:
+    """Stream observations from a JSONL dataset file."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        meta = json.loads(header) if header.strip() else {}
+        if meta.get("format") not in (None, "repro-crawl-v1"):
+            raise ValueError(f"unknown dataset format {meta.get('format')!r}")
+        for line in fh:
+            if line.strip():
+                yield SiteObservation.from_json(json.loads(line))
+
+
+def load_dataset(path: Union[str, Path]) -> CrawlDataset:
+    """Load a full crawl dataset from disk."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = json.loads(fh.readline())
+    dataset = CrawlDataset(label=header.get("label", path.stem))
+    dataset.observations.extend(iter_observations(path))
+    return dataset

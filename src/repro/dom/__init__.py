@@ -1,0 +1,8 @@
+"""Minimal DOM substrate: document, elements, window, and HTML scanning."""
+
+from repro.dom.document import Document
+from repro.dom.elements import DOMElement
+from repro.dom.html import ScriptRef, parse_html
+from repro.dom.window import make_navigator, make_screen
+
+__all__ = ["Document", "DOMElement", "ScriptRef", "parse_html", "make_navigator", "make_screen"]

@@ -1,0 +1,134 @@
+"""DOM element host objects exposed to the JS interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.js.values import NULL, UNDEFINED, JSArray, JSObject, NativeFunction, js_to_string
+
+__all__ = ["DOMElement"]
+
+
+class DOMElement(JSObject):
+    """A generic DOM element: attributes, children, style, and text.
+
+    Scripts use a handful of DOM operations around canvas work (append the
+    canvas, toggle banner visibility); this element supports those without
+    aiming to be a full DOM.
+    """
+
+    js_class = "HTMLElement"
+
+    def __init__(self, tag_name: str, document=None) -> None:
+        super().__init__()
+        self.tag_name = tag_name.lower()
+        self.document = document
+        self.children: List["DOMElement"] = []
+        self.parent: Optional["DOMElement"] = None
+        self.attributes: Dict[str, str] = {}
+        self.text_content = ""
+        self.style = JSObject()
+
+    # -- JS property surface ------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        if name == "tagName":
+            return self.tag_name.upper()
+        if name == "id":
+            return self.attributes.get("id", "")
+        if name == "className":
+            return self.attributes.get("class", "")
+        if name == "style":
+            return self.style
+        if name == "textContent" or name == "innerText":
+            return self.text_content
+        if name == "parentNode":
+            return self.parent if self.parent is not None else NULL
+        if name == "children" or name == "childNodes":
+            return JSArray(list(self.children))
+        if name == "appendChild":
+            return NativeFunction(self._js_append_child, "appendChild")
+        if name == "removeChild":
+            return NativeFunction(self._js_remove_child, "removeChild")
+        if name == "remove":
+            return NativeFunction(self._js_remove, "remove")
+        if name == "setAttribute":
+            return NativeFunction(self._js_set_attribute, "setAttribute")
+        if name == "getAttribute":
+            return NativeFunction(self._js_get_attribute, "getAttribute")
+        if name == "addEventListener":
+            return NativeFunction(lambda i, t, a: UNDEFINED, "addEventListener")
+        if name == "click":
+            return NativeFunction(self._js_click, "click")
+        return super().get(name)
+
+    def set(self, name: str, value: Any) -> None:
+        if name == "id":
+            self.attributes["id"] = js_to_string(value)
+            return
+        if name == "className":
+            self.attributes["class"] = js_to_string(value)
+            return
+        if name in ("textContent", "innerText"):
+            self.text_content = js_to_string(value)
+            return
+        super().set(name, value)
+
+    # -- tree operations ---------------------------------------------------------
+
+    def append_child(self, child: "DOMElement") -> "DOMElement":
+        if child.parent is not None:
+            child.parent.children.remove(child)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove_child(self, child: "DOMElement") -> "DOMElement":
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+        return child
+
+    def iter_tree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    # -- JS method shims ------------------------------------------------------------
+
+    def _js_append_child(self, interp, this, args):
+        child = args[0] if args else UNDEFINED
+        if isinstance(child, DOMElement):
+            return self.append_child(child)
+        return UNDEFINED
+
+    def _js_remove_child(self, interp, this, args):
+        child = args[0] if args else UNDEFINED
+        if isinstance(child, DOMElement):
+            return self.remove_child(child)
+        return UNDEFINED
+
+    def _js_remove(self, interp, this, args):
+        if self.parent is not None:
+            self.parent.remove_child(self)
+        return UNDEFINED
+
+    def _js_set_attribute(self, interp, this, args):
+        if len(args) >= 2:
+            self.attributes[js_to_string(args[0]).lower()] = js_to_string(args[1])
+        return UNDEFINED
+
+    def _js_get_attribute(self, interp, this, args):
+        if args:
+            value = self.attributes.get(js_to_string(args[0]).lower())
+            return value if value is not None else NULL
+        return NULL
+
+    def _js_click(self, interp, this, args):
+        if self.document is not None:
+            self.document.record_click(self)
+        return UNDEFINED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ident = self.attributes.get("id", "")
+        return f"<{self.tag_name}{'#' + ident if ident else ''}>"

@@ -1,0 +1,71 @@
+"""A small HTML scanner.
+
+Extracts what a measurement crawler needs from a homepage: external and
+inline scripts (in document order), the title, and consent-banner markers.
+Not a general HTML parser — the synthetic web's pages are well-formed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["ScriptRef", "PageStructure", "parse_html"]
+
+_SCRIPT_RE = re.compile(
+    r"<script\b([^>]*)>(.*?)</script>",
+    re.IGNORECASE | re.DOTALL,
+)
+_SRC_RE = re.compile(r"""\bsrc\s*=\s*(?:"([^"]*)"|'([^']*)')""", re.IGNORECASE)
+_ATTR_RE = re.compile(r"""\b([a-zA-Z-]+)\s*=\s*(?:"([^"]*)"|'([^']*)')""")
+_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class ScriptRef:
+    """One ``<script>`` tag: external (``src``) or inline (``source``)."""
+
+    src: Optional[str] = None
+    source: str = ""
+    #: Free-form data attributes (e.g. data-consent="required").
+    attrs: tuple = ()
+
+    @property
+    def is_inline(self) -> bool:
+        return self.src is None
+
+    def attr(self, name: str) -> Optional[str]:
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return None
+
+
+@dataclass
+class PageStructure:
+    title: str
+    scripts: List[ScriptRef]
+    has_consent_banner: bool
+
+
+def parse_html(html: str) -> PageStructure:
+    """Scan a homepage for scripts, title and consent-banner markers."""
+    scripts: List[ScriptRef] = []
+    for m in _SCRIPT_RE.finditer(html):
+        attrs_text, body = m.group(1), m.group(2)
+        attrs = tuple(
+            (a.group(1).lower(), a.group(2) if a.group(2) is not None else a.group(3))
+            for a in _ATTR_RE.finditer(attrs_text)
+        )
+        src_m = _SRC_RE.search(attrs_text)
+        if src_m:
+            src = src_m.group(1) if src_m.group(1) is not None else src_m.group(2)
+            scripts.append(ScriptRef(src=src, attrs=attrs))
+        else:
+            scripts.append(ScriptRef(source=body, attrs=attrs))
+
+    title_m = _TITLE_RE.search(html)
+    title = title_m.group(1).strip() if title_m else ""
+    has_banner = 'class="consent-banner"' in html or "data-consent-banner" in html
+    return PageStructure(title=title, scripts=scripts, has_consent_banner=has_banner)

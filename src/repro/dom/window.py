@@ -1,0 +1,68 @@
+"""window/navigator/screen host objects."""
+
+from __future__ import annotations
+
+from repro.js.values import JSObject, NativeFunction, UNDEFINED
+
+__all__ = ["make_navigator", "make_screen", "make_window"]
+
+
+def make_navigator(device_name: str, webdriver: bool = False) -> JSObject:
+    """Build a ``navigator`` object consistent with the crawl machine."""
+    nav = JSObject()
+    if device_name == "apple-m1":
+        nav.set("platform", "MacIntel")
+        nav.set(
+            "userAgent",
+            "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/124.0.0.0 Safari/537.36",
+        )
+    else:
+        nav.set("platform", "Linux x86_64")
+        nav.set(
+            "userAgent",
+            "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/124.0.0.0 Safari/537.36",
+        )
+    nav.set("language", "en-US")
+    nav.set("hardwareConcurrency", 8.0)
+    nav.set("webdriver", webdriver)
+    return nav
+
+
+def make_screen() -> JSObject:
+    screen = JSObject()
+    screen.set("width", 1920.0)
+    screen.set("height", 1080.0)
+    screen.set("colorDepth", 24.0)
+    screen.set("pixelDepth", 24.0)
+    return screen
+
+
+def make_window(document, navigator, screen, clock) -> JSObject:
+    """Build a ``window`` object; the Date/performance clocks are virtual."""
+    win = JSObject()
+    win.set("document", document)
+    win.set("navigator", navigator)
+    win.set("screen", screen)
+    win.set("innerWidth", 1280.0)
+    win.set("innerHeight", 720.0)
+    win.set("devicePixelRatio", 1.0)
+
+    perf = JSObject()
+    perf.set("now", NativeFunction(lambda i, t, a: clock.now_ms(), "now"))
+    win.set("performance", perf)
+
+    win.set("addEventListener", NativeFunction(lambda i, t, a: UNDEFINED, "addEventListener"))
+    win.set("setTimeout", NativeFunction(_set_timeout, "setTimeout"))
+    return win
+
+
+def _set_timeout(interp, this, args):
+    """Synchronous setTimeout: the crawler waits out timers anyway (§3.1
+    'waits five seconds'), so callbacks run immediately in order."""
+    from repro.js.values import JSFunction
+
+    if args and isinstance(args[0], (JSFunction, NativeFunction)):
+        interp.call_function(args[0], UNDEFINED, [])
+    return 0.0

@@ -1,0 +1,5 @@
+"""Experiment registry: one runner per table, figure and in-text result."""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,216 @@
+"""Registry of reproducible experiments.
+
+Each experiment renders one artifact of the paper (a table, a figure, or a
+block of in-text statistics) from a :class:`~repro.core.pipeline.StudyResult`.
+``python -m repro.experiments`` runs everything at the requested scale and
+prints paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.pipeline import StudyResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artifact of the paper."""
+
+    key: str
+    title: str
+    section: str
+    render: Callable[[StudyResult], str]
+    needs_adblock: bool = False
+
+
+def _prevalence(result: StudyResult) -> str:
+    from repro.config import PAPER
+
+    p = result.prevalence
+    lines = [
+        f"top prevalence:  {p.top.fp_sites}/{p.top.sites_successful} = {p.top.prevalence:.1%}"
+        f"   (paper: 2,067/16,276 = {PAPER.top_prevalence:.1%})",
+        f"tail prevalence: {p.tail.fp_sites}/{p.tail.sites_successful} = {p.tail.prevalence:.1%}"
+        f"   (paper: 1,715/17,260 = {PAPER.tail_prevalence:.1%})",
+        f"canvases per FP site: mean {p.top.mean_canvases:.2f} / median {p.top.median_canvases:.0f}"
+        f" / max {p.top.max_canvases}   (paper: 3.31 / 2 / 60)",
+    ]
+    return "\n".join(lines)
+
+
+def _detection(result: StudyResult) -> str:
+    from repro.core.detection import ExclusionReason, FingerprintDetector
+
+    fraction = FingerprintDetector.fingerprintable_fraction(result.outcomes.values())
+    by_reason = {r: 0 for r in ExclusionReason}
+    fully_excluded = {"top": 0, "tail": 0}
+    for domain, outcome in result.outcomes.items():
+        for _, reason in outcome.excluded:
+            by_reason[reason] += 1
+        if outcome.fully_excluded:
+            fully_excluded[result.populations.get(domain, "top")] += 1
+    lines = [
+        f"fingerprintable fraction of extracted canvases: {fraction:.1%} (paper: 83%)",
+        "exclusions: "
+        + ", ".join(f"{r.value}={n}" for r, n in by_reason.items()),
+        f"fully excluded sites: top {fully_excluded['top']}, tail {fully_excluded['tail']}"
+        " (paper: 155 / 138)",
+    ]
+    return "\n".join(lines)
+
+
+def _figure1(result: StudyResult) -> str:
+    from repro.analysis.figures import render_figure1
+
+    return render_figure1(result, n=30)
+
+
+def _reach(result: StudyResult) -> str:
+    from repro.config import PAPER
+
+    r = result.reach
+    return "\n".join(
+        [
+            f"unique canvases: top {r.unique_canvases_top} (paper 504),"
+            f" tail {r.unique_canvases_tail} (paper 288)",
+            f"top-6 canvas share: top {r.top6_share_top:.1%} (paper 70.1%),"
+            f" tail {r.top6_share_tail:.1%} (paper 47.1%)",
+            f"tail/top overlap: {r.tail_overlap_fraction:.1%} (paper 91.4%)",
+            f"largest tail-only groups: {r.tail_only_group_sizes[:3]} (paper [15, 3, ...])",
+            f"max single-canvas reach: {r.max_reach_fraction_top:.1%} of top sites (paper ~3%)",
+        ]
+    )
+
+
+def _table1(result: StudyResult) -> str:
+    from repro.analysis.tables import table1
+
+    return table1(result)[1]
+
+
+def _table2(result: StudyResult) -> str:
+    from repro.analysis.tables import table2
+
+    if not result.adblock_rows:
+        return "(adblock crawls not run)"
+    return table2(result.adblock_rows)[1]
+
+
+def _table3(result: StudyResult) -> str:
+    from repro.analysis.tables import table3
+
+    return table3(result.signatures)[1]
+
+
+def _table4(result: StudyResult) -> str:
+    from repro.analysis.tables import table4
+
+    if result.blocklist_context is None:
+        return "(blocklists not provided)"
+    return table4(result.blocklist_context)[1]
+
+
+def _figure2(result: StudyResult) -> str:
+    from repro.analysis.figures import render_figure2
+
+    return render_figure2(result)
+
+
+def _evasion(result: StudyResult) -> str:
+    sc = result.serving_context
+    if sc is None:
+        return "(serving context not computed)"
+    return "\n".join(
+        [
+            f"first-party-served FP sites: top {sc.first_party_fraction('top'):.1%} (paper 49%),"
+            f" tail {sc.first_party_fraction('tail'):.1%} (paper 52%)",
+            f"subdomain-served: top {sc.subdomain_fraction('top'):.1%} (paper 9.5%),"
+            f" tail {sc.subdomain_fraction('tail'):.1%} (paper 2.1%)",
+            f"CDN-served: top {sc.cdn_fraction('top'):.1%} (paper 2.1%),"
+            f" tail {sc.cdn_fraction('tail'):.1%} (paper 1.9%)",
+            f"CNAME-cloaked: top {sc.cname_fraction('top'):.1%},"
+            f" tail {sc.cname_fraction('tail'):.1%} (paper: observed, unquantified)",
+        ]
+    )
+
+
+def _fpjs_ecosystem(result: StudyResult) -> str:
+    from repro.core.fpjs import fpjs_breakdown
+
+    fpjs_sig = next((s for s in result.signatures if s.name == "FingerprintJS"), None)
+    if fpjs_sig is None or not fpjs_sig.canvas_hashes:
+        return "(no FingerprintJS signature harvested)"
+    breakdown = fpjs_breakdown(
+        result.control.by_domain(), result.outcomes, result.populations, fpjs_sig.canvas_hashes
+    )
+    paper = {
+        "commercial": (23, 10),
+        "AIdata": (40, 10),
+        "adskeeper": (10, 6),
+        "trafficjunky": (7, 1),
+        "MGID": (23, 17),
+        "acint.net": (18, 29),
+    }
+    lines = [f"{'flavor':14s} {'top':>10s} {'tail':>10s}   (paper top/tail)"]
+    order = ["commercial", "AIdata", "adskeeper", "trafficjunky", "MGID", "acint.net", "oss"]
+    for flavor in order:
+        row = breakdown.get(flavor)
+        expected = paper.get(flavor)
+        note = f"({expected[0]} / {expected[1]})" if expected else "(rest: OSS self-hosted/bundled)"
+        lines.append(f"{flavor:14s} {row['top']:>10d} {row['tail']:>10d}   {note}")
+    return "\n".join(lines)
+
+
+def _randomization(result: StudyResult) -> str:
+    return (
+        f"FP sites performing the render-twice inconsistency check: "
+        f"{result.render_twice:.1%} (paper: 45%)"
+    )
+
+
+def _cross_machine(result: StudyResult) -> str:
+    if result.cross_machine_consistent is None:
+        return "(cross-machine validation not run)"
+    status = "IDENTICAL" if result.cross_machine_consistent else "DIFFERENT"
+    return (
+        "canvas-equality site groupings across Intel/Ubuntu and Apple M1 crawls: "
+        f"{status} (paper: identical groupings, different pixel values)"
+    )
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.key: e
+    for e in (
+        Experiment("prevalence", "Prevalence of canvas fingerprinting", "§4.1", _prevalence),
+        Experiment("detection", "Detection heuristic yield", "§3.2", _detection),
+        Experiment("figure1", "Figure 1: canvas popularity distribution", "§4.2", _figure1),
+        Experiment("reach", "Reach and top/tail overlap", "§4.2", _reach),
+        Experiment("table1", "Table 1: sites linked to each vendor", "§4.3", _table1),
+        Experiment("fpjs_ecosystem", "FingerprintJS deployment flavors", "§4.3.1", _fpjs_ecosystem),
+        Experiment("table2", "Table 2: ad blocker impact", "§5.2", _table2, needs_adblock=True),
+        Experiment("table3", "Table 3: attribution methods", "A.3", _table3),
+        Experiment("table4", "Table 4: blocklist coverage", "§5.1/A.4", _table4),
+        Experiment("figure2", "Figure 2: excluded small canvases", "A.2", _figure2),
+        Experiment("evasion", "Serving-mode evasions", "§5.2", _evasion),
+        Experiment("randomization", "Canvas randomization detection", "§5.3", _randomization),
+        Experiment("cross_machine", "Cross-machine validation", "§3.1", _cross_machine),
+    )
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}") from None
+
+
+def run_experiment(key: str, result: StudyResult) -> str:
+    """Render one experiment's artifact from a study result."""
+    experiment = get_experiment(key)
+    header = f"=== {experiment.title} ({experiment.section}) ==="
+    return header + "\n" + experiment.render(result)

@@ -1,0 +1,42 @@
+"""Errors raised by the JavaScript engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["JSError", "JSSyntaxError", "JSRuntimeError", "JSThrow"]
+
+
+class JSError(Exception):
+    """Base class for all engine errors."""
+
+    def __init__(self, message: str, line: Optional[int] = None, script: Optional[str] = None):
+        self.message = message
+        self.line = line
+        self.script = script
+        where = ""
+        if script:
+            where += f" in {script}"
+        if line is not None:
+            where += f" at line {line}"
+        super().__init__(message + where)
+
+
+class JSSyntaxError(JSError):
+    """Lexing or parsing failure."""
+
+
+class JSRuntimeError(JSError):
+    """Evaluation failure (TypeError/ReferenceError analogues)."""
+
+
+class JSThrow(Exception):
+    """Internal control-flow carrier for JS ``throw`` values.
+
+    Converted to :class:`JSRuntimeError` when it escapes uncaught.
+    """
+
+    def __init__(self, value, line: Optional[int] = None):
+        self.value = value
+        self.line = line
+        super().__init__(f"uncaught JS exception: {value!r}")

@@ -1,0 +1,299 @@
+"""AST node definitions for the ECMAScript subset.
+
+Plain dataclasses; every node carries the source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Node",
+    "Program",
+    "NumberLiteral",
+    "StringLiteral",
+    "BooleanLiteral",
+    "NullLiteral",
+    "UndefinedLiteral",
+    "Identifier",
+    "ThisExpression",
+    "ArrayLiteral",
+    "ObjectLiteral",
+    "FunctionExpression",
+    "UnaryOp",
+    "UpdateExpression",
+    "BinaryOp",
+    "LogicalOp",
+    "ConditionalExpression",
+    "AssignmentExpression",
+    "CallExpression",
+    "NewExpression",
+    "MemberExpression",
+    "SequenceExpression",
+    "ExpressionStatement",
+    "VariableDeclaration",
+    "VariableDeclarator",
+    "FunctionDeclaration",
+    "ReturnStatement",
+    "IfStatement",
+    "ForStatement",
+    "ForOfStatement",
+    "WhileStatement",
+    "DoWhileStatement",
+    "BreakStatement",
+    "ContinueStatement",
+    "Block",
+    "ThrowStatement",
+    "TryStatement",
+    "SwitchStatement",
+    "SwitchCase",
+    "EmptyStatement",
+]
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, repr=False)
+
+
+# --- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class UndefinedLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class ThisExpression(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Node):
+    #: (key, value) pairs; keys are plain strings.
+    properties: List[Tuple[str, Node]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpression(Node):
+    params: List[str] = field(default_factory=list)
+    body: "Block" = None
+    name: Optional[str] = None
+    is_arrow: bool = False
+    #: Arrow with expression body: the body block holds one return statement.
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class UpdateExpression(Node):
+    op: str = ""  # "++" or "--"
+    target: Node = None
+    prefix: bool = False
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class LogicalOp(Node):
+    op: str = ""  # "&&" or "||"
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class ConditionalExpression(Node):
+    test: Node = None
+    consequent: Node = None
+    alternate: Node = None
+
+
+@dataclass
+class AssignmentExpression(Node):
+    op: str = "="  # "=", "+=", ...
+    target: Node = None
+    value: Node = None
+
+
+@dataclass
+class CallExpression(Node):
+    callee: Node = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpression(Node):
+    callee: Node = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class MemberExpression(Node):
+    obj: Node = None
+    #: Property name for dot access; expression node for computed access.
+    prop: Union[str, Node] = ""
+    computed: bool = False
+
+
+@dataclass
+class SequenceExpression(Node):
+    expressions: List[Node] = field(default_factory=list)
+
+
+# --- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node = None
+
+
+@dataclass
+class VariableDeclarator(Node):
+    name: str = ""
+    init: Optional[Node] = None
+
+
+@dataclass
+class VariableDeclaration(Node):
+    kind: str = "var"  # var | let | const
+    declarations: List[VariableDeclarator] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class ReturnStatement(Node):
+    argument: Optional[Node] = None
+
+
+@dataclass
+class IfStatement(Node):
+    test: Node = None
+    consequent: Node = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node] = None
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Node = None
+
+
+@dataclass
+class ForOfStatement(Node):
+    kind: str = "var"
+    name: str = ""
+    iterable: Node = None
+    body: Node = None
+
+
+@dataclass
+class WhileStatement(Node):
+    test: Node = None
+    body: Node = None
+
+
+@dataclass
+class DoWhileStatement(Node):
+    body: Node = None
+    test: Node = None
+
+
+@dataclass
+class BreakStatement(Node):
+    pass
+
+
+@dataclass
+class ContinueStatement(Node):
+    pass
+
+
+@dataclass
+class ThrowStatement(Node):
+    argument: Node = None
+
+
+@dataclass
+class TryStatement(Node):
+    block: Block = None
+    param: Optional[str] = None
+    handler: Optional[Block] = None
+    finalizer: Optional[Block] = None
+
+
+@dataclass
+class SwitchCase(Node):
+    #: None for the ``default`` clause.
+    test: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStatement(Node):
+    discriminant: Node = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStatement(Node):
+    pass

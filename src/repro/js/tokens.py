@@ -1,0 +1,121 @@
+"""Token model for the JavaScript lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["TokenType", "Token", "KEYWORDS", "PUNCTUATORS"]
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "var",
+        "let",
+        "const",
+        "function",
+        "return",
+        "if",
+        "else",
+        "for",
+        "of",
+        "in",
+        "while",
+        "do",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "null",
+        "undefined",
+        "typeof",
+        "new",
+        "try",
+        "catch",
+        "finally",
+        "throw",
+        "switch",
+        "case",
+        "default",
+        "delete",
+        "instanceof",
+        "this",
+    }
+)
+
+#: Longest-match-first list of punctuators.
+PUNCTUATORS = (
+    "===",
+    "!==",
+    ">>>",
+    "...",
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "!",
+    "?",
+    ":",
+    ".",
+    "&",
+    "|",
+    "^",
+    "~",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Union[str, float, int]
+    line: int
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value in values
+
+    def is_keyword(self, *values: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r}, line={self.line})"

@@ -1,0 +1,24 @@
+"""Synthetic network substrate: URLs, DNS (with CNAME cloaking), HTTP and servers."""
+
+from repro.net.url import URL, origin_of, registrable_domain, same_site
+from repro.net.http import Request, Response, ResourceType
+from repro.net.dns import DNSZone, DNSRecord, RecordType
+from repro.net.server import OriginServer, Network
+from repro.net.cdn import POPULAR_CDN_DOMAINS, is_cdn_url
+
+__all__ = [
+    "URL",
+    "origin_of",
+    "registrable_domain",
+    "same_site",
+    "Request",
+    "Response",
+    "ResourceType",
+    "DNSZone",
+    "DNSRecord",
+    "RecordType",
+    "OriginServer",
+    "Network",
+    "POPULAR_CDN_DOMAINS",
+    "is_cdn_url",
+]

@@ -1,0 +1,44 @@
+"""Popular-CDN domain list (paper Appendix A.5).
+
+Fingerprinting services serve scripts from widely shared CDNs because ad
+blockers cannot block such domains without breaking the Web.  The paper uses
+the twelve domains below to lower-bound CDN-fronted fingerprinting.
+"""
+
+from __future__ import annotations
+
+
+from repro.net.url import URL
+
+__all__ = ["POPULAR_CDN_DOMAINS", "is_cdn_host", "is_cdn_url"]
+
+#: Appendix A.5 of the paper, verbatim.
+POPULAR_CDN_DOMAINS = (
+    "cloudflare.com",
+    "cloudfront.net",
+    "fastly.net",
+    "gstatic.com",
+    "googleusercontent.com",
+    "googleapis.com",
+    "akamai.net",
+    "azureedge.net",
+    "b-cdn.net",
+    "bootstrapcdn.com",
+    "cdn.jsdelivr.net",
+    "cdnjs.cloudflare.com",
+)
+
+
+def is_cdn_host(host: str) -> bool:
+    """True when ``host`` is (a subdomain of) one of the popular CDN domains."""
+    host = host.lower()
+    for cdn in POPULAR_CDN_DOMAINS:
+        if host == cdn or host.endswith("." + cdn):
+            return True
+    return False
+
+
+def is_cdn_url(url: "URL | str") -> bool:
+    """True when the URL's host is served by a popular CDN (A.5 list)."""
+    host = url.host if isinstance(url, URL) else URL.parse(url).host
+    return is_cdn_host(host)

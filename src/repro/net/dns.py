@@ -1,0 +1,100 @@
+"""DNS zone with A and CNAME records.
+
+CNAME chains are first-class because CNAME cloaking (§5.2) is one of the
+evasions the paper documents: a fingerprinting vendor asks its customer to
+point ``metrics.customer.com`` at ``collector.vendor.com`` via CNAME, so a
+URL-based blocklist sees a first-party host while the vendor's server
+actually answers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RecordType", "DNSRecord", "DNSZone", "DNSError"]
+
+
+class DNSError(KeyError):
+    """Raised when a name cannot be resolved."""
+
+
+class RecordType(str, enum.Enum):
+    A = "A"
+    CNAME = "CNAME"
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    name: str
+    rtype: RecordType
+    value: str  # IPv4 string for A, canonical name for CNAME
+
+
+class DNSZone:
+    """A flat authoritative zone for the whole synthetic Internet."""
+
+    MAX_CHAIN = 8
+
+    def __init__(self) -> None:
+        self._records: Dict[str, DNSRecord] = {}
+
+    def add_a(self, name: str, address: str) -> None:
+        """Register an A record (one per name; last write wins)."""
+        name = name.lower()
+        self._records[name] = DNSRecord(name, RecordType.A, address)
+
+    def add_cname(self, name: str, target: str) -> None:
+        """Register a CNAME record pointing ``name`` at ``target``."""
+        name = name.lower()
+        target = target.lower()
+        if name == target:
+            raise ValueError(f"CNAME loop: {name} -> {target}")
+        self._records[name] = DNSRecord(name, RecordType.CNAME, target)
+
+    def lookup(self, name: str) -> Optional[DNSRecord]:
+        return self._records.get(name.lower())
+
+    def resolve(self, name: str) -> Tuple[str, List[str]]:
+        """Resolve ``name`` following CNAMEs.
+
+        Returns ``(canonical_name, chain)`` where ``chain`` lists every name
+        visited (starting with ``name`` itself).  The canonical name is the
+        final name holding an A record.  Raises :class:`DNSError` when the
+        name is unknown or the chain is too long / cyclic.
+        """
+        name = name.lower()
+        chain = [name]
+        current = name
+        for _ in range(self.MAX_CHAIN):
+            record = self._records.get(current)
+            if record is None:
+                raise DNSError(f"NXDOMAIN: {current}")
+            if record.rtype is RecordType.A:
+                return current, chain
+            current = record.value
+            if current in chain:
+                raise DNSError(f"CNAME loop at {current}")
+            chain.append(current)
+        raise DNSError(f"CNAME chain too long for {name}")
+
+    def is_cloaked(self, name: str) -> bool:
+        """True when ``name`` CNAMEs (possibly transitively) off its own site.
+
+        This is the detection signal CNAME-uncloaking lists use: a first-party
+        subdomain whose canonical name lives on a different registrable domain.
+        """
+        from repro.net.url import registrable_domain
+
+        try:
+            canonical, chain = self.resolve(name)
+        except DNSError:
+            return False
+        return len(chain) > 1 and registrable_domain(canonical) != registrable_domain(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

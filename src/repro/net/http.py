@@ -1,0 +1,72 @@
+"""HTTP request/response model for the synthetic network.
+
+Only the parts a measurement crawler observes are modelled: method, URL,
+resource type (the ad-blocker matching context), initiating document, status,
+content type and body.  Bodies are ``str`` for text resources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.url import URL, same_site
+
+__all__ = ["ResourceType", "Request", "Response"]
+
+
+class ResourceType(str, enum.Enum):
+    """Resource types as seen by blocklist engines (subset of ABP types)."""
+
+    DOCUMENT = "document"
+    SCRIPT = "script"
+    IMAGE = "image"
+    STYLESHEET = "stylesheet"
+    XHR = "xmlhttprequest"
+    SUBDOCUMENT = "subdocument"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Request:
+    """An outgoing request, carrying the context blockers match against."""
+
+    url: URL
+    resource_type: ResourceType = ResourceType.OTHER
+    document_url: Optional[URL] = None
+    method: str = "GET"
+
+    @property
+    def third_party(self) -> bool:
+        """True when the request crosses a site boundary from its document."""
+        if self.document_url is None:
+            return False
+        return not same_site(self.url, self.document_url)
+
+
+@dataclass
+class Response:
+    """A served response."""
+
+    url: URL
+    status: int = 200
+    content_type: str = "text/html"
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Host that actually served the response after DNS/CNAME resolution —
+    #: differs from ``url.host`` under CNAME cloaking.
+    served_by: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def not_found(cls, url: URL) -> "Response":
+        return cls(url=url, status=404, content_type="text/plain", body="not found")
+
+    @classmethod
+    def blocked(cls, url: URL) -> "Response":
+        """Pseudo-response for a request an extension cancelled."""
+        return cls(url=url, status=0, content_type="", body="")

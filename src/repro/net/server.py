@@ -1,0 +1,125 @@
+"""Origin servers and the synthetic network fabric.
+
+:class:`OriginServer` maps paths to resources for one canonical host.
+:class:`Network` owns the DNS zone and all servers, and answers
+:class:`~repro.net.http.Request` objects the way the Internet would: resolve
+the host (following CNAMEs), find the server authoritative for the canonical
+name, and route the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.dns import DNSError, DNSZone
+from repro.net.http import Request, Response
+from repro.net.url import URL
+
+__all__ = ["Resource", "OriginServer", "Network"]
+
+
+@dataclass
+class Resource:
+    """A static resource a server can serve."""
+
+    body: str
+    content_type: str = "text/html"
+    status: int = 200
+
+
+class OriginServer:
+    """A web server authoritative for one canonical hostname."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host.lower()
+        self._routes: Dict[str, Resource] = {}
+
+    def add_resource(
+        self, path: str, body: str, content_type: str = "text/html", status: int = 200
+    ) -> None:
+        """Serve ``body`` at ``path`` with the given content type and status."""
+        if not path.startswith("/"):
+            raise ValueError(f"path must be absolute: {path!r}")
+        self._routes[path] = Resource(body=body, content_type=content_type, status=status)
+
+    def add_script(self, path: str, source: str) -> None:
+        """Convenience: serve a JavaScript resource."""
+        self.add_resource(path, source, content_type="application/javascript")
+
+    def paths(self):
+        return self._routes.keys()
+
+    def handle(self, request: Request) -> Response:
+        resource = self._routes.get(request.url.path)
+        if resource is None:
+            return Response.not_found(request.url)
+        return Response(
+            url=request.url,
+            status=resource.status,
+            content_type=resource.content_type,
+            body=resource.body,
+            served_by=self.host,
+        )
+
+
+class Network:
+    """The synthetic Internet: one DNS zone plus all origin servers.
+
+    Request counts are kept so experiments can assert on traffic (e.g. that
+    an ad blocker actually cancelled a fetch rather than the fetch 404ing).
+    """
+
+    def __init__(self) -> None:
+        self.dns = DNSZone()
+        self._servers: Dict[str, OriginServer] = {}
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def server_for(self, host: str) -> OriginServer:
+        """Get or create the server for a canonical host, registering DNS."""
+        host = host.lower()
+        server = self._servers.get(host)
+        if server is None:
+            server = OriginServer(host)
+            self._servers[host] = server
+            if host not in self.dns:
+                # Deterministic fake address derived from the host name.
+                octet = sum(host.encode()) % 254 + 1
+                self.dns.add_a(host, f"198.51.{octet % 256}.{len(host) % 254 + 1}")
+        return server
+
+    def alias(self, name: str, canonical: str) -> None:
+        """Point ``name`` at ``canonical`` via CNAME (cloaking/subdomains)."""
+        self.dns.add_cname(name, canonical)
+
+    def has_host(self, host: str) -> bool:
+        return host.lower() in self.dns
+
+    # -- request handling --------------------------------------------------------
+
+    def fetch(self, request: Request) -> Response:
+        """Resolve, route and serve a request."""
+        try:
+            canonical, _chain = self.dns.resolve(request.url.host)
+        except DNSError:
+            self.requests_failed += 1
+            return Response(url=request.url, status=0, content_type="", body="")
+        server = self._servers.get(canonical)
+        if server is None:
+            self.requests_failed += 1
+            return Response.not_found(request.url)
+        response = server.handle(request)
+        if response.ok:
+            self.requests_served += 1
+        else:
+            self.requests_failed += 1
+        return response
+
+    def get(self, url: "URL | str", **kwargs) -> Response:
+        """Convenience GET without blocking context."""
+        if isinstance(url, str):
+            url = URL.parse(url)
+        return self.fetch(Request(url=url, **kwargs))

@@ -1,0 +1,10 @@
+"""Synthetic web ecosystem: Tranco-like ranking, fingerprinting vendors,
+boutique fingerprinters, benign canvas users, serving-mode evasions, and
+the blocklists that try to keep up — all calibrated to the paper's
+published numbers (see :mod:`repro.config`)."""
+
+from repro.webgen.ecosystem import World, build_world
+from repro.webgen.tranco import TrancoRanking
+from repro.webgen.vendors import VENDOR_SPECS, VendorSpec
+
+__all__ = ["World", "build_world", "TrancoRanking", "VENDOR_SPECS", "VendorSpec"]

@@ -1,0 +1,111 @@
+"""Synthetic EasyList / EasyPrivacy / Disconnect generation.
+
+Encodes the rule-design landscape §5.1-§5.2 and A.6 document:
+
+* *working* rules (``$script,third-party``) that deployed blockers enforce,
+* *statically-listed-but-practically-dead* rules — ``$domain=``-restricted
+  (breakage precautions) or ``$document``-modified (A.6's mgid example) —
+  which the paper's static check counts but blockers never fire on scripts,
+* the Disconnect list, which is domain-based.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocklists.disconnect import DisconnectList
+from repro.net.url import registrable_domain
+from repro.webgen.boutique import BoutiqueCatalog
+
+__all__ = ["generate_easylist", "generate_easyprivacy", "generate_ubo_extra", "generate_disconnect"]
+
+#: $domain= restriction used to model breakage-avoidance scoping: the rule
+#: statically applies to the URL, but never fires on real pages.
+_DEAD_SCOPE = "$script,domain=legacy-portal.example|old-intranet.example"
+
+
+def generate_easylist(catalog: BoutiqueCatalog) -> str:
+    """EasyList: advertising-focused, the list deployed blockers enforce."""
+    lines: List[str] = [
+        "[Adblock Plus 2.0]",
+        "! Title: Synthetic EasyList",
+        "! Ad-serving noise rules",
+        "||doubleclick-like.net^$third-party",
+        "/banners/*$image",
+        "||popunder-live.example^",
+        # Akamai's fingerprinting script URL is matched... but Bot Manager is
+        # always first-party, so the rule never fires in practice (§5.2 fn 5).
+        "/akam/*$script",
+        # mail.ru: listed with a breakage-scoped rule (static hit, no block).
+        "||privacy-cs.mail.ru^" + _DEAD_SCOPE,
+        # FingerprintJS commercial CDN, similarly scoped.
+        "||fpnpmcdn.net^" + _DEAD_SCOPE,
+        # A.6 verbatim failure mode: the $document modifier never applies to
+        # script loads, so this rule neither lists nor blocks fp scripts.
+        "||widgets.mgid.com^$document",
+        # InsurAds / Adscore: scoped (listed, not blocked).
+        "||cdn.insurads.com^" + _DEAD_SCOPE,
+        "||js.adsco.re^" + _DEAD_SCOPE,
+        # Ad-tech self-hosters of FingerprintJS with *working* rules — the
+        # small population ad blockers actually remove (Table 2's ~5%).
+        "||js.aldata-media.com^$script,third-party",
+        "||cdn.adskeeper.com^$script,third-party",
+        "||static.trafficjunky.net^$script,third-party",
+        "||collect.acint.net^$script,third-party",
+    ]
+    for script in catalog:
+        if not script.in_easylist:
+            continue
+        if script.easylist_blockable:
+            lines.append(f"||{script.host}^$script,third-party")
+        else:
+            lines.append(f"||{script.host}^" + _DEAD_SCOPE)
+    return "\n".join(lines) + "\n"
+
+
+def generate_easyprivacy(catalog: BoutiqueCatalog) -> str:
+    """EasyPrivacy: tracker-focused; used for the §5.1 static analysis only
+    (the paper's ad-blocker crawls use EasyList rules)."""
+    lines: List[str] = [
+        "[Adblock Plus 2.0]",
+        "! Title: Synthetic EasyPrivacy",
+        "/akam/*$script",
+        "||privacy-cs.mail.ru^$script",
+        "||fpnpmcdn.net^$script",
+        "/fingerprint2-*.js$script",
+        "||cdn.sift.com^$script",
+        "||client.px-cloud.net^$script",
+        "||cdn-scripts.signifyd.com^$script",
+        "||collect.acint.net^$script",
+    ]
+    for script in catalog:
+        if script.in_easyprivacy:
+            lines.append(f"||{script.host}^$script")
+    return "\n".join(lines) + "\n"
+
+
+def generate_ubo_extra(catalog: BoutiqueCatalog) -> str:
+    """uBlock Origin's additional built-in filters: a thin extra layer of
+    working rules, giving uBO its slightly larger Table 2 bite."""
+    lines: List[str] = ["! Title: uBlock filters — privacy (synthetic)"]
+    for script in catalog:
+        if script.index % 23 == 5 and not script.easylist_blockable:
+            lines.append(f"||{script.host}^$script,third-party")
+    return "\n".join(lines) + "\n"
+
+
+def generate_disconnect(catalog: BoutiqueCatalog) -> DisconnectList:
+    """The Disconnect tracker-protection list (domain-based)."""
+    dl = DisconnectList("disconnect")
+    dl.add("mail.ru", "FingerprintingInvasive")
+    dl.add("fpnpmcdn.net", "FingerprintingInvasive")
+    dl.add("px-cloud.net", "FingerprintingInvasive")
+    dl.add("sift.com", "FingerprintingInvasive")
+    dl.add("adsco.re", "Advertising")
+    dl.add("aldata-media.com", "Advertising")
+    dl.add("mgid.com", "Advertising")
+    dl.add("acint.net", "Analytics")
+    for script in catalog:
+        if script.in_disconnect:
+            dl.add(registrable_domain(script.host), "FingerprintingInvasive")
+    return dl

@@ -1,0 +1,189 @@
+"""The long tail of boutique fingerprinters.
+
+Beyond the Table 1 vendors, the paper finds ~500 distinct test canvases,
+most shared by only a handful of sites (Figure 1's tail).  The catalog here
+generates that landscape: each boutique script draws a parameterized test
+canvas (distinct pangram / palette / font per script identity), with a
+Zipf-like popularity so a few boutiques appear on dozens of sites while
+most appear on exactly one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.webgen import scripts as S
+
+__all__ = ["BoutiqueScript", "BoutiqueCatalog"]
+
+_WORDS = (
+    "zephyr", "quartz", "jackdaw", "sphinx", "vortex", "glyph", "fjord",
+    "waltz", "nymph", "oxide", "kludge", "pixel", "vector", "raster",
+    "shader", "kernel", "cipher", "beacon", "probe", "signal",
+)
+
+_PALETTES = (
+    ("#f60", "#069"),
+    ("#c33", "#114"),
+    ("#2a7", "#401"),
+    ("#e91", "#035"),
+    ("#b2c", "#142"),
+    ("#07a", "#520"),
+    ("#d44", "#063"),
+    ("#391", "#214"),
+)
+
+_FONTS = ("11pt Arial", "12px Verdana", "13px Georgia", "14px Courier", "11px Tahoma", "12pt Times")
+
+
+@dataclass(frozen=True)
+class BoutiqueScript:
+    """One boutique fingerprinting script identity."""
+
+    index: int
+    source: str
+    path: str
+    host: str
+    double_render: bool
+    extractions: int
+    #: Blocklist exposure.
+    in_easylist: bool
+    in_easyprivacy: bool
+    in_disconnect: bool
+    #: Whether a working (blockable) EasyList rule exists for it.
+    easylist_blockable: bool
+
+
+class BoutiqueCatalog:
+    """Deterministic catalog of boutique fingerprinters.
+
+    ``tail_only_start`` marks a band of catalog indices reserved for
+    tail-population sites, reproducing the paper's small tail-only canvas
+    groups (largest 15 sites, next 3).
+    """
+
+    def __init__(
+        self,
+        size: int = 900,
+        seed: int = 0xB0071,
+        double_render_rate: float = 0.17,
+        easylist_rate: float = 0.09,
+        easylist_blockable_rate: float = 0.75,
+        easyprivacy_rate: float = 0.10,
+        disconnect_rate: float = 0.05,
+    ) -> None:
+        self.size = size
+        rng = random.Random(seed)
+        self._scripts: List[BoutiqueScript] = []
+        for i in range(size):
+            self._scripts.append(self._make(i, rng, double_render_rate,
+                                            easylist_rate, easylist_blockable_rate,
+                                            easyprivacy_rate, disconnect_rate))
+
+    def _make(
+        self,
+        i: int,
+        rng: random.Random,
+        double_rate: float,
+        el_rate: float,
+        el_block_rate: float,
+        ep_rate: float,
+        dc_rate: float,
+    ) -> BoutiqueScript:
+        if i < 60:
+            # Popular boutique products: far more likely to be listed.
+            el_rate = min(1.0, el_rate * 2.6)
+            ep_rate = min(1.0, ep_rate * 2.2)
+            dc_rate = min(1.0, dc_rate * 2.4)
+        word_a = _WORDS[rng.randrange(len(_WORDS))]
+        word_b = _WORDS[rng.randrange(len(_WORDS))]
+        # Index leads the pangram so it is always on-canvas (narrow
+        # canvases clip the tail of the string).
+        pangram = f"bq{i:03d} {word_a} {word_b} device check qty 7Jx"
+        color_a, color_b = _PALETTES[rng.randrange(len(_PALETTES))]
+        font = _FONTS[rng.randrange(len(_FONTS))]
+        double = rng.random() < double_rate
+
+        # A sliver of boutiques are "font probers" rendering many canvases —
+        # they produce the per-site canvas-count tail (max 60 in §4.1).
+        if i % 97 == 13:
+            count = rng.choice((20, 30, 45, 60))
+            source = S.font_prober_script(count, seed=i)
+            extractions = count
+        else:
+            source = S.text_fingerprint_script(
+                pangram,
+                color_a,
+                color_b,
+                font=font,
+                width=200 + (i % 7) * 12,
+                height=40 + (i % 5) * 6,
+                double_render=double,
+                vendor=None,
+                result_var="__bq",
+            )
+            extractions = 2 if double else 1
+            # Many boutiques probe a second, boutique-unique geometry canvas
+            # (raises both canvases-per-site and distinct-canvas counts).
+            if rng.random() < 0.35:
+                # Hue has period 360 in i and size has period 11; together no
+                # two catalog entries share a geometry canvas (360 % 11 != 0).
+                # Sizes are odd (101..141), so no boutique geometry canvas
+                # can collide with a vendor's (vendors use size 120).
+                source += S.geometry_fingerprint_script(
+                    (i * 7) % 360, size=101 + (i % 11) * 4, vendor=None, result_var="__bqGeom"
+                )
+                extractions += 1
+
+        # Unique registrable domain per boutique: domain-based lists
+        # (Disconnect) must not accidentally cover unrelated boutiques.
+        host = f"cdn.{word_a}-fp{i:03d}.net"
+        in_el = rng.random() < el_rate
+        return BoutiqueScript(
+            index=i,
+            source=source,
+            path=f"/collect/fp-{i:03d}.js",
+            host=host,
+            double_render=double,
+            extractions=extractions,
+            in_easylist=in_el,
+            in_easyprivacy=rng.random() < ep_rate,
+            in_disconnect=rng.random() < dc_rate,
+            easylist_blockable=in_el and rng.random() < el_block_rate,
+        )
+
+    def get(self, index: int) -> BoutiqueScript:
+        return self._scripts[index % self.size]
+
+    def __iter__(self):
+        return iter(self._scripts)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def sample_index(self, rng: random.Random, population: str, zipf_a: float = 1.25) -> int:
+        """Draw a boutique index with the paper's popularity structure.
+
+        * Top-population sites: a Zipf head (popular boutique products,
+          Figure 1's mid ranks) mixed with a wide uniform component
+          (bespoke in-house fingerprinting — the ~500-unique-canvas tail).
+        * Tail-population sites: mostly the Zipf head (tail sites buy
+          popular products, §4.2's 91.4% overlap), plus a small reserved
+          tail-only band (the paper's 15-site / 3-site tail-only groups).
+        """
+        band_start = int(self.size * 0.7)
+        if population == "tail" and rng.random() < 0.08:
+            # Zipf within the tail-only band too: its head entry accumulates
+            # the paper's 15-site tail-only group, the rest stay tiny.
+            band = self.size - band_start
+            u = rng.random()
+            rank = int((band ** (1.0 - zipf_a) * u + (1 - u)) ** (1.0 / (1.0 - zipf_a)))
+            return band_start + max(1, min(band, rank)) - 1
+        if population == "top" and rng.random() < 0.45:
+            return rng.randrange(band_start)
+        # Inverse-CDF Zipf over the head band.
+        u = rng.random()
+        rank = int((band_start ** (1.0 - zipf_a) * u + (1 - u)) ** (1.0 / (1.0 - zipf_a)))
+        return max(1, min(band_start, rank)) - 1

@@ -1,0 +1,151 @@
+"""Derives generator probabilities from the paper's published numbers.
+
+The synthetic web is sampled per-site; this module turns the absolute counts
+in :mod:`repro.config` into the per-site probabilities the sampler needs,
+with the derivations spelled out so every magic number traces to a paper
+statistic.  All rates are conditional on crawl success (the paper's
+denominators are successfully crawled sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.config import PAPER, PaperTargets
+
+__all__ = ["PopulationRates", "CalibrationParams", "derive_params"]
+
+#: The four vendors whose canvases dominate Figure 1's head.
+BIG_VENDORS = ("Akamai", "FingerprintJS", "mail.ru", "FingerprintJS (legacy)")
+#: Vendors assigned as independent add-ons (mostly security products that
+#: co-exist with the big trackers on the same sites).
+SMALL_VENDORS = (
+    "Imperva",
+    "AWS Firewall",
+    "InsurAds",
+    "Signifyd",
+    "PerimeterX",
+    "Sift Science",
+    "Adscore",
+    "GeeTest",
+)
+
+
+@dataclass(frozen=True)
+class PopulationRates:
+    """Per-site sampling rates for one population ("top" or "tail")."""
+
+    population: str
+    #: P(crawl succeeds) — the paper crawled 16,276/20,000 top sites.
+    success_rate: float
+    #: Failure mix among failures (bot-blocked / network / HTTP error).
+    failure_mix: Tuple[Tuple[str, float], ...]
+    #: P(site fingerprints | success) — 12.7% top, 9.9% tail.
+    fp_rate: float
+    #: P(mail.ru | .ru site, success) — one third of top .ru domains (§4.3.1).
+    mailru_given_ru: float
+    #: P(some non-mail.ru fingerprinter | success), solved so the overall
+    #: FP rate matches fp_rate given mail.ru's contribution.
+    other_fp_rate: float
+    #: Primary-fingerprinter weights among "other" FP sites.
+    primary_weights: Tuple[Tuple[str, float], ...]
+    #: P(small vendor v | FP site), independent per vendor.
+    small_vendor_rates: Tuple[Tuple[str, float], ...]
+    #: P(an attributed site additionally runs a boutique script).
+    boutique_secondary_rate: float = 0.15
+    #: Benign canvas uses, conditional on FP status (§3.2 / A.2 numbers
+    #: force benign extraction to correlate with fingerprinting sites).
+    webp_given_fp: float = 0.125
+    webp_given_clean: float = 0.0034
+    small_given_fp: float = 0.085
+    small_given_clean: float = 0.0028
+    emoji_given_fp: float = 0.05
+    emoji_given_clean: float = 0.002
+    animation_given_fp: float = 0.18
+    animation_given_clean: float = 0.005
+    thumbnail_given_fp: float = 0.05
+    thumbnail_given_clean: float = 0.004
+    #: Script gating (exercised by autoconsent / behavior simulation).
+    consent_gate_rate: float = 0.20
+    scroll_gate_rate: float = 0.10
+
+    def weights_dict(self) -> Dict[str, float]:
+        return dict(self.primary_weights)
+
+
+@dataclass(frozen=True)
+class CalibrationParams:
+    """Full generator calibration (both populations)."""
+
+    top: PopulationRates
+    tail: PopulationRates
+    #: FingerprintJS deployment flavors: share of FPJS sites.
+    fpjs_commercial_share: Dict[str, float] = field(
+        default_factory=lambda: {"top": 0.05, "tail": 0.034}
+    )
+    #: fraction of .ru sites in the ranking (must match tranco's TLD mix).
+    ru_share: float = 0.045
+
+    def rates(self, population: str) -> PopulationRates:
+        if population == "top":
+            return self.top
+        if population == "tail":
+            return self.tail
+        raise KeyError(population)
+
+
+def _derive_population(paper: PaperTargets, population: str, ru_share: float) -> PopulationRates:
+    if population == "top":
+        crawled, success = paper.top_sites_crawled, paper.top_sites_success
+        fp_sites = paper.top_fp_sites
+        counts = {v.name: v.top for v in paper.vendors}
+        # Top sites run more anti-bot tech: most failures are bot blocks.
+        failure_mix = (("bot-blocked", 0.60), ("network-error", 0.25), ("http-error", 0.15))
+    else:
+        crawled, success = paper.tail_sites_crawled, paper.tail_sites_success
+        fp_sites = paper.tail_fp_sites
+        counts = {v.name: v.tail for v in paper.vendors}
+        failure_mix = (("bot-blocked", 0.30), ("network-error", 0.45), ("http-error", 0.25))
+
+    success_rate = success / crawled
+    fp_rate = fp_sites / success
+
+    # mail.ru: 1/3 of top .ru sites carry its canvas; for the tail, solve
+    # P(mail.ru | .ru) from the Table 1 count and the .ru share.
+    ru_sites = success * ru_share
+    mailru_given_ru = min(1.0, counts["mail.ru"] / ru_sites)
+    mailru_overall = ru_share * mailru_given_ru
+
+    # P(other fingerprinter): FP = mail.ru OR other (independent draws).
+    other_fp_rate = (fp_rate - mailru_overall) / (1.0 - mailru_overall)
+
+    # Primary weights among "other" FP sites: the big vendors (minus
+    # mail.ru, handled above), Shopify, and the boutique long tail.
+    other_sites = success * other_fp_rate
+    weights = {}
+    for name in ("Akamai", "FingerprintJS", "FingerprintJS (legacy)", "Shopify"):
+        weights[name] = counts[name] / other_sites
+    weights["boutique"] = max(0.05, 1.0 - sum(weights.values()))
+
+    small_rates = tuple((name, counts[name] / fp_sites) for name in SMALL_VENDORS)
+
+    return PopulationRates(
+        population=population,
+        success_rate=success_rate,
+        failure_mix=failure_mix,
+        fp_rate=fp_rate,
+        mailru_given_ru=mailru_given_ru,
+        other_fp_rate=other_fp_rate,
+        primary_weights=tuple(weights.items()),
+        small_vendor_rates=small_rates,
+    )
+
+
+def derive_params(paper: PaperTargets = PAPER, ru_share: float = 0.045) -> CalibrationParams:
+    """Build the full calibration from the paper targets."""
+    return CalibrationParams(
+        top=_derive_population(paper, "top", ru_share),
+        tail=_derive_population(paper, "tail", ru_share),
+        ru_share=ru_share,
+    )

@@ -1,0 +1,297 @@
+"""JavaScript source templates for the synthetic web.
+
+Every fingerprinting and benign script in the ecosystem is generated here as
+a real program for :mod:`repro.js`.  Vendor scripts draw *distinct* test
+canvases (different pangrams, colors, geometry) — the diversity the paper's
+clustering exploits — and the realistic behaviors the analyses depend on:
+
+* render-twice consistency checks (§5.3, Algorithm 1),
+* per-customer-unique canvases (Imperva),
+* webp/emoji compatibility checks and animation tools (the §3.2 exclusions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "text_fingerprint_script",
+    "geometry_fingerprint_script",
+    "combined_fingerprint_script",
+    "imperva_script",
+    "font_prober_script",
+    "webp_check_script",
+    "emoji_check_script",
+    "small_canvas_script",
+    "animation_tool_script",
+    "analytics_filler_script",
+]
+
+
+def _banner(vendor: Optional[str]) -> str:
+    if not vendor:
+        return ""
+    return f"/*! {vendor} device intelligence SDK. Copyright (c) {vendor}. All rights reserved. */\n"
+
+
+def text_fingerprint_script(
+    pangram: str,
+    color_a: str = "#f60",
+    color_b: str = "#069",
+    font: str = "11pt Arial",
+    width: int = 240,
+    height: int = 60,
+    double_render: bool = False,
+    emoji: str = "",
+    vendor: Optional[str] = None,
+    extra_rect: bool = True,
+    result_var: str = "__fpText",
+) -> str:
+    """A text-based test canvas in the FingerprintJS style.
+
+    ``double_render`` adds the canvas-randomization inconsistency check:
+    the canvas is extracted twice and discarded when the two reads differ.
+    """
+    emoji_line = (
+        f"  ctx.font = '20px Arial';\n  ctx.fillText('{emoji}', {width - 24}, 30);\n" if emoji else ""
+    )
+    rect_line = (
+        f"  ctx.fillStyle = '{color_a}';\n  ctx.fillRect(125, 1, 62, 20);\n" if extra_rect else ""
+    )
+    body = f"""{_banner(vendor)}function __renderTextCanvas() {{
+  var canvas = document.createElement('canvas');
+  canvas.width = {width};
+  canvas.height = {height};
+  var ctx = canvas.getContext('2d');
+  ctx.textBaseline = 'alphabetic';
+{rect_line}  ctx.fillStyle = '{color_b}';
+  ctx.font = '{font}';
+  ctx.fillText('{pangram}', 2, 15);
+  ctx.fillStyle = 'rgba(102, 204, 0, 0.7)';
+  ctx.fillText('{pangram}', 4, 17);
+{emoji_line}  return canvas.toDataURL();
+}}
+"""
+    if double_render:
+        body += f"""var __first = __renderTextCanvas();
+var __second = __renderTextCanvas();
+if (__first === __second) {{
+  {result_var} = __first;
+}} else {{
+  {result_var} = 'unstable';
+}}
+"""
+    else:
+        body += f"{result_var} = __renderTextCanvas();\n"
+    return body
+
+
+def geometry_fingerprint_script(
+    hue_offset: int = 0,
+    size: int = 120,
+    vendor: Optional[str] = None,
+    result_var: str = "__fpGeom",
+) -> str:
+    """A winding/compositing canvas in the FingerprintJS "geometry" style."""
+    h1 = hue_offset % 360
+    h2 = (hue_offset + 120) % 360
+    h3 = (hue_offset + 240) % 360
+    quarter = size // 4
+    half = size // 2
+    return f"""{_banner(vendor)}(function() {{
+  var canvas = document.createElement('canvas');
+  canvas.width = {size};
+  canvas.height = {size};
+  var ctx = canvas.getContext('2d');
+  ctx.globalCompositeOperation = 'multiply';
+  var colors = ['hsl({h1}, 100%, 50%)', 'hsl({h2}, 100%, 50%)', 'hsl({h3}, 100%, 50%)'];
+  var offsets = [[{quarter}, {quarter}], [{half}, {quarter}], [{quarter + half // 2}, {half}]];
+  for (var i = 0; i < 3; i++) {{
+    ctx.fillStyle = colors[i];
+    ctx.beginPath();
+    ctx.arc(offsets[i][0] + 20, offsets[i][1] + 20, {quarter}, 0, Math.PI * 2, true);
+    ctx.closePath();
+    ctx.fill();
+  }}
+  ctx.fillStyle = 'hsl({(hue_offset + 60) % 360}, 100%, 50%)';
+  ctx.arc({half}, {half}, {half - 2}, 0, Math.PI * 2, true);
+  ctx.arc({half}, {half}, {quarter - 2}, 0, Math.PI * 2, true);
+  ctx.fill('evenodd');
+  {result_var} = canvas.toDataURL();
+}})();
+"""
+
+
+def combined_fingerprint_script(
+    pangram: str,
+    color_a: str,
+    color_b: str,
+    font: str = "11pt Arial",
+    hue_offset: int = 0,
+    double_render: bool = True,
+    emoji: str = "\\ud83d\\ude03",
+    vendor: Optional[str] = None,
+    collect_var: str = "__fpComponents",
+) -> str:
+    """Full FingerprintJS-style collector: text canvas (render-twice checked)
+    plus geometry canvas, combined into one components object."""
+    text = text_fingerprint_script(
+        pangram,
+        color_a,
+        color_b,
+        font,
+        double_render=double_render,
+        emoji=emoji,
+        vendor=vendor,
+        result_var="__textComponent",
+    )
+    geometry = geometry_fingerprint_script(hue_offset, vendor=None, result_var="__geomComponent")
+    return (
+        text
+        + geometry
+        + f"""{collect_var} = {{ text: __textComponent, geometry: __geomComponent }};
+"""
+    )
+
+
+def imperva_script(customer_domain: str) -> str:
+    """Imperva-style bot detection: the test canvas embeds the customer
+    domain, so every deployment renders a *unique* canvas (§4.3.2)."""
+    return f"""(function() {{
+  var c = document.createElement('canvas');
+  c.width = 200;
+  c.height = 40;
+  var g = c.getContext('2d');
+  g.textBaseline = 'top';
+  g.font = '13px Arial';
+  g.fillStyle = '#203040';
+  g.fillRect(0, 0, 200, 40);
+  g.fillStyle = '#e8e8e8';
+  g.fillText('inca::' + '{customer_domain}', 3, 5);
+  g.fillText('<@nv45. F1n63r,Pr1n71n6!', 3, 22);
+  window.__incapsulaCanvas = c.toDataURL();
+}})();
+"""
+
+
+def font_prober_script(count: int, seed: int) -> str:
+    """A boutique "font prober" rendering many small test canvases — the
+    source of the per-site canvas-count tail (max 60 in the paper)."""
+    return f"""(function() {{
+  var fonts = ['Arial', 'Courier', 'Georgia', 'Times', 'Verdana', 'Tahoma'];
+  var results = [];
+  for (var i = 0; i < {count}; i++) {{
+    var c = document.createElement('canvas');
+    c.width = 120;
+    c.height = 24;
+    var g = c.getContext('2d');
+    g.font = '12px ' + fonts[i % fonts.length];
+    g.fillStyle = '#1b2a3c';
+    g.fillText('{seed}-' + (i % fonts.length) + ' fontprobe', 2, 16);
+    results.push(c.toDataURL());
+  }}
+  window.__fontProbe = results.length;
+}})();
+"""
+
+
+def webp_check_script() -> str:
+    """WebP-support compatibility check (benign, excluded by heuristic 1)."""
+    return """(function() {
+  var c = document.createElement('canvas');
+  c.width = 1;
+  c.height = 1;
+  var url = c.toDataURL('image/webp');
+  window.__supportsWebp = url.indexOf('data:image/webp') === 0;
+})();
+"""
+
+
+def emoji_check_script() -> str:
+    """Emoji-rendering support check (benign, excluded by heuristic 2)."""
+    return """(function() {
+  var c = document.createElement('canvas');
+  c.width = 10;
+  c.height = 10;
+  var g = c.getContext('2d');
+  g.textBaseline = 'top';
+  g.font = '8px Arial';
+  g.fillText('\\ud83d\\ude03', 0, 0);
+  window.__emojiProbe = c.toDataURL();
+})();
+"""
+
+
+def small_canvas_script(size: int, color: str) -> str:
+    """A small uniform-color canvas extraction (Appendix A.2, Figure 2)."""
+    return f"""(function() {{
+  var c = document.createElement('canvas');
+  c.width = {size};
+  c.height = {size};
+  var g = c.getContext('2d');
+  g.fillStyle = '{color}';
+  g.fillRect(0, 0, {size}, {size});
+  window.__tinyCanvas = c.toDataURL();
+}})();
+"""
+
+
+def animation_tool_script(seed: int = 0) -> str:
+    """An image-editor-style script: draws with save/restore (animation-
+    associated methods), then exports — excluded by heuristic 3."""
+    return f"""(function() {{
+  var c = document.createElement('canvas');
+  c.width = 320;
+  c.height = 200;
+  var g = c.getContext('2d');
+  for (var frame = 0; frame < 3; frame++) {{
+    g.save();
+    g.translate(20 + frame * 10, 30);
+    g.fillStyle = 'hsl(' + (({seed} * 37 + frame * 40) % 360) + ', 70%, 60%)';
+    g.fillRect(0, 0, 80, 50);
+    g.restore();
+  }}
+  g.fillStyle = '#333333';
+  g.fillText('export preview {seed}', 10, 180);
+  window.__editorExport = c.toDataURL();
+}})();
+"""
+
+
+def thumbnail_generator_script(seed: int) -> str:
+    """A benign thumbnail/preview generator: large canvas exported as JPEG.
+
+    Excluded *solely* by the lossy-format heuristic — no animation methods,
+    not small — so it isolates that filter's contribution in ablations.
+    """
+    return f"""(function() {{
+  var c = document.createElement('canvas');
+  c.width = 160;
+  c.height = 120;
+  var g = c.getContext('2d');
+  g.fillStyle = 'hsl({(seed * 13) % 360}, 55%, 70%)';
+  g.fillRect(0, 0, 160, 120);
+  g.fillStyle = '#223344';
+  g.fillRect(10, 90, 140, 20);
+  g.fillStyle = '#ffffff';
+  g.font = '11px Arial';
+  g.fillText('preview #{seed}', 14, 104);
+  window.__thumbnail = c.toDataURL('image/jpeg', 0.8);
+}})();
+"""
+
+
+def analytics_filler_script(seed: int) -> str:
+    """Non-canvas site JavaScript (analytics/page code) — makes first-party
+    bundles realistic hosts for concatenated vendor payloads."""
+    return f"""var __pageAnalytics = (function() {{
+  var events = [];
+  function track(name, value) {{
+    events.push({{ name: name, value: value, t: performance.now() }});
+    return events.length;
+  }}
+  track('pageview', {seed});
+  track('viewport', screen.width + 'x' + screen.height);
+  return {{ track: track, count: function() {{ return events.length; }} }};
+}})();
+"""

@@ -1,0 +1,308 @@
+"""Per-site composition sampling and homepage assembly.
+
+``plan_site`` rolls one site's fate — crawl failure, fingerprinting vendors,
+boutique scripts, serving modes, gating, benign canvas uses — from the
+calibrated rates.  ``build_homepage_html`` turns a plan into the HTML the
+synthetic server will serve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crawler.crawl import CrawlTarget
+from repro.webgen.boutique import BoutiqueCatalog
+from repro.webgen.calibration import CalibrationParams, PopulationRates
+from repro.webgen.vendors import FPJS_ADTECH_HOSTS, VENDORS_BY_NAME, ServingMode, VendorSpec
+
+__all__ = ["Deployment", "SitePlan", "plan_site", "build_homepage_html"]
+
+
+@dataclass
+class Deployment:
+    """One fingerprinting script deployed on one site."""
+
+    kind: str                      # "vendor" | "boutique"
+    vendor: Optional[str] = None
+    boutique_index: Optional[int] = None
+    #: FPJS only: "commercial", "oss", or an ad-tech host name.
+    flavor: Optional[str] = None
+    serving: str = ServingMode.THIRD_PARTY
+    gating: Optional[str] = None   # None | "consent" | "scroll"
+    #: Filled during materialization: the script tag's src (None = bundled).
+    script_src: Optional[str] = None
+
+
+@dataclass
+class SitePlan:
+    """Everything decided about one synthetic site."""
+
+    domain: str
+    rank: int
+    population: str
+    failure: Optional[str] = None
+    deployments: List[Deployment] = field(default_factory=list)
+    benign: List[str] = field(default_factory=list)
+    consent_banner: bool = False
+    #: Deployments that only run on the /login inner page — fingerprinting a
+    #: homepage-only crawl misses (the §3.2 "Limitations" lower bound).
+    login_deployments: List[Deployment] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> bool:
+        return bool(self.deployments)
+
+    @property
+    def tld(self) -> str:
+        return self.domain.rsplit(".", 1)[-1]
+
+
+def _weighted_choice(rng: random.Random, weights: Dict[str, float]) -> str:
+    total = sum(weights.values())
+    u = rng.random() * total
+    acc = 0.0
+    for key, w in weights.items():
+        acc += w
+        if u <= acc:
+            return key
+    return next(reversed(weights))
+
+
+def _pick_serving(rng: random.Random, spec: VendorSpec, population: str) -> str:
+    mix = spec.serving_mix.get(population) or spec.serving_mix.get("top") or {}
+    if not mix:
+        return ServingMode.THIRD_PARTY
+    return _weighted_choice(rng, mix)
+
+
+def _pick_gating(rng: random.Random, rates: PopulationRates) -> Optional[str]:
+    u = rng.random()
+    if u < rates.consent_gate_rate:
+        return "consent"
+    if u < rates.consent_gate_rate + rates.scroll_gate_rate:
+        return "scroll"
+    return None
+
+
+_FPJS_OSS_MIX = {
+    "top": {
+        ServingMode.FIRST_PARTY_BUNDLE: 0.34,
+        ServingMode.SUBDOMAIN: 0.24,
+        ServingMode.THIRD_PARTY: 0.24,
+        ServingMode.CDN: 0.08,
+        ServingMode.CNAME_CLOAK: 0.06,
+        ServingMode.FIRST_PARTY_PATH: 0.04,
+    },
+    "tail": {
+        ServingMode.FIRST_PARTY_BUNDLE: 0.56,
+        ServingMode.SUBDOMAIN: 0.08,
+        ServingMode.THIRD_PARTY: 0.17,
+        ServingMode.CDN: 0.10,
+        ServingMode.CNAME_CLOAK: 0.04,
+        ServingMode.FIRST_PARTY_PATH: 0.05,
+    },
+}
+
+_FPJS_COMMERCIAL_MIX = {
+    "top": {ServingMode.SUBDOMAIN: 0.45, ServingMode.THIRD_PARTY: 0.30, ServingMode.CDN: 0.25},
+    "tail": {ServingMode.SUBDOMAIN: 0.25, ServingMode.THIRD_PARTY: 0.45, ServingMode.CDN: 0.30},
+}
+
+_BOUTIQUE_MIX = {
+    "top": {
+        ServingMode.THIRD_PARTY: 0.77,
+        ServingMode.FIRST_PARTY_BUNDLE: 0.12,
+        ServingMode.FIRST_PARTY_PATH: 0.06,
+        ServingMode.SUBDOMAIN: 0.02,
+        ServingMode.CDN: 0.01,
+        ServingMode.CNAME_CLOAK: 0.02,
+    },
+    "tail": {
+        ServingMode.THIRD_PARTY: 0.235,
+        ServingMode.FIRST_PARTY_BUNDLE: 0.55,
+        ServingMode.FIRST_PARTY_PATH: 0.14,
+        ServingMode.SUBDOMAIN: 0.03,
+        ServingMode.CDN: 0.015,
+        ServingMode.CNAME_CLOAK: 0.03,
+    },
+}
+
+
+def _fpjs_deployment(rng: random.Random, population: str, params: CalibrationParams) -> Deployment:
+    """Pick a FingerprintJS flavor and serving mode (§4.3.1's ecosystem)."""
+    commercial_share = params.fpjs_commercial_share[population]
+    u = rng.random()
+    if u < commercial_share:
+        return Deployment(
+            kind="vendor",
+            vendor="FingerprintJS",
+            flavor="commercial",
+            serving=_weighted_choice(rng, _FPJS_COMMERCIAL_MIX[population]),
+        )
+    acc = commercial_share
+    for host, name, top_share, tail_share in FPJS_ADTECH_HOSTS:
+        share = top_share if population == "top" else tail_share
+        acc += share
+        if u < acc:
+            return Deployment(
+                kind="vendor",
+                vendor="FingerprintJS",
+                flavor=name,
+                serving=ServingMode.THIRD_PARTY,
+            )
+    return Deployment(
+        kind="vendor",
+        vendor="FingerprintJS",
+        flavor="oss",
+        serving=_weighted_choice(rng, _FPJS_OSS_MIX[population]),
+    )
+
+
+def plan_site(
+    target: CrawlTarget,
+    params: CalibrationParams,
+    catalog: BoutiqueCatalog,
+    seed: int,
+) -> SitePlan:
+    """Sample the full composition of one site, deterministically."""
+    rng = random.Random(f"{seed}:site:{target.domain}")
+    rates = params.rates(target.population)
+    plan = SitePlan(domain=target.domain, rank=target.rank, population=target.population)
+
+    # Crawl failure (§3: 16,276 / 17,260 of 20k succeeded).
+    if rng.random() > rates.success_rate:
+        plan.failure = _weighted_choice(rng, dict(rates.failure_mix))
+        return plan
+
+    # mail.ru rides on .ru sites (§4.3.1: one third of top .ru domains).
+    if plan.tld == "ru" and rng.random() < rates.mailru_given_ru:
+        spec = VENDORS_BY_NAME["mail.ru"]
+        plan.deployments.append(
+            Deployment(
+                kind="vendor",
+                vendor="mail.ru",
+                serving=_pick_serving(rng, spec, target.population),
+                gating=_pick_gating(rng, rates),
+            )
+        )
+
+    # Other fingerprinters.
+    if rng.random() < rates.other_fp_rate:
+        primary = _weighted_choice(rng, rates.weights_dict())
+        if primary == "boutique":
+            idx = catalog.sample_index(rng, target.population)
+            plan.deployments.append(
+                Deployment(
+                    kind="boutique",
+                    boutique_index=idx,
+                    serving=_weighted_choice(rng, _BOUTIQUE_MIX[target.population]),
+                    gating=_pick_gating(rng, rates),
+                )
+            )
+        elif primary == "FingerprintJS":
+            deployment = _fpjs_deployment(rng, target.population, params)
+            deployment.gating = _pick_gating(rng, rates)
+            plan.deployments.append(deployment)
+        else:
+            spec = VENDORS_BY_NAME[primary]
+            plan.deployments.append(
+                Deployment(
+                    kind="vendor",
+                    vendor=primary,
+                    serving=_pick_serving(rng, spec, target.population),
+                    gating=_pick_gating(rng, rates),
+                )
+            )
+
+    # Small (mostly security) vendors co-deploy on fingerprinting sites.
+    if plan.deployments:
+        for name, rate in rates.small_vendor_rates:
+            if rng.random() < rate:
+                spec = VENDORS_BY_NAME[name]
+                plan.deployments.append(
+                    Deployment(
+                        kind="vendor",
+                        vendor=name,
+                        serving=_pick_serving(rng, spec, target.population),
+                        gating=_pick_gating(rng, rates),
+                    )
+                )
+        # And some attributed sites additionally run a boutique script.
+        if any(d.kind == "vendor" for d in plan.deployments):
+            if rng.random() < rates.boutique_secondary_rate:
+                idx = catalog.sample_index(rng, target.population)
+                plan.deployments.append(
+                    Deployment(
+                        kind="boutique",
+                        boutique_index=idx,
+                        serving=_weighted_choice(rng, _BOUTIQUE_MIX[target.population]),
+                        gating=_pick_gating(rng, rates),
+                    )
+                )
+
+    # Benign canvas uses (correlated with fingerprinting — §3.2 / A.2).
+    is_fp = plan.fingerprints
+    for kind, p_fp, p_clean in (
+        ("webp", rates.webp_given_fp, rates.webp_given_clean),
+        ("small", rates.small_given_fp, rates.small_given_clean),
+        ("emoji", rates.emoji_given_fp, rates.emoji_given_clean),
+        ("animation", rates.animation_given_fp, rates.animation_given_clean),
+        ("thumbnail", rates.thumbnail_given_fp, rates.thumbnail_given_clean),
+    ):
+        if rng.random() < (p_fp if is_fp else p_clean):
+            plan.benign.append(kind)
+
+    plan.consent_banner = any(d.gating == "consent" for d in plan.deployments) or rng.random() < 0.25
+
+    # Inner-page (login) fingerprinting: the paper's homepage-only crawl is
+    # a stated lower bound (§3.2 Limitations); some sites fingerprint only
+    # behind /login (security re-identification — cf. Senol et al. [39]).
+    login_only_rate = 0.06 if not plan.fingerprints else 0.15
+    if rng.random() < 0.3 and rng.random() < login_only_rate:
+        security_vendors = ("PerimeterX", "Sift Science", "Signifyd", "AWS Firewall")
+        vendor = security_vendors[rng.randrange(len(security_vendors))]
+        plan.login_deployments.append(
+            Deployment(
+                kind="vendor",
+                vendor=vendor,
+                serving=_pick_serving(rng, VENDORS_BY_NAME[vendor], target.population),
+            )
+        )
+    return plan
+
+
+def build_homepage_html(plan: SitePlan, bundle_has_vendor_code: bool) -> str:
+    """Assemble the homepage HTML for a planned site."""
+    parts: List[str] = [
+        "<html><head>",
+        f"<title>{plan.domain.split('.')[0].title()} — rank {plan.rank}</title>",
+        "</head><body>",
+    ]
+    if plan.consent_banner:
+        parts.append(
+            '<div class="consent-banner" data-consent-banner="1">'
+            'We value your privacy <button class="consent-accept">Accept</button></div>'
+        )
+    parts.append(f"<h1>{plan.domain}</h1>")
+
+    # Every site ships a first-party bundle (analytics/page code; vendor
+    # payloads may be concatenated into it during materialization).
+    parts.append('<script src="/assets/app.js"></script>')
+
+    for deployment in plan.deployments:
+        if deployment.serving == ServingMode.FIRST_PARTY_BUNDLE:
+            continue  # inside /assets/app.js
+        gate = ""
+        if deployment.gating == "consent":
+            gate = ' data-consent="required"'
+        elif deployment.gating == "scroll":
+            gate = ' data-trigger="scroll"'
+        parts.append(f'<script src="{deployment.script_src}"{gate}></script>')
+
+    for kind in plan.benign:
+        parts.append(f'<script src="/assets/{kind}-check.js"></script>')
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

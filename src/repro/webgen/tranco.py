@@ -1,0 +1,89 @@
+"""Tranco-like site ranking.
+
+Generates a deterministic pseudo-Tranco list: domain names with a realistic
+TLD mix (including the ``.ru`` share that gives mail.ru its §4.3.1 reach),
+a :meth:`top` slice and the paper's :meth:`tail_sample` of ranks
+20k+1 .. 1M.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.crawler.crawl import CrawlTarget
+
+__all__ = ["TrancoRanking"]
+
+_NAME_A = (
+    "news", "shop", "tech", "cloud", "media", "game", "travel", "health",
+    "auto", "food", "music", "sport", "home", "star", "blue", "fast",
+    "smart", "global", "daily", "prime", "mega", "ultra", "open", "net",
+    "web", "data", "live", "world", "city", "market",
+)
+_NAME_B = (
+    "hub", "zone", "base", "port", "spot", "land", "works", "press",
+    "point", "link", "line", "gate", "deck", "nest", "forge", "mart",
+    "plex", "wave", "peak", "crest", "field", "grid", "path", "pulse",
+)
+
+#: (tld, weight) — .ru weight chosen so roughly 4.5% of sites are .ru,
+#: giving mail.ru its one-third-of-.ru-domains reach at Table 1 counts.
+_TLDS: Tuple[Tuple[str, float], ...] = (
+    ("com", 0.52),
+    ("net", 0.08),
+    ("org", 0.07),
+    ("ru", 0.045),
+    ("de", 0.04),
+    ("co.uk", 0.035),
+    ("io", 0.03),
+    ("fr", 0.025),
+    ("jp", 0.025),
+    ("br", 0.02),
+    ("in", 0.02),
+    ("it", 0.02),
+    ("nl", 0.02),
+    ("pl", 0.015),
+    ("es", 0.015),
+    ("info", 0.015),
+    ("biz", 0.01),
+    ("us", 0.01),
+)
+
+
+class TrancoRanking:
+    """Deterministic ranked site list."""
+
+    TAIL_MIN = 20_001
+    TAIL_MAX = 1_000_000
+
+    def __init__(self, seed: int = 20250501) -> None:
+        self.seed = seed
+        self._tld_cum = []
+        total = sum(w for _, w in _TLDS)
+        acc = 0.0
+        for tld, w in _TLDS:
+            acc += w / total
+            self._tld_cum.append((acc, tld))
+
+    def domain_at(self, rank: int) -> str:
+        """The domain holding a given rank (1-based), deterministic."""
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        rng = random.Random(f"{self.seed}:rank:{rank}")
+        u = rng.random()
+        tld = next(t for cum, t in self._tld_cum if u <= cum)
+        a = _NAME_A[rng.randrange(len(_NAME_A))]
+        b = _NAME_B[rng.randrange(len(_NAME_B))]
+        return f"{a}{b}{rank}.{tld}"
+
+    def top(self, n: int) -> List[CrawlTarget]:
+        """The top-``n`` sites (the paper's popular population)."""
+        return [CrawlTarget(self.domain_at(r), r, "top") for r in range(1, n + 1)]
+
+    def tail_sample(self, n: int, top_n: int = 20_000) -> List[CrawlTarget]:
+        """A random ``n``-site sample of ranks ``top_n+1 .. 1M`` (§3)."""
+        rng = random.Random(f"{self.seed}:tail-sample")
+        lo = max(top_n + 1, self.TAIL_MIN)
+        ranks = sorted(rng.sample(range(lo, self.TAIL_MAX + 1), n))
+        return [CrawlTarget(self.domain_at(r), r, "tail") for r in ranks]

@@ -1,0 +1,115 @@
+"""Tests for the adblockparser compatibility shim and Disconnect JSON."""
+
+import pytest
+
+from repro.blocklists.adblockparser_compat import AdblockRule, AdblockRules
+from repro.blocklists.disconnect import DisconnectList
+
+
+class TestAdblockRulesCompat:
+    """The paper's §5.1 call shape: AdblockRules(...).should_block(url, opts)."""
+
+    @pytest.fixture
+    def rules(self):
+        return AdblockRules(
+            [
+                "! comment line",
+                "||tracker.net^$script",
+                "||ads.example^$third-party",
+                "@@||tracker.net/ok.js$script",
+                "||broken.example^$unsupportedoption",  # skipped
+                "||mgid-like.com^$document",
+            ]
+        )
+
+    def test_should_block_with_script_option(self, rules):
+        assert rules.should_block("https://tracker.net/fp.js", {"script": True})
+
+    def test_exception_respected(self, rules):
+        assert not rules.should_block("https://tracker.net/ok.js", {"script": True})
+
+    def test_document_modifier_semantics(self, rules):
+        assert not rules.should_block("https://mgid-like.com/fp.js", {"script": True})
+        assert rules.should_block("https://mgid-like.com/", {"document": True})
+
+    def test_third_party_option(self, rules):
+        url = "https://ads.example/x.js"
+        assert rules.should_block(url, {"script": True, "third-party": True})
+        assert not rules.should_block(url, {"script": True, "third-party": False})
+
+    def test_unsupported_rules_skipped(self, rules):
+        assert not rules.should_block("https://broken.example/x.js", {"script": True})
+
+    def test_unsupported_raises_when_asked(self):
+        with pytest.raises(ValueError):
+            AdblockRules(["||x.com^$nosuchopt"], skip_unsupported_rules=False)
+
+    def test_no_options(self, rules):
+        assert rules.should_block("https://tracker.net/fp.js") is False  # script-only rule
+
+
+class TestAdblockRule:
+    def test_options_surface(self):
+        rule = AdblockRule("||x.com^$script,third-party,domain=a.com|~b.com")
+        opts = rule.options
+        assert opts["script"] is True
+        assert opts["third-party"] is True
+        assert opts["domain"] == {"a.com": True, "b.com": False}
+
+    def test_match_url(self):
+        rule = AdblockRule("||x.com^$script")
+        assert rule.match_url("https://x.com/a.js", {"script": True})
+        assert not rule.match_url("https://y.com/a.js", {"script": True})
+
+    def test_comment_rejected(self):
+        with pytest.raises(ValueError):
+            AdblockRule("! just a comment")
+
+    def test_exception_flag(self):
+        assert AdblockRule("@@||x.com^").is_exception
+
+
+class TestDisconnectJSON:
+    def test_roundtrip(self):
+        dl = DisconnectList()
+        dl.add("mail.ru", "FingerprintingInvasive")
+        dl.add("adsco.re", "Advertising")
+        dl.add("acint.net", "Analytics")
+        data = dl.to_json()
+        restored = DisconnectList.from_json(data)
+        assert restored.domains() == dl.domains()
+        assert restored.category_of("mail.ru") == "FingerprintingInvasive"
+        assert restored.category_of("adsco.re") == "Advertising"
+
+    def test_json_layout(self):
+        dl = DisconnectList()
+        dl.add("fp-vendor.io", "FingerprintingInvasive")
+        data = dl.to_json()
+        assert "FingerprintingInvasive" in data["categories"]
+        (entity,) = data["categories"]["FingerprintingInvasive"].values()
+        assert entity == {"https://fp-vendor.io/": ["fp-vendor.io"]}
+
+    def test_from_json_skips_unknown_categories(self):
+        data = {"categories": {"NotReal": {"X": {"https://x.com/": ["x.com"]}}}}
+        assert len(DisconnectList.from_json(data)) == 0
+
+
+class TestTextMetricsExtended:
+    def test_bounding_box_fields_in_js(self):
+        from repro.browser import Browser
+        from repro.net import Network
+
+        net = Network()
+        net.server_for("m.example").add_resource(
+            "/",
+            """<script>
+            var c = document.createElement('canvas');
+            var g = c.getContext('2d');
+            g.font = '16px Arial';
+            var m = g.measureText('metrics');
+            console.log(m.width > 0, m.actualBoundingBoxAscent > m.actualBoundingBoxDescent,
+                        m.actualBoundingBoxRight === m.width);
+            </script>""",
+        )
+        page = Browser(net).load("https://m.example/")
+        assert page.console == ["true true true"]

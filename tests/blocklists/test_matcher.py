@@ -1,0 +1,88 @@
+"""Tests for the RuleMatcher and DisconnectList."""
+
+from repro.blocklists.disconnect import DisconnectList
+from repro.blocklists.matcher import RuleMatcher
+
+import pytest
+
+LIST_TEXT = """\
+! Test list
+||tracker.net^$script
+||ads.example^$third-party
+@@||tracker.net/allowed.js$script
+||mgid-like.com^$document
+/generic-fp.js$script
+"""
+
+
+@pytest.fixture
+def matcher():
+    return RuleMatcher.from_text(LIST_TEXT, name="test")
+
+
+class TestShouldBlock:
+    def test_blocks_matching_script(self, matcher):
+        assert matcher.should_block("https://tracker.net/fp.js", "script")
+
+    def test_exception_rule_wins(self, matcher):
+        assert not matcher.should_block("https://tracker.net/allowed.js", "script")
+
+    def test_third_party_context(self, matcher):
+        url = "https://ads.example/x.js"
+        assert matcher.should_block(url, "script", third_party=True)
+        assert not matcher.should_block(url, "script", third_party=False)
+
+    def test_document_rule_misses_script_requests(self, matcher):
+        assert not matcher.should_block("https://mgid-like.com/fp.js", "script")
+        assert matcher.should_block("https://mgid-like.com/", "document")
+
+    def test_unlisted_url_not_blocked(self, matcher):
+        assert not matcher.should_block("https://benign.org/app.js", "script")
+
+    def test_first_match_returns_rule(self, matcher):
+        rule = matcher.first_match("https://tracker.net/fp.js", "script")
+        assert rule is not None and "tracker.net" in rule.raw
+
+
+class TestListedStaticCheck:
+    """The §5.1 static check ignores context that blocks in practice."""
+
+    def test_listed_ignores_third_party_context(self, matcher):
+        # ads.example is $third-party; static check still counts it as listed.
+        assert matcher.listed("https://ads.example/x.js", "script")
+
+    def test_listed_respects_resource_type(self, matcher):
+        # $document rules do not list script resources (A.6).
+        assert not matcher.listed("https://mgid-like.com/fp.js", "script")
+
+    def test_listed_ignores_exception_rules(self, matcher):
+        assert matcher.listed("https://tracker.net/allowed.js", "script")
+
+    def test_len(self, matcher):
+        assert len(matcher) == 5
+
+
+class TestDisconnect:
+    def test_domain_and_subdomain(self):
+        dl = DisconnectList()
+        dl.add("fingerprinter.io")
+        assert dl.contains_url("https://fingerprinter.io/x.js")
+        assert dl.contains_url("https://cdn.fingerprinter.io/x.js")
+        assert not dl.contains_url("https://other.io/x.js")
+
+    def test_category(self):
+        dl = DisconnectList()
+        dl.add("ads.biz", "Advertising")
+        assert dl.category_of("sub.ads.biz") == "Advertising"
+        assert dl.category_of("nope.com") is None
+
+    def test_bad_category_rejected(self):
+        dl = DisconnectList()
+        with pytest.raises(ValueError):
+            dl.add("x.com", "NotACategory")
+
+    def test_add_all_and_len(self):
+        dl = DisconnectList()
+        dl.add_all(["a.com", "b.com"])
+        assert len(dl) == 2
+        assert dl.domains() == {"a.com", "b.com"}

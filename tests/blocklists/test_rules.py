@@ -1,0 +1,135 @@
+"""Tests for ABP rule parsing and matching semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blocklists.rules import FilterRule, ParseError, parse_list, parse_rule
+
+
+def rule(text):
+    r = parse_rule(text)
+    assert r is not None
+    return r
+
+
+class TestParsing:
+    def test_comment_lines_skipped(self):
+        assert parse_rule("! comment") is None
+        assert parse_rule("[Adblock Plus 2.0]") is None
+        assert parse_rule("   ") is None
+
+    def test_exception_flag(self):
+        assert rule("@@||example.com^").is_exception
+        assert not rule("||example.com^").is_exception
+
+    def test_element_hiding_never_matches_urls(self):
+        r = rule("example.com##.ad-banner")
+        assert r.is_element_hiding
+        assert not r.matches("https://example.com/ad-banner.js")
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(ParseError):
+            parse_rule("||example.com^$bogusoption")
+
+    def test_parse_list_skips_bad_rules(self):
+        rules = parse_list("! header\n||good.com^\n||bad.com^$nosuchopt\n")
+        assert len(rules) == 1
+
+
+class TestHostAnchor:
+    def test_matches_domain_and_subdomains(self):
+        r = rule("||tracker.com^")
+        assert r.matches("https://tracker.com/fp.js")
+        assert r.matches("https://cdn.tracker.com/fp.js")
+        assert r.matches("http://tracker.com/")
+
+    def test_does_not_match_suffix_domains(self):
+        r = rule("||tracker.com^")
+        assert not r.matches("https://nottracker.com/fp.js")
+        assert not r.matches("https://tracker.com.evil.net/fp.js")
+
+    def test_separator_requires_boundary(self):
+        r = rule("||ads.example^")
+        assert r.matches("https://ads.example/x")
+        assert not r.matches("https://ads.example-not.com/")
+
+
+class TestPatterns:
+    def test_plain_substring(self):
+        r = rule("/fingerprint.js")
+        assert r.matches("https://any.com/static/fingerprint.js")
+        assert not r.matches("https://any.com/static/other.js")
+
+    def test_wildcard(self):
+        r = rule("/fp-*.min.js")
+        assert r.matches("https://x.com/fp-v2.min.js")
+        assert not r.matches("https://x.com/fp.min.js")
+
+    def test_start_anchor(self):
+        r = rule("|https://exact.com/")
+        assert r.matches("https://exact.com/path")
+        assert not r.matches("https://other.com/?u=https://exact.com/")
+
+    def test_end_anchor(self):
+        r = rule("/collector.js|")
+        assert r.matches("https://x.com/collector.js")
+        assert not r.matches("https://x.com/collector.js?v=1")
+
+    def test_regex_literal_rule(self):
+        r = rule(r"/fp-[0-9]+\.js/")
+        assert r.matches("https://x.com/fp-123.js")
+        assert not r.matches("https://x.com/fp-abc.js")
+
+
+class TestOptions:
+    def test_script_type_restriction(self):
+        r = rule("||ads.net^$script")
+        assert r.matches("https://ads.net/a.js", resource_type="script")
+        assert not r.matches("https://ads.net/a.gif", resource_type="image")
+
+    def test_inverse_type(self):
+        r = rule("||ads.net^$~script")
+        assert not r.matches("https://ads.net/a.js", resource_type="script")
+        assert r.matches("https://ads.net/a.gif", resource_type="image")
+
+    def test_document_modifier_misses_scripts(self):
+        """Appendix A.6: ||mgid.com^$document does not block script loads."""
+        r = rule("||mgid.com^$document")
+        assert not r.matches("https://mgid.com/fp.js", resource_type="script")
+        assert r.matches("https://mgid.com/", resource_type="document")
+
+    def test_third_party_option(self):
+        r = rule("||fp.net^$third-party")
+        assert r.matches("https://fp.net/x.js", third_party=True)
+        assert not r.matches("https://fp.net/x.js", third_party=False)
+
+    def test_first_party_only_option(self):
+        r = rule("||fp.net^$~third-party")
+        assert r.matches("https://fp.net/x.js", third_party=False)
+        assert not r.matches("https://fp.net/x.js", third_party=True)
+
+    def test_domain_restriction(self):
+        r = rule("/track.js$domain=news.com|shop.com")
+        assert r.matches("https://cdn.x.com/track.js", page_domain="news.com")
+        assert r.matches("https://cdn.x.com/track.js", page_domain="sub.shop.com")
+        assert not r.matches("https://cdn.x.com/track.js", page_domain="blog.org")
+        assert not r.matches("https://cdn.x.com/track.js", page_domain=None)
+
+    def test_domain_exclusion(self):
+        r = rule("/track.js$domain=~safe.com")
+        assert r.matches("https://x.com/track.js", page_domain="other.com")
+        assert not r.matches("https://x.com/track.js", page_domain="safe.com")
+
+    def test_multiple_options(self):
+        r = rule("||fp.net^$script,third-party")
+        assert r.matches("https://fp.net/x.js", resource_type="script", third_party=True)
+        assert not r.matches("https://fp.net/x.js", resource_type="script", third_party=False)
+        assert not r.matches("https://fp.net/x.gif", resource_type="image", third_party=True)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=10))
+def test_host_anchor_property(domain):
+    r = parse_rule(f"||{domain}.com^")
+    assert r.matches(f"https://{domain}.com/anything.js")
+    assert r.matches(f"https://sub.{domain}.com/anything.js")
+    assert not r.matches(f"https://{domain}.org/anything.js")

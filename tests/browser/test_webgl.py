@@ -1,0 +1,60 @@
+"""Tests for the WebGL parameter-probe surface."""
+
+import pytest
+
+from repro.browser import Browser, BrowserProfile
+from repro.canvas.device import APPLE_M1, INTEL_UBUNTU, device_fleet
+from repro.net import Network
+
+PROBE = """
+var c = document.createElement('canvas');
+var gl = c.getContext('webgl');
+var ext = gl.getExtension('WEBGL_debug_renderer_info');
+console.log(gl.getParameter(ext.UNMASKED_VENDOR_WEBGL));
+console.log(gl.getParameter(ext.UNMASKED_RENDERER_WEBGL));
+console.log(gl.getParameter(gl.VERSION));
+console.log(gl.getSupportedExtensions().includes('WEBGL_debug_renderer_info'));
+"""
+
+
+def probe(device):
+    net = Network()
+    net.server_for("gl.example").add_resource("/", f"<script>{PROBE}</script>")
+    page = Browser(net, BrowserProfile(device=device)).load("https://gl.example/")
+    assert not page.script_errors, page.script_errors
+    return page
+
+
+class TestWebGL:
+    def test_intel_identity(self):
+        page = probe(INTEL_UBUNTU)
+        assert page.console[0] == "Intel Open Source Technology Center"
+        assert "UHD Graphics" in page.console[1]
+        assert page.console[2] == "WebGL 1.0"
+        assert page.console[3] == "true"
+
+    def test_m1_identity(self):
+        page = probe(APPLE_M1)
+        assert page.console[0] == "Apple Inc."
+        assert page.console[1] == "Apple M1"
+
+    def test_synthetic_devices_distinct(self):
+        fleet = device_fleet(4)
+        renderers = [probe(d).console[1] for d in fleet]
+        assert len(set(renderers)) == 4
+
+    def test_getcontext_webgl_recorded(self):
+        page = probe(INTEL_UBUNTU)
+        calls = [c for c in page.instrument.calls if c.method == "getContext"]
+        assert calls and calls[0].args == ("webgl",)
+        assert calls[0].retval == "WebGLRenderingContext"
+
+    def test_unknown_extension_null(self):
+        net = Network()
+        net.server_for("x.example").add_resource(
+            "/",
+            "<script>var gl = document.createElement('canvas').getContext('webgl');"
+            "console.log(gl.getExtension('NOPE') === null);</script>",
+        )
+        page = Browser(net).load("https://x.example/")
+        assert page.console == ["true"]

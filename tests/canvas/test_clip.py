@@ -1,0 +1,96 @@
+"""Tests for canvas clipping."""
+
+import math
+
+from repro.canvas import HTMLCanvasElement, INTEL_UBUNTU
+
+
+def make_canvas(w=60, h=60):
+    c = HTMLCanvasElement(w, h, device=INTEL_UBUNTU)
+    return c, c.getContext("2d")
+
+
+class TestClip:
+    def test_fill_restricted_to_clip(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.rect(10, 10, 20, 20)
+        ctx.clip()
+        ctx.fillStyle = "red"
+        ctx.fillRect(0, 0, 60, 60)
+        px = c.read_pixels()
+        assert px[15, 15, 0] == 255   # inside clip
+        assert px[45, 45, 0] == 0     # outside clip
+        assert px[5, 5, 0] == 0
+
+    def test_circular_clip(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.arc(30, 30, 15, 0, 2 * math.pi)
+        ctx.clip()
+        ctx.fillStyle = "lime"
+        ctx.fillRect(0, 0, 60, 60)
+        px = c.read_pixels()
+        assert px[30, 30, 1] > 200
+        assert px[30, 30 + 20, 1] == 0  # beyond the radius
+
+    def test_nested_clips_intersect(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.rect(0, 0, 40, 60)
+        ctx.clip()
+        ctx.beginPath()
+        ctx.rect(20, 0, 40, 60)
+        ctx.clip()
+        ctx.fillStyle = "white"
+        ctx.fillRect(0, 0, 60, 60)
+        px = c.read_pixels()
+        assert px[30, 30, 0] > 200    # in both rects (20..40)
+        assert px[30, 10, 0] == 0     # only in the first
+        assert px[30, 50, 0] == 0     # only in the second
+
+    def test_restore_removes_clip(self):
+        c, ctx = make_canvas()
+        ctx.save()
+        ctx.beginPath()
+        ctx.rect(0, 0, 10, 10)
+        ctx.clip()
+        ctx.restore()
+        ctx.fillStyle = "blue"
+        ctx.fillRect(0, 0, 60, 60)
+        assert c.read_pixels()[50, 50, 2] == 255
+
+    def test_clip_applies_to_text(self):
+        c, ctx = make_canvas(120, 40)
+        ctx.beginPath()
+        ctx.rect(0, 0, 30, 40)
+        ctx.clip()
+        ctx.font = "16px Arial"
+        ctx.fillStyle = "white"
+        ctx.fillText("clipped text run", 2, 25)
+        px = c.read_pixels()
+        assert px[:, :30, 0].sum() > 0      # ink inside the clip
+        assert px[:, 31:, 0].sum() == 0     # nothing escapes it
+
+    def test_clip_via_js(self):
+        from repro.browser import Browser
+        from repro.net import Network
+
+        net = Network()
+        net.server_for("clip.example").add_resource(
+            "/",
+            """<script>
+            var c = document.createElement('canvas');
+            c.width = 40; c.height = 40;
+            var g = c.getContext('2d');
+            g.beginPath();
+            g.rect(0, 0, 20, 40);
+            g.clip();
+            g.fillStyle = '#ffffff';
+            g.fillRect(0, 0, 40, 40);
+            var d = g.getImageData(0, 0, 40, 40);
+            console.log(d.data[0], d.data[4 * (40 * 10 + 30)]);
+            </script>""",
+        )
+        page = Browser(net).load("https://clip.example/")
+        assert page.console == ["255 0"]

@@ -1,0 +1,101 @@
+"""Tests for CSS color parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.canvas.color import ColorError, parse_color
+
+
+class TestHex:
+    def test_rrggbb(self):
+        assert parse_color("#ff8000") == (255.0, 128.0, 0.0, 255.0)
+
+    def test_short_rgb(self):
+        assert parse_color("#f06") == (255.0, 0.0, 102.0, 255.0)
+
+    def test_rrggbbaa(self):
+        assert parse_color("#00000080") == (0.0, 0.0, 0.0, 128.0)
+
+    def test_rgba_short(self):
+        assert parse_color("#f068") == (255.0, 0.0, 102.0, 136.0)
+
+    def test_case_insensitive(self):
+        assert parse_color("#FF8000") == parse_color("#ff8000")
+
+    @pytest.mark.parametrize("bad", ["#", "#f", "#ff", "#fffff", "#ggg", "#1234567"])
+    def test_invalid_hex(self, bad):
+        with pytest.raises(ColorError):
+            parse_color(bad)
+
+
+class TestFunctional:
+    def test_rgb(self):
+        assert parse_color("rgb(1, 2, 3)") == (1.0, 2.0, 3.0, 255.0)
+
+    def test_rgba(self):
+        assert parse_color("rgba(10, 20, 30, 0.5)") == (10.0, 20.0, 30.0, 127.5)
+
+    def test_rgb_percent(self):
+        assert parse_color("rgb(100%, 0%, 50%)") == (255.0, 0.0, 127.5, 255.0)
+
+    def test_rgb_clamping(self):
+        assert parse_color("rgb(300, -5, 128)") == (255.0, 0.0, 128.0, 255.0)
+
+    def test_rgb_spaces(self):
+        assert parse_color("rgb( 7 , 8 , 9 )") == (7.0, 8.0, 9.0, 255.0)
+
+    def test_hsl_red(self):
+        r, g, b, a = parse_color("hsl(0, 100%, 50%)")
+        assert (round(r), round(g), round(b), a) == (255, 0, 0, 255.0)
+
+    def test_hsl_gray(self):
+        r, g, b, _ = parse_color("hsl(120, 0%, 50%)")
+        assert round(r) == round(g) == round(b) == 128
+
+    def test_hsla_alpha(self):
+        assert parse_color("hsla(240, 100%, 50%, 0.25)")[3] == 63.75
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ColorError):
+            parse_color("rgb(1, 2)")
+
+
+class TestNamed:
+    def test_common_names(self):
+        assert parse_color("black") == (0.0, 0.0, 0.0, 255.0)
+        assert parse_color("white") == (255.0, 255.0, 255.0, 255.0)
+        assert parse_color("orange") == (255.0, 165.0, 0.0, 255.0)
+
+    def test_transparent(self):
+        assert parse_color("transparent")[3] == 0.0
+
+    def test_case_and_whitespace(self):
+        assert parse_color("  NAVY ") == (0.0, 0.0, 128.0, 255.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ColorError):
+            parse_color("notacolor")
+
+    def test_non_string(self):
+        with pytest.raises(ColorError):
+            parse_color(42)
+
+    def test_empty(self):
+        with pytest.raises(ColorError):
+            parse_color("   ")
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_hex_roundtrip(r, g, b):
+    assert parse_color(f"#{r:02x}{g:02x}{b:02x}") == (float(r), float(g), float(b), 255.0)
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_rgb_matches_hex(r, g, b):
+    assert parse_color(f"rgb({r}, {g}, {b})") == parse_color(f"#{r:02x}{g:02x}{b:02x}")
+
+
+@given(st.floats(0, 1, allow_nan=False).map(lambda a: round(a, 3)))
+def test_alpha_in_range(a):
+    rgba = parse_color(f"rgba(0, 0, 0, {a})")
+    assert 0.0 <= rgba[3] <= 255.0

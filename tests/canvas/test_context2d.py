@@ -1,0 +1,495 @@
+"""Tests for the 2D context: drawing, state, transforms, and the
+fingerprinting-critical determinism properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.canvas import APPLE_M1, INTEL_UBUNTU, HTMLCanvasElement
+
+
+def make_canvas(w=100, h=60, device=INTEL_UBUNTU):
+    c = HTMLCanvasElement(w, h, device=device)
+    return c, c.getContext("2d")
+
+
+class TestElementBasics:
+    def test_default_size(self):
+        c = HTMLCanvasElement()
+        assert (c.width, c.height) == (300, 150)
+
+    def test_set_dimensions_resets_surface(self):
+        c, ctx = make_canvas()
+        ctx.fillRect(0, 0, 100, 60)
+        c.width = 100
+        assert not c.read_pixels().any()
+
+    def test_invalid_dimension_uses_default(self):
+        c = HTMLCanvasElement()
+        c.width = -5
+        assert c.width == 300
+        c.height = "bogus"
+        assert c.height == 150
+
+    def test_get_context_2d_is_singleton(self):
+        c = HTMLCanvasElement()
+        assert c.getContext("2d") is c.getContext("2d")
+
+    def test_get_context_unknown_returns_none(self):
+        assert HTMLCanvasElement().getContext("webgl") is None
+
+    def test_to_data_url_is_png_by_default(self):
+        c, _ = make_canvas()
+        assert c.toDataURL().startswith("data:image/png;base64,")
+
+    def test_to_data_url_jpeg(self):
+        c, _ = make_canvas()
+        assert c.toDataURL("image/jpeg").startswith("data:image/jpeg;base64,")
+
+    def test_unknown_mime_falls_back_to_png(self):
+        c, _ = make_canvas()
+        assert c.toDataURL("image/tiff").startswith("data:image/png;base64,")
+
+
+class TestRects:
+    def test_fill_rect_solid_interior(self):
+        c, ctx = make_canvas()
+        ctx.fillStyle = "#ff0000"
+        ctx.fillRect(10, 10, 20, 20)
+        px = c.read_pixels()
+        assert tuple(px[20, 20]) == (255, 0, 0, 255)
+        assert tuple(px[5, 5]) == (0, 0, 0, 0)
+
+    def test_clear_rect(self):
+        c, ctx = make_canvas()
+        ctx.fillStyle = "blue"
+        ctx.fillRect(0, 0, 100, 60)
+        ctx.clearRect(10, 10, 10, 10)
+        px = c.read_pixels()
+        assert tuple(px[15, 15]) == (0, 0, 0, 0)
+        assert tuple(px[5, 5]) == (0, 0, 255, 255)
+
+    def test_stroke_rect_hollow(self):
+        c, ctx = make_canvas()
+        ctx.strokeStyle = "#00ff00"
+        ctx.lineWidth = 2
+        ctx.strokeRect(10, 10, 40, 30)
+        px = c.read_pixels()
+        assert px[10, 30, 1] > 0        # on the top edge
+        assert px[25, 30, 1] == 0       # interior stays empty
+
+    def test_fill_rect_out_of_bounds_clipped(self):
+        c, ctx = make_canvas()
+        ctx.fillRect(-50, -50, 1000, 1000)
+        px = c.read_pixels()
+        assert (px[..., 3] == 255).all()
+
+    def test_alpha_fill(self):
+        c, ctx = make_canvas()
+        ctx.fillStyle = "rgba(255, 0, 0, 0.5)"
+        ctx.fillRect(0, 0, 50, 50)
+        px = c.read_pixels()
+        assert 120 <= px[10, 10, 3] <= 135
+
+
+class TestState:
+    def test_invalid_fill_style_ignored(self):
+        _, ctx = make_canvas()
+        ctx.fillStyle = "#123456"
+        ctx.fillStyle = "not-a-color"
+        assert ctx.fillStyle == "#123456"
+
+    def test_save_restore(self):
+        _, ctx = make_canvas()
+        ctx.fillStyle = "#111111"
+        ctx.save()
+        ctx.fillStyle = "#222222"
+        ctx.restore()
+        assert ctx.fillStyle == "#111111"
+
+    def test_restore_without_save_is_noop(self):
+        _, ctx = make_canvas()
+        ctx.restore()  # must not raise
+
+    def test_global_alpha_validation(self):
+        _, ctx = make_canvas()
+        ctx.globalAlpha = 0.5
+        ctx.globalAlpha = 7  # invalid, ignored
+        assert ctx.globalAlpha == 0.5
+
+    def test_text_baseline_validation(self):
+        _, ctx = make_canvas()
+        ctx.textBaseline = "top"
+        ctx.textBaseline = "bogus"
+        assert ctx.textBaseline == "top"
+
+    def test_line_width_validation(self):
+        _, ctx = make_canvas()
+        ctx.lineWidth = 3
+        ctx.lineWidth = -1
+        ctx.lineWidth = float("nan")
+        assert ctx.lineWidth == 3
+
+
+class TestPaths:
+    def test_triangle_fill(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.moveTo(10, 50)
+        ctx.lineTo(50, 50)
+        ctx.lineTo(30, 10)
+        ctx.closePath()
+        ctx.fillStyle = "#0000ff"
+        ctx.fill()
+        px = c.read_pixels()
+        assert px[45, 30, 2] > 200     # inside the triangle
+        assert px[15, 10, 2] == 0      # outside
+
+    def test_arc_circle(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.arc(50, 30, 20, 0, 2 * math.pi)
+        ctx.fillStyle = "red"
+        ctx.fill()
+        px = c.read_pixels()
+        assert px[30, 50, 0] > 200           # center filled
+        assert px[30, 50 + 25, 0] == 0       # outside radius
+
+    def test_negative_arc_radius_raises(self):
+        _, ctx = make_canvas()
+        with pytest.raises(ValueError):
+            ctx.arc(0, 0, -1, 0, 1)
+
+    def test_evenodd_winding_makes_hole(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.arc(50, 30, 25, 0, 2 * math.pi)
+        ctx.arc(50, 30, 10, 0, 2 * math.pi)
+        ctx.fillStyle = "black"
+        ctx.fill("evenodd")
+        px = c.read_pixels()
+        assert px[30, 50, 3] == 0       # hole at center
+        assert px[30, 50 + 18, 3] > 200  # ring filled
+
+    def test_stroke_line(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.moveTo(10, 30)
+        ctx.lineTo(90, 30)
+        ctx.lineWidth = 4
+        ctx.strokeStyle = "#ffffff"
+        ctx.stroke()
+        px = c.read_pixels()
+        assert px[30, 50, 0] > 200
+        assert px[10, 50, 0] == 0
+
+    def test_bezier_curve_draws(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.moveTo(10, 50)
+        ctx.bezierCurveTo(30, 0, 70, 0, 90, 50)
+        ctx.lineWidth = 2
+        ctx.strokeStyle = "white"
+        ctx.stroke()
+        assert c.read_pixels()[..., 0].sum() > 0
+
+    def test_is_point_in_path(self):
+        _, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.rect(10, 10, 30, 30)
+        assert ctx.isPointInPath(25, 25)
+        assert not ctx.isPointInPath(5, 5)
+
+    def test_begin_path_resets(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.rect(10, 10, 10, 10)
+        ctx.beginPath()
+        ctx.fill()
+        assert not c.read_pixels().any()
+
+
+class TestTransforms:
+    def test_translate(self):
+        c, ctx = make_canvas()
+        ctx.translate(20, 10)
+        ctx.fillRect(0, 0, 10, 10)
+        px = c.read_pixels()
+        assert px[15, 25, 3] == 255
+        assert px[5, 5, 3] == 0
+
+    def test_scale(self):
+        c, ctx = make_canvas()
+        ctx.scale(2, 2)
+        ctx.fillRect(0, 0, 10, 10)
+        px = c.read_pixels()
+        assert px[15, 15, 3] == 255
+
+    def test_rotate(self):
+        c, ctx = make_canvas(100, 100)
+        ctx.translate(50, 50)
+        ctx.rotate(math.pi / 4)
+        ctx.fillRect(-5, -30, 10, 60)
+        px = c.read_pixels()
+        # The bar's axis rotates onto the (-x, +y) diagonal in screen space.
+        assert px[50 + 15, 50 - 15, 3] > 0
+        assert px[50 + 25, 50, 3] == 0  # straight down is off-axis now
+
+    def test_set_transform_overrides(self):
+        c, ctx = make_canvas()
+        ctx.translate(1000, 1000)
+        ctx.setTransform(1, 0, 0, 1, 0, 0)
+        ctx.fillRect(0, 0, 5, 5)
+        assert c.read_pixels()[2, 2, 3] == 255
+
+    def test_save_restore_covers_transform(self):
+        c, ctx = make_canvas()
+        ctx.save()
+        ctx.translate(30, 30)
+        ctx.restore()
+        ctx.fillRect(0, 0, 5, 5)
+        assert c.read_pixels()[2, 2, 3] == 255
+
+
+class TestText:
+    def test_fill_text_draws_ink(self):
+        c, ctx = make_canvas(200, 40)
+        ctx.font = "16px Arial"
+        ctx.fillStyle = "#000000"
+        ctx.fillRect(0, 0, 200, 40)  # black background
+        ctx.fillStyle = "#ffffff"
+        ctx.fillText("Hello, world!", 4, 24)
+        px = c.read_pixels()
+        assert (px[..., 0] > 128).sum() > 50  # plenty of white glyph pixels
+
+    def test_empty_text_noop(self):
+        c, ctx = make_canvas()
+        ctx.fillText("", 10, 10)
+        assert not c.read_pixels().any()
+
+    def test_measure_text_monotone_in_length(self):
+        _, ctx = make_canvas()
+        ctx.font = "12px Arial"
+        w1 = ctx.measureText("abc").width
+        w2 = ctx.measureText("abcdef").width
+        assert w2 > w1 > 0
+
+    def test_measure_text_scales_with_size(self):
+        _, ctx = make_canvas()
+        ctx.font = "10px Arial"
+        w_small = ctx.measureText("mmm").width
+        ctx.font = "20px Arial"
+        assert ctx.measureText("mmm").width > w_small * 1.5
+
+    def test_emoji_renders_colored(self):
+        c, ctx = make_canvas(60, 30)
+        ctx.font = "20px Arial"
+        ctx.fillText("\U0001f600", 5, 25)
+        px = c.read_pixels()
+        colored = px[(px[..., 3] > 0)]
+        assert len(colored) > 0
+        # Emoji tint: not pure black ink.
+        assert (colored[:, :3].max(axis=1) > 0).any()
+
+    def test_text_align_center_shifts_left(self):
+        c1, ctx1 = make_canvas(200, 40)
+        ctx1.font = "14px Arial"
+        ctx1.fillText("wide text", 100, 30)
+        c2, ctx2 = make_canvas(200, 40)
+        ctx2.font = "14px Arial"
+        ctx2.textAlign = "center"
+        ctx2.fillText("wide text", 100, 30)
+        cols1 = np.nonzero(c1.read_pixels()[..., 3].sum(axis=0))[0]
+        cols2 = np.nonzero(c2.read_pixels()[..., 3].sum(axis=0))[0]
+        assert cols2.min() < cols1.min()
+
+    def test_max_width_squeezes(self):
+        c, ctx = make_canvas(200, 40)
+        ctx.font = "14px Arial"
+        ctx.fillText("squeezed text here", 0, 30, 40)
+        cols = np.nonzero(c.read_pixels()[..., 3].sum(axis=0))[0]
+        assert cols.max() <= 45
+
+
+class TestGradients:
+    def test_linear_gradient_direction(self):
+        c, ctx = make_canvas(100, 20)
+        g = ctx.createLinearGradient(0, 0, 100, 0)
+        g.add_color_stop(0.0, "#000000")
+        g.add_color_stop(1.0, "#ffffff")
+        ctx.fillStyle = g
+        ctx.fillRect(0, 0, 100, 20)
+        px = c.read_pixels()
+        assert px[10, 5, 0] < 40 and px[10, 95, 0] > 215
+        assert int(px[10, 50, 0]) == pytest.approx(128, abs=12)
+
+    def test_radial_gradient_center(self):
+        c, ctx = make_canvas(60, 60)
+        g = ctx.createRadialGradient(30, 30, 0, 30, 30, 30)
+        g.add_color_stop(0.0, "#ffffff")
+        g.add_color_stop(1.0, "#000000")
+        ctx.fillStyle = g
+        ctx.fillRect(0, 0, 60, 60)
+        px = c.read_pixels()
+        assert px[30, 30, 0] > 200
+        assert px[30, 58, 0] < 60
+
+    def test_bad_stop_offset(self):
+        _, ctx = make_canvas()
+        g = ctx.createLinearGradient(0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            g.add_color_stop(1.5, "red")
+
+
+class TestComposite:
+    def test_multiply_darkens(self):
+        c, ctx = make_canvas(40, 40)
+        ctx.fillStyle = "rgb(200, 200, 200)"
+        ctx.fillRect(0, 0, 40, 40)
+        ctx.globalCompositeOperation = "multiply"
+        ctx.fillStyle = "rgb(128, 128, 128)"
+        ctx.fillRect(0, 0, 40, 40)
+        px = c.read_pixels()
+        assert px[20, 20, 0] == pytest.approx(100, abs=3)
+
+    def test_destination_over_preserves_existing(self):
+        c, ctx = make_canvas(40, 40)
+        ctx.fillStyle = "red"
+        ctx.fillRect(0, 0, 40, 40)
+        ctx.globalCompositeOperation = "destination-over"
+        ctx.fillStyle = "blue"
+        ctx.fillRect(0, 0, 40, 40)
+        px = c.read_pixels()
+        assert px[20, 20, 0] == 255 and px[20, 20, 2] == 0
+
+    def test_unknown_op_falls_back_to_source_over(self):
+        c, ctx = make_canvas(10, 10)
+        ctx.globalCompositeOperation = "no-such-op"
+        ctx.fillStyle = "lime"
+        ctx.fillRect(0, 0, 10, 10)
+        assert c.read_pixels()[5, 5, 1] == 255
+
+
+class TestImageData:
+    def test_get_image_data_shape(self):
+        _, ctx = make_canvas()
+        data = ctx.getImageData(0, 0, 10, 8)
+        assert data.pixels.shape == (8, 10, 4)
+        assert data.data_length == 320
+
+    def test_put_then_get_roundtrip(self):
+        _, ctx = make_canvas()
+        img = ctx.createImageData(4, 4)
+        img.pixels[...] = 77
+        ctx.putImageData(img, 2, 3)
+        out = ctx.getImageData(2, 3, 4, 4)
+        assert (out.pixels == 77).all()
+
+    def test_get_image_data_clamps_edges(self):
+        _, ctx = make_canvas(20, 20)
+        data = ctx.getImageData(15, 15, 10, 10)
+        assert data.pixels.shape == (10, 10, 4)
+
+    def test_empty_region_raises(self):
+        _, ctx = make_canvas()
+        with pytest.raises(ValueError):
+            ctx.getImageData(0, 0, 0, 5)
+
+    def test_draw_image_copies_canvas(self):
+        src, sctx = make_canvas(20, 20)
+        sctx.fillStyle = "red"
+        sctx.fillRect(0, 0, 20, 20)
+        dst, dctx = make_canvas(60, 60)
+        dctx.drawImage(src, 10, 10)
+        px = dst.read_pixels()
+        assert px[15, 15, 0] == 255
+        assert px[5, 5, 0] == 0
+
+
+class TestFingerprintingProperties:
+    """The invariants the entire measurement methodology rests on."""
+
+    @staticmethod
+    def draw_test_canvas(device):
+        c, ctx = make_canvas(220, 40, device=device)
+        ctx.textBaseline = "alphabetic"
+        ctx.fillStyle = "#f60"
+        ctx.fillRect(100, 1, 62, 20)
+        ctx.fillStyle = "#069"
+        ctx.font = "11pt Arial"
+        ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15)
+        ctx.fillStyle = "rgba(102, 204, 0, 0.7)"
+        ctx.font = "18pt Arial"
+        ctx.fillText("Cwm fjordbank glyphs vext quiz", 4, 35)
+        return c.toDataURL()
+
+    def test_same_device_identical_output(self):
+        assert self.draw_test_canvas(INTEL_UBUNTU) == self.draw_test_canvas(INTEL_UBUNTU)
+
+    def test_different_devices_different_output(self):
+        assert self.draw_test_canvas(INTEL_UBUNTU) != self.draw_test_canvas(APPLE_M1)
+
+    def test_different_scripts_different_output(self):
+        c1, ctx1 = make_canvas(220, 40)
+        ctx1.font = "11pt Arial"
+        ctx1.fillText("Vendor A pangram", 2, 15)
+        c2, ctx2 = make_canvas(220, 40)
+        ctx2.font = "11pt Arial"
+        ctx2.fillText("Vendor B pangram", 2, 15)
+        assert c1.toDataURL() != c2.toDataURL()
+
+    def test_text_has_antialiased_edges(self):
+        """Device noise only exists because edges are fractional."""
+        c, ctx = make_canvas(220, 40)
+        ctx.fillStyle = "#ffffff"
+        ctx.font = "16px Arial"
+        ctx.fillText("edge check", 2, 30)
+        px = c.read_pixels()
+        alphas = px[..., 3]
+        partial = ((alphas > 0) & (alphas < 255)).sum()
+        assert partial > 20
+
+    def test_lossy_extraction_hides_device_difference(self):
+        """Why the heuristics exclude JPEG: device noise mostly doesn't
+        survive quantization, so lossy extractions are useless fingerprints."""
+        from repro.canvas.encode import lossy_quantized_planes
+
+        def pixels_of(device):
+            c, ctx = make_canvas(220, 40, device=device)
+            ctx.font = "16px Arial"
+            ctx.fillStyle = "#ffffff"
+            ctx.fillRect(0, 0, 220, 40)
+            ctx.fillStyle = "#000000"
+            ctx.fillText("lossy", 2, 30)
+            return c.read_pixels()
+
+        base = pixels_of(INTEL_UBUNTU)
+        # Noise of AA amplitude (what distinguishes nearby rendering stacks
+        # and what randomization defenses inject): +-2 channel units.
+        rng = np.random.default_rng(7)
+        noisy = base.astype(np.int16)
+        noisy[..., :3] += rng.integers(-2, 3, size=noisy[..., :3].shape, dtype=np.int16)
+        noisy = np.clip(noisy, 0, 255).astype(np.uint8)
+
+        assert (base != noisy).mean() > 0.3  # PNG would expose all of it
+        lossy_diff = (lossy_quantized_planes(base, 0.3) != lossy_quantized_planes(noisy, 0.3)).mean()
+        assert lossy_diff < 0.005  # lossy extraction collapses it
+
+    def test_extraction_filter_hook(self):
+        c, ctx = make_canvas()
+        ctx.fillRect(0, 0, 10, 10)
+        seen = {}
+
+        def spy(px):
+            seen["shape"] = px.shape
+            out = px.copy()
+            out[0, 0, 0] ^= 1
+            return out
+
+        c.extraction_filter = spy
+        url1 = c.toDataURL()
+        c.extraction_filter = None
+        url2 = c.toDataURL()
+        assert seen["shape"] == (60, 100, 4)
+        assert url1 != url2

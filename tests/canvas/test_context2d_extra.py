@@ -1,0 +1,156 @@
+"""Additional 2D-context coverage: curves, alpha, stroke text, shadows."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.canvas import HTMLCanvasElement, INTEL_UBUNTU
+
+
+def make_canvas(w=100, h=60):
+    c = HTMLCanvasElement(w, h, device=INTEL_UBUNTU)
+    return c, c.getContext("2d")
+
+
+class TestCurves:
+    def test_ellipse_fill(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.ellipse(50, 30, 30, 15, 0, 0, 2 * math.pi)
+        ctx.fillStyle = "red"
+        ctx.fill()
+        px = c.read_pixels()
+        assert px[30, 50, 0] > 200        # center
+        assert px[30, 75, 0] > 0          # inside long axis
+        assert px[10, 50, 0] == 0         # above short axis
+
+    def test_ellipse_rotation(self):
+        c, ctx = make_canvas(100, 100)
+        ctx.beginPath()
+        ctx.ellipse(50, 50, 40, 8, math.pi / 2, 0, 2 * math.pi)
+        ctx.fillStyle = "white"
+        ctx.fill()
+        px = c.read_pixels()
+        # Rotated 90°: long axis now vertical.
+        assert px[15, 50, 0] > 0
+        assert px[50, 15, 0] == 0
+
+    def test_negative_ellipse_radius_raises(self):
+        _, ctx = make_canvas()
+        with pytest.raises(ValueError):
+            ctx.ellipse(0, 0, -1, 5, 0, 0, 1)
+
+    def test_quadratic_curve(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.moveTo(10, 50)
+        ctx.quadraticCurveTo(50, -30, 90, 50)
+        ctx.lineWidth = 2
+        ctx.strokeStyle = "white"
+        ctx.stroke()
+        px = c.read_pixels()
+        # Apex of the curve: t=0.5 -> y = 0.25*50 + 0.5*(-30) + 0.25*50 = 10.
+        assert px[9:12, 49:52, 0].max() > 0
+
+    def test_arc_to_draws(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.moveTo(10, 50)
+        ctx.arcTo(50, 10, 90, 50, 20)
+        ctx.lineWidth = 2
+        ctx.strokeStyle = "white"
+        ctx.stroke()
+        assert c.read_pixels()[..., 0].sum() > 0
+
+    def test_partial_arc(self):
+        c, ctx = make_canvas()
+        ctx.beginPath()
+        ctx.arc(50, 30, 20, 0, math.pi)  # bottom half
+        ctx.fillStyle = "lime"
+        ctx.fill()
+        px = c.read_pixels()
+        assert px[40, 50, 1] > 0          # below center: filled
+        assert px[15, 50, 1] == 0         # above center: not
+
+
+class TestAlphaAndText:
+    def test_global_alpha_zero_paints_nothing(self):
+        c, ctx = make_canvas()
+        ctx.globalAlpha = 0.0
+        ctx.fillRect(0, 0, 50, 50)
+        assert not c.read_pixels().any()
+
+    def test_global_alpha_scales(self):
+        c, ctx = make_canvas()
+        ctx.globalAlpha = 0.25
+        ctx.fillStyle = "#ffffff"
+        ctx.fillRect(0, 0, 50, 50)
+        assert 55 <= c.read_pixels()[10, 10, 3] <= 73
+
+    def test_stroke_text_draws(self):
+        c, ctx = make_canvas(160, 40)
+        ctx.font = "16px Arial"
+        ctx.strokeStyle = "#ffffff"
+        ctx.strokeText("outline", 4, 30)
+        assert (c.read_pixels()[..., 0] > 0).sum() > 20
+
+    def test_text_baseline_top_vs_alphabetic(self):
+        rows = {}
+        for baseline in ("top", "alphabetic"):
+            c, ctx = make_canvas(120, 60)
+            ctx.font = "14px Arial"
+            ctx.textBaseline = baseline
+            ctx.fillStyle = "white"
+            ctx.fillText("Base", 2, 30)
+            ink_rows = np.nonzero(c.read_pixels()[..., 3].sum(axis=1))[0]
+            rows[baseline] = ink_rows.min()
+        # top-baseline text starts lower (glyph hangs below y), alphabetic
+        # text sits above y.
+        assert rows["top"] > rows["alphabetic"]
+
+    def test_shadow_properties_settable(self):
+        _, ctx = make_canvas()
+        ctx.shadowBlur = 4.0
+        ctx.shadowColor = "rgba(0,0,0,0.5)"
+        assert ctx.shadowBlur == 4.0
+        ctx.shadowBlur = -1  # invalid, ignored
+        assert ctx.shadowBlur == 4.0
+
+    def test_gradient_as_stroke_style(self):
+        c, ctx = make_canvas(100, 20)
+        g = ctx.createLinearGradient(0, 0, 100, 0)
+        g.add_color_stop(0, "#ff0000")
+        g.add_color_stop(1, "#0000ff")
+        ctx.strokeStyle = g
+        ctx.lineWidth = 6
+        ctx.beginPath()
+        ctx.moveTo(0, 10)
+        ctx.lineTo(100, 10)
+        ctx.stroke()
+        px = c.read_pixels()
+        assert px[10, 5, 0] > px[10, 5, 2]    # red end
+        assert px[10, 95, 2] > px[10, 95, 0]  # blue end
+
+
+class TestDrawImageScaling:
+    def test_scaled_draw(self):
+        src, sctx = make_canvas(10, 10)
+        sctx.fillStyle = "red"
+        sctx.fillRect(0, 0, 10, 10)
+        dst, dctx = make_canvas(60, 60)
+        dctx.drawImage(src, 5, 5, 40, 40)
+        px = dst.read_pixels()
+        assert px[25, 25, 0] == 255
+        assert px[50, 50, 0] == 0
+
+    def test_draw_image_respects_translation(self):
+        src, sctx = make_canvas(8, 8)
+        sctx.fillStyle = "lime"
+        sctx.fillRect(0, 0, 8, 8)
+        dst, dctx = make_canvas(40, 40)
+        dctx.translate(20, 20)
+        dctx.drawImage(src, 0, 0)
+        px = dst.read_pixels()
+        assert px[24, 24, 1] == 255
+        assert px[5, 5, 1] == 0

@@ -1,0 +1,185 @@
+"""Tests for PNG encoding/decoding and the lossy codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.canvas.encode import (
+    PNGError,
+    data_url,
+    jpeg_like_encode,
+    parse_data_url,
+    png_decode,
+    png_encode,
+    webp_like_encode,
+)
+
+
+def random_pixels(h, w, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(h, w, 4), dtype=np.uint8)
+
+
+class TestPNG:
+    def test_roundtrip_exact(self):
+        px = random_pixels(13, 29, seed=1)
+        assert np.array_equal(png_decode(png_encode(px)), px)
+
+    def test_roundtrip_1x1(self):
+        px = np.array([[[1, 2, 3, 4]]], dtype=np.uint8)
+        assert np.array_equal(png_decode(png_encode(px)), px)
+
+    def test_signature(self):
+        data = png_encode(random_pixels(2, 2))
+        assert data.startswith(b"\x89PNG\r\n\x1a\n")
+
+    def test_deterministic(self):
+        px = random_pixels(8, 8, seed=2)
+        assert png_encode(px) == png_encode(px)
+
+    def test_different_pixels_different_bytes(self):
+        a = random_pixels(8, 8, seed=3)
+        b = a.copy()
+        b[4, 4, 0] ^= 1  # single-bit pixel difference
+        assert png_encode(a) != png_encode(b)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            png_encode(np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(PNGError):
+            png_decode(b"not a png")
+
+    def test_decode_rejects_corrupt_crc(self):
+        data = bytearray(png_encode(random_pixels(4, 4)))
+        data[20] ^= 0xFF  # corrupt IHDR payload without fixing CRC
+        with pytest.raises(PNGError):
+            png_decode(bytes(data))
+
+    def test_decode_filter_types(self):
+        """The decoder handles Sub/Up/Average/Paeth rows, not just None."""
+        import struct
+        import zlib
+
+        px = random_pixels(5, 4, seed=4)
+        h, w = px.shape[:2]
+        stride = w * 4
+        flat = px.reshape(h, stride).astype(np.int32)
+        raw = bytearray()
+        for row in range(h):
+            ftype = row % 5
+            raw.append(ftype)
+            line = flat[row]
+            prev = flat[row - 1] if row > 0 else np.zeros(stride, dtype=np.int32)
+            enc = np.zeros(stride, dtype=np.int32)
+            for i in range(stride):
+                left = line[i - 4] if i >= 4 else 0
+                up = prev[i]
+                ul = prev[i - 4] if i >= 4 else 0
+                if ftype == 0:
+                    pred = 0
+                elif ftype == 1:
+                    pred = left
+                elif ftype == 2:
+                    pred = up
+                elif ftype == 3:
+                    pred = (left + up) // 2
+                else:
+                    p = left + up - ul
+                    pa, pb, pc = abs(p - left), abs(p - up), abs(p - ul)
+                    pred = left if pa <= pb and pa <= pc else (up if pb <= pc else ul)
+                enc[i] = (line[i] - pred) & 0xFF
+            raw.extend(int(v) for v in enc)
+
+        def chunk(tag, payload):
+            return struct.pack(">I", len(payload)) + tag + payload + struct.pack(
+                ">I", zlib.crc32(tag + payload) & 0xFFFFFFFF
+            )
+
+        ihdr = struct.pack(">IIBBBBB", w, h, 8, 6, 0, 0, 0)
+        data = (
+            b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", ihdr)
+            + chunk(b"IDAT", zlib.compress(bytes(raw)))
+            + chunk(b"IEND", b"")
+        )
+        assert np.array_equal(png_decode(data), px)
+
+
+class TestLossy:
+    def test_jpeg_destroys_subtle_differences(self):
+        """The defining property: sub-pixel noise does not survive JPEG."""
+        base = np.full((16, 16, 4), 200, dtype=np.uint8)
+        base[..., 3] = 255
+        noisy = base.copy()
+        noisy[5, 5, 0] += 2  # AA-noise-sized difference
+        assert jpeg_like_encode(base) == jpeg_like_encode(noisy)
+        assert png_encode(base) != png_encode(noisy)
+
+    def test_webp_destroys_subtle_differences(self):
+        base = np.full((16, 16, 4), 100, dtype=np.uint8)
+        base[..., 3] = 255
+        noisy = base.copy()
+        noisy[3, 3, 1] += 2
+        assert webp_like_encode(base) == webp_like_encode(noisy)
+
+    def test_quantized_planes_measure_information_loss(self):
+        from repro.canvas.encode import lossy_quantized_planes
+
+        base = np.full((32, 32, 4), 180, dtype=np.uint8)
+        base[..., 3] = 255
+        rng = np.random.default_rng(9)
+        noisy = base.copy()
+        # Scattered 1-2 unit perturbations, like device AA noise.
+        mask = rng.random((32, 32)) < 0.2
+        noisy[..., 0][mask] += rng.integers(1, 3, size=mask.sum()).astype(np.uint8)
+        pa = lossy_quantized_planes(base, 0.5)
+        pb = lossy_quantized_planes(noisy, 0.5)
+        changed = (pa != pb).mean()
+        assert changed < 0.02  # lossy path collapses nearly all of the noise
+
+    def test_jpeg_preserves_gross_structure(self):
+        black = np.zeros((16, 16, 4), dtype=np.uint8)
+        black[..., 3] = 255
+        white = np.full((16, 16, 4), 255, dtype=np.uint8)
+        assert jpeg_like_encode(black) != jpeg_like_encode(white)
+
+    def test_quality_changes_output(self):
+        px = random_pixels(16, 16, seed=5)
+        assert jpeg_like_encode(px, 0.9) != jpeg_like_encode(px, 0.1)
+
+    def test_deterministic(self):
+        px = random_pixels(10, 10, seed=6)
+        assert jpeg_like_encode(px) == jpeg_like_encode(px)
+        assert webp_like_encode(px) == webp_like_encode(px)
+
+    def test_odd_dimensions(self):
+        px = random_pixels(7, 9, seed=7)
+        assert isinstance(jpeg_like_encode(px), bytes)
+
+
+class TestDataURL:
+    def test_roundtrip(self):
+        mime, payload = parse_data_url(data_url("image/png", b"\x01\x02\x03"))
+        assert mime == "image/png"
+        assert payload == b"\x01\x02\x03"
+
+    def test_format(self):
+        url = data_url("image/jpeg", b"x")
+        assert url.startswith("data:image/jpeg;base64,")
+
+    def test_parse_rejects_non_data(self):
+        with pytest.raises(ValueError):
+            parse_data_url("https://example.com/x.png")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(1, 24),
+    w=st.integers(1, 24),
+    seed=st.integers(0, 1000),
+)
+def test_png_roundtrip_property(h, w, seed):
+    px = random_pixels(h, w, seed=seed)
+    assert np.array_equal(png_decode(png_encode(px)), px)

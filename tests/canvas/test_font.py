@@ -1,0 +1,164 @@
+"""Tests for font parsing, metrics, and device-dependent text rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.canvas.device import APPLE_M1, INTEL_UBUNTU
+from repro.canvas.font import FontSpec, TextRasterizer, parse_font
+from repro.canvas.font_data import GLYPHS, GLYPH_HEIGHT
+
+
+class TestParseFont:
+    @pytest.mark.parametrize(
+        "text,size,family,bold,italic",
+        [
+            ("10px sans-serif", 10.0, "sans-serif", False, False),
+            ("11pt Arial", 11 * 4 / 3, "Arial", False, False),
+            ("bold 16px Helvetica", 16.0, "Helvetica", True, False),
+            ("italic 14px Georgia", 14.0, "Georgia", False, True),
+            ("italic bold 2em Times", 32.0, "Times", True, True),
+            ("600 12px Roboto", 12.0, "Roboto", True, False),
+            ("14px 'Segoe UI', sans-serif", 14.0, "Segoe UI", False, False),
+        ],
+    )
+    def test_cases(self, text, size, family, bold, italic):
+        spec = parse_font(text)
+        assert spec.size_px == pytest.approx(size)
+        assert spec.family == family
+        assert spec.bold is bold
+        assert spec.italic is italic
+
+    def test_empty_gives_default(self):
+        assert parse_font("") == FontSpec()
+
+    def test_family_only(self):
+        spec = parse_font("Courier New, monospace")
+        assert spec.family == "Courier New"
+        assert spec.size_px == 10.0
+
+
+class TestGlyphData:
+    def test_all_printable_ascii_covered(self):
+        for code in range(32, 127):
+            assert chr(code) in GLYPHS, f"missing glyph for {chr(code)!r}"
+
+    def test_rows_consistent(self):
+        for ch, rows in GLYPHS.items():
+            assert len(rows) == GLYPH_HEIGHT, ch
+            widths = {len(r) for r in rows}
+            assert len(widths) == 1, f"ragged glyph {ch!r}"
+
+    def test_glyphs_visually_distinct(self):
+        """No two printable glyphs may share a bitmap (fingerprint entropy)."""
+        seen = {}
+        for ch, rows in GLYPHS.items():
+            key = tuple(rows)
+            if ch == " ":
+                continue
+            assert key not in seen, f"{ch!r} duplicates {seen.get(key)!r}"
+            seen[key] = ch
+
+
+class TestMetrics:
+    @pytest.fixture
+    def raster(self):
+        return TextRasterizer(INTEL_UBUNTU)
+
+    def test_measure_empty(self, raster):
+        assert raster.measure("", FontSpec()) == 0.0
+
+    def test_measure_additive(self, raster):
+        spec = FontSpec(size_px=14)
+        ab = raster.measure("ab", spec)
+        a = raster.measure("a", spec)
+        b = raster.measure("b", spec)
+        assert ab == pytest.approx(a + b, abs=0.01)
+
+    def test_proportional_widths(self, raster):
+        spec = FontSpec(size_px=14)
+        assert raster.measure("i", spec) < raster.measure("m", spec)
+
+    def test_device_metric_differences(self):
+        spec = FontSpec(size_px=14)
+        intel = TextRasterizer(INTEL_UBUNTU).measure("fingerprint", spec)
+        m1 = TextRasterizer(APPLE_M1).measure("fingerprint", spec)
+        assert intel != m1
+
+    def test_family_changes_metrics(self, raster):
+        a = raster.measure("sample", FontSpec(size_px=14, family="Arial"))
+        b = raster.measure("sample", FontSpec(size_px=14, family="Courier"))
+        assert a != b
+
+
+class TestRendering:
+    @pytest.fixture
+    def raster(self):
+        return TextRasterizer(INTEL_UBUNTU)
+
+    def test_render_has_ink_and_edges(self, raster):
+        coverage, colors, baseline = raster.render("Hello", FontSpec(size_px=16))
+        assert coverage.sum() > 0
+        assert colors is None
+        assert baseline > 0
+        fractional = ((coverage > 0) & (coverage < 1)).sum()
+        assert fractional > 0  # smoothing guarantees AA edges
+
+    def test_render_deterministic(self, raster):
+        a, _, _ = raster.render("stable", FontSpec(size_px=14))
+        b, _, _ = raster.render("stable", FontSpec(size_px=14))
+        assert np.array_equal(a, b)
+
+    def test_render_differs_across_devices(self):
+        spec = FontSpec(size_px=16)
+        a, _, _ = TextRasterizer(INTEL_UBUNTU).render("device test", spec)
+        b, _, _ = TextRasterizer(APPLE_M1).render("device test", spec)
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_bold_is_heavier(self, raster):
+        plain, _, _ = raster.render("weight", FontSpec(size_px=16))
+        bold, _, _ = raster.render("weight", FontSpec(size_px=16, bold=True))
+        assert bold.sum() > plain.sum()
+
+    def test_italic_changes_shape(self, raster):
+        plain, _, _ = raster.render("slant", FontSpec(size_px=16))
+        italic, _, _ = raster.render("slant", FontSpec(size_px=16, italic=True))
+        assert plain.shape != italic.shape or not np.array_equal(plain, italic)
+
+    def test_emoji_gets_color_channel(self, raster):
+        coverage, colors, _ = raster.render("\U0001f600", FontSpec(size_px=16))
+        assert colors is not None
+        assert (colors.sum(axis=2) > 0).any()
+
+    def test_emoji_color_is_device_dependent(self):
+        spec = FontSpec(size_px=16)
+        _, intel_colors, _ = TextRasterizer(INTEL_UBUNTU).render("\U0001f600", spec)
+        _, m1_colors, _ = TextRasterizer(APPLE_M1).render("\U0001f600", spec)
+        assert intel_colors is not None and m1_colors is not None
+        assert intel_colors.shape != m1_colors.shape or not np.array_equal(intel_colors, m1_colors)
+
+    def test_unknown_latin_renders_tofu(self, raster):
+        coverage, colors, _ = raster.render("ł", FontSpec(size_px=16))  # ł
+        assert coverage.sum() > 0
+        assert colors is None
+
+    def test_baseline_shifts_ordered(self, raster):
+        spec = FontSpec(size_px=16)
+        top = raster.baseline_shift("top", spec)
+        middle = raster.baseline_shift("middle", spec)
+        alphabetic = raster.baseline_shift("alphabetic", spec)
+        bottom = raster.baseline_shift("bottom", spec)
+        assert top > middle > alphabetic > bottom
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=20))
+def test_measure_positive_for_nonempty(text):
+    raster = TextRasterizer(INTEL_UBUNTU)
+    assert raster.measure(text, FontSpec(size_px=12)) > 0
+
+
+@given(st.text(alphabet="abcdefghij XYZ", min_size=0, max_size=15))
+def test_render_never_crashes_and_stays_in_range(text):
+    raster = TextRasterizer(INTEL_UBUNTU)
+    coverage, _, _ = raster.render(text, FontSpec(size_px=13))
+    assert coverage.min() >= 0.0 and coverage.max() <= 1.0

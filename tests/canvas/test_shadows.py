@@ -1,0 +1,97 @@
+"""Tests for shadow rendering."""
+
+import numpy as np
+
+from repro.canvas import HTMLCanvasElement, INTEL_UBUNTU
+
+
+def make_canvas(w=60, h=60):
+    c = HTMLCanvasElement(w, h, device=INTEL_UBUNTU)
+    return c, c.getContext("2d")
+
+
+class TestShadows:
+    def test_default_no_shadow(self):
+        c, ctx = make_canvas()
+        ctx.fillStyle = "red"
+        ctx.fillRect(20, 20, 10, 10)
+        px = c.read_pixels()
+        assert px[35, 35, 3] == 0  # nothing painted beyond the rect
+
+    def test_offset_shadow_painted(self):
+        c, ctx = make_canvas()
+        ctx.shadowColor = "rgba(0, 0, 0, 1)"
+        ctx.shadowOffsetX = 8
+        ctx.shadowOffsetY = 8
+        ctx.fillStyle = "red"
+        ctx.fillRect(10, 10, 10, 10)
+        px = c.read_pixels()
+        assert px[15, 15, 0] == 255          # the shape itself (red)
+        assert px[25, 25, 3] == 255          # the shadow area is painted
+        assert px[25, 25, 0] == 0            # and it is black, not red
+
+    def test_blur_spreads_shadow(self):
+        c, ctx = make_canvas()
+        ctx.shadowColor = "#000000"
+        ctx.shadowBlur = 10
+        ctx.fillStyle = "white"
+        ctx.fillRect(25, 25, 10, 10)
+        px = c.read_pixels()
+        # Blurred shadow bleeds beyond the rect with partial alpha.
+        assert 0 < px[22, 30, 3] < 255
+
+    def test_shadow_under_shape(self):
+        c, ctx = make_canvas()
+        ctx.shadowColor = "#00ff00"
+        ctx.shadowOffsetX = 0
+        ctx.shadowOffsetY = 0
+        ctx.shadowBlur = 4
+        ctx.fillStyle = "#ff0000"
+        ctx.fillRect(20, 20, 20, 20)
+        px = c.read_pixels()
+        assert px[30, 30, 0] == 255 and px[30, 30, 1] < 100  # shape wins on top
+
+    def test_transparent_shadow_color_noop(self):
+        c, ctx = make_canvas()
+        ctx.shadowBlur = 8
+        # shadowColor stays at the default transparent black.
+        ctx.fillStyle = "blue"
+        ctx.fillRect(20, 20, 10, 10)
+        px = c.read_pixels()
+        assert px[15, 15, 3] == 0
+
+    def test_shadow_via_js(self):
+        from repro.browser import Browser
+        from repro.net import Network
+
+        net = Network()
+        net.server_for("sh.example").add_resource(
+            "/",
+            """<script>
+            var c = document.createElement('canvas');
+            c.width = 40; c.height = 40;
+            var g = c.getContext('2d');
+            g.shadowColor = '#000000';
+            g.shadowOffsetX = 6;
+            g.shadowOffsetY = 6;
+            g.fillStyle = '#ffffff';
+            g.fillRect(5, 5, 10, 10);
+            var d = g.getImageData(0, 0, 40, 40);
+            console.log(d.data[4 * (40 * 8 + 8)], d.data[4 * (40 * 18 + 18) + 3]);
+            </script>""",
+        )
+        page = Browser(net).load("https://sh.example/")
+        assert page.console == ["255 255"]
+
+    def test_shadow_changes_fingerprint(self):
+        def draw(shadow):
+            c, ctx = make_canvas()
+            if shadow:
+                ctx.shadowColor = "rgba(10, 10, 10, 0.6)"
+                ctx.shadowBlur = 6
+            ctx.font = "14px Arial"
+            ctx.fillStyle = "#336699"
+            ctx.fillText("shadow probe", 4, 30)
+            return c.toDataURL()
+
+        assert draw(True) != draw(False)

@@ -1,0 +1,226 @@
+"""Direct tests for the surface compositor and path rasterizer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.canvas.device import INTEL_UBUNTU
+from repro.canvas.geometry import Transform
+from repro.canvas.path import Path, rasterize_fill, rasterize_stroke
+from repro.canvas.surface import COMPOSITE_OPERATIONS, Surface
+
+
+class TestSurface:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Surface(0, 10)
+        with pytest.raises(ValueError):
+            Surface(10, -1)
+
+    def test_starts_transparent(self):
+        assert not Surface(8, 8).to_uint8().any()
+
+    def test_paint_full_coverage(self):
+        s = Surface(4, 4)
+        s.paint(np.ones((4, 4)), (255.0, 0.0, 0.0, 255.0))
+        px = s.to_uint8()
+        assert (px[..., 0] == 255).all() and (px[..., 3] == 255).all()
+
+    def test_paint_half_coverage_blends_alpha(self):
+        s = Surface(2, 2)
+        s.paint(np.full((2, 2), 0.5), (0.0, 0.0, 255.0, 255.0))
+        px = s.to_uint8()
+        assert 120 <= px[0, 0, 3] <= 135
+
+    def test_paint_with_offset_clips(self):
+        s = Surface(4, 4)
+        s.paint(np.ones((4, 4)), (255.0, 255.0, 255.0, 255.0), offset=(2, 2))
+        px = s.to_uint8()
+        assert px[3, 3, 3] == 255 and px[0, 0, 3] == 0
+
+    def test_paint_fully_outside_is_noop(self):
+        s = Surface(4, 4)
+        s.paint(np.ones((2, 2)), (255.0, 0.0, 0.0, 255.0), offset=(10, 10))
+        assert not s.to_uint8().any()
+
+    def test_source_over_layering(self):
+        s = Surface(2, 2)
+        s.paint(np.ones((2, 2)), (255.0, 0.0, 0.0, 255.0))
+        s.paint(np.ones((2, 2)), (0.0, 255.0, 0.0, 255.0))
+        px = s.to_uint8()
+        assert px[0, 0, 1] == 255 and px[0, 0, 0] == 0
+
+    def test_clear_rect_partial(self):
+        s = Surface(4, 4)
+        s.paint(np.ones((4, 4)), (255.0, 0.0, 0.0, 255.0))
+        s.clear_rect(0, 0, 2, 2)
+        px = s.to_uint8()
+        assert px[1, 1, 3] == 0 and px[3, 3, 3] == 255
+
+    def test_put_uint8_roundtrip(self):
+        s = Surface(6, 6)
+        block = np.full((3, 3, 4), 200, dtype=np.uint8)
+        s.put_uint8(block, 2, 2)
+        assert (s.to_uint8()[2:5, 2:5] == 200).all()
+
+    @pytest.mark.parametrize("op", COMPOSITE_OPERATIONS)
+    def test_all_ops_keep_channels_in_range(self, op):
+        s = Surface(3, 3)
+        s.paint(np.full((3, 3), 0.7), (200.0, 50.0, 120.0, 180.0))
+        s.paint(np.full((3, 3), 0.6), (30.0, 220.0, 90.0, 200.0), op=op)
+        px = s.to_uint8()
+        assert px.min() >= 0 and px.max() <= 255
+
+
+class TestPathConstruction:
+    def test_empty_path(self):
+        assert Path().is_empty()
+        assert Path().bounds() is None
+
+    def test_line_to_without_move_starts_subpath(self):
+        p = Path()
+        p.line_to(1, 1)
+        assert p.current_point == (1, 1)
+
+    def test_edges_close_open_subpaths_for_fill(self):
+        p = Path()
+        p.move_to(0, 0)
+        p.line_to(10, 0)
+        p.line_to(10, 10)
+        edges = p.edges()
+        assert edges.shape == (3, 4)  # two segments + implicit closer
+
+    def test_contains_point_nonzero(self):
+        p = Path()
+        p.add_polyline([(0, 0), (10, 0), (10, 10), (0, 10)], closed=True)
+        assert p.contains_point(5, 5)
+        assert not p.contains_point(15, 5)
+
+    def test_contains_point_evenodd_hole(self):
+        p = Path()
+        p.add_polyline([(0, 0), (20, 0), (20, 20), (0, 20)], closed=True)
+        p.add_polyline([(5, 5), (15, 5), (15, 15), (5, 15)], closed=True)
+        assert not p.contains_point(10, 10, "evenodd")
+        assert p.contains_point(2, 2, "evenodd")
+
+
+class TestRasterization:
+    def square(self, x0=2, y0=2, size=6):
+        p = Path()
+        p.add_polyline(
+            [(x0, y0), (x0 + size, y0), (x0 + size, y0 + size), (x0, y0 + size)], closed=True
+        )
+        return p
+
+    def test_fill_integer_square_exact(self):
+        coverage, (ox, oy) = rasterize_fill(self.square(), 20, 20)
+        assert (ox, oy) == (1, 1)  # 1px AA padding
+        inner = coverage[2:7, 2:7]
+        assert np.allclose(inner, 1.0)
+
+    def test_fill_fractional_edges(self):
+        p = Path()
+        p.add_polyline([(2.5, 2.5), (7.5, 2.5), (7.5, 7.5), (2.5, 7.5)], closed=True)
+        coverage, _ = rasterize_fill(p, 20, 20)
+        partial = ((coverage > 0.01) & (coverage < 0.99)).sum()
+        assert partial > 0
+
+    def test_fill_clipped_to_canvas(self):
+        coverage, (ox, oy) = rasterize_fill(self.square(-5, -5, 8), 20, 20)
+        assert ox == 0 and oy == 0
+        assert coverage.shape[0] <= 5
+
+    def test_fill_off_canvas_empty(self):
+        coverage, _ = rasterize_fill(self.square(100, 100), 20, 20)
+        assert coverage.size == 0
+
+    def test_evenodd_ring(self):
+        p = Path()
+        p.add_polyline([(1, 1), (15, 1), (15, 15), (1, 15)], closed=True)
+        p.add_polyline([(5, 5), (11, 5), (11, 11), (5, 11)], closed=True)
+        coverage, (ox, oy) = rasterize_fill(p, 20, 20, rule="evenodd")
+        assert coverage[8 - oy, 8 - ox] < 0.05   # hole
+        assert coverage[3 - oy, 3 - ox] > 0.95   # ring
+
+    def test_nonzero_same_winding_no_hole(self):
+        p = Path()
+        p.add_polyline([(1, 1), (15, 1), (15, 15), (1, 15)], closed=True)
+        p.add_polyline([(5, 5), (11, 5), (11, 11), (5, 11)], closed=True)
+        coverage, (ox, oy) = rasterize_fill(p, 20, 20, rule="nonzero")
+        assert coverage[8 - oy, 8 - ox] > 0.95   # same direction: no hole
+
+    def test_device_noise_only_on_edges(self):
+        p = Path()
+        p.add_polyline([(2.3, 2.3), (12.7, 2.3), (12.7, 12.7), (2.3, 12.7)], closed=True)
+        clean, _ = rasterize_fill(p, 20, 20)
+        noisy, _ = rasterize_fill(p, 20, 20, device=INTEL_UBUNTU)
+        interior = (clean == 1.0)
+        assert np.array_equal(clean[interior], noisy[interior])  # interior untouched
+        assert not np.array_equal(clean, noisy)                  # edges perturbed
+
+    def test_device_noise_deterministic(self):
+        p = self.square()
+        a, _ = rasterize_fill(p, 20, 20, device=INTEL_UBUNTU, noise_tag=7)
+        b, _ = rasterize_fill(p, 20, 20, device=INTEL_UBUNTU, noise_tag=7)
+        assert np.array_equal(a, b)
+
+    def test_stroke_hollow(self):
+        p = Path()
+        p.add_polyline([(3, 3), (13, 3), (13, 13), (3, 13)], closed=True)
+        coverage, (ox, oy) = rasterize_stroke(p, 20, 20, line_width=2.0)
+        assert coverage[3 - oy, 8 - ox] > 0.5    # on the stroke
+        assert coverage[8 - oy, 8 - ox] < 0.05   # interior empty
+
+    def test_stroke_zero_width_empty(self):
+        coverage, _ = rasterize_stroke(self.square(), 20, 20, line_width=0.0)
+        assert coverage.size == 0
+
+    def test_coverage_in_unit_range_always(self):
+        p = Path()
+        for k in range(5):  # overlapping polygons
+            p.add_polyline([(k, k), (k + 8, k), (k + 8, k + 8), (k, k + 8)], closed=True)
+        coverage, _ = rasterize_fill(p, 20, 20, device=INTEL_UBUNTU)
+        assert coverage.min() >= 0.0 and coverage.max() <= 1.0
+
+
+class TestTransform:
+    def test_identity(self):
+        t = Transform.identity()
+        assert t.apply(3, 4) == (3, 4)
+        assert t.is_identity
+
+    def test_translate_then_scale_order(self):
+        t = Transform().translate(10, 0).scale(2, 2)
+        # Canvas semantics: scale applies in the translated frame.
+        assert t.apply(1, 1) == (12, 2)
+
+    def test_rotation_quarter_turn(self):
+        t = Transform().rotate(math.pi / 2)
+        x, y = t.apply(1, 0)
+        assert x == pytest.approx(0, abs=1e-9)
+        assert y == pytest.approx(1, abs=1e-9)
+
+    def test_multiply_composition(self):
+        a = Transform().translate(5, 0)
+        b = Transform().scale(2, 2)
+        assert a.multiply(b).apply(1, 1) == (7, 2)
+
+    @given(
+        x=st.floats(-100, 100),
+        y=st.floats(-100, 100),
+        tx=st.floats(-50, 50),
+        ty=st.floats(-50, 50),
+    )
+    def test_translate_property(self, x, y, tx, ty):
+        t = Transform().translate(tx, ty)
+        px, py = t.apply(x, y)
+        assert px == pytest.approx(x + tx)
+        assert py == pytest.approx(y + ty)
+
+    @given(angle=st.floats(0, 2 * math.pi))
+    def test_rotation_preserves_distance(self, angle):
+        t = Transform().rotate(angle)
+        x, y = t.apply(3, 4)
+        assert math.hypot(x, y) == pytest.approx(5.0, abs=1e-9)

@@ -1,0 +1,131 @@
+"""Tests for vendor attribution (§4.3 / A.3)."""
+
+import pytest
+
+from repro.core.attribution import (
+    IMPERVA_URL_REGEX,
+    VendorAttributor,
+    VendorSignature,
+)
+from repro.core.detection import DetectionOutcome
+from repro.core.records import CanvasExtraction, SiteObservation
+
+
+def extraction(data, script):
+    return CanvasExtraction(
+        data_url=data, mime="image/png", width=200, height=50, script_url=script, canvas_id=1, t_ms=1.0
+    )
+
+
+def site(domain, *extractions):
+    obs = SiteObservation(domain=domain, rank=1, population="top", success=True)
+    outcome = DetectionOutcome(domain=domain)
+    outcome.fingerprintable.extend(extractions)
+    obs.extractions = list(extractions)
+    return obs, outcome
+
+
+def hash_of(data):
+    return extraction(data, None).canvas_hash
+
+
+@pytest.fixture
+def attributor():
+    return VendorAttributor(
+        [
+            VendorSignature(
+                name="VendorA",
+                canvas_hashes={hash_of("data:AAA")},
+                script_pattern="vendor-a.com",
+            ),
+            VendorSignature(
+                name="VendorB",
+                canvas_hashes={hash_of("data:BBB")},
+            ),
+            VendorSignature(name="Imperva-like", url_regex=IMPERVA_URL_REGEX),
+        ]
+    )
+
+
+class TestAttribution:
+    def test_canvas_hash_match(self, attributor):
+        obs, outcome = site("x.com", extraction("data:AAA", "https://x.com/bundle.js"))
+        result = attributor.attribute_site(obs, outcome)
+        assert result.vendors == {"VendorA"}
+        assert result.evidence["VendorA"] == "canvas-match"
+
+    def test_hash_match_survives_first_party_bundling(self, attributor):
+        """Serving-mode evasions can't hide the canvas itself."""
+        obs, outcome = site("x.com", extraction("data:AAA", "https://x.com/#inline"))
+        assert attributor.attribute_site(obs, outcome).vendors == {"VendorA"}
+
+    def test_script_pattern_match(self, attributor):
+        obs, outcome = site("x.com", extraction("data:UNKNOWN", "https://cdn.vendor-a.com/fp.js"))
+        result = attributor.attribute_site(obs, outcome)
+        assert result.vendors == {"VendorA"}
+        assert result.evidence["VendorA"] == "script-pattern"
+
+    def test_url_regex_vendor(self, attributor):
+        obs, outcome = site("x.com", extraction("data:UNIQ1", "https://x.com/AbCdE-FgHiJ"))
+        assert "Imperva-like" in attributor.attribute_site(obs, outcome).vendors
+
+    def test_url_regex_rejects_normal_scripts(self, attributor):
+        obs, outcome = site("x.com", extraction("data:UNIQ2", "https://x.com/assets/app.js"))
+        assert "Imperva-like" not in attributor.attribute_site(obs, outcome).vendors
+
+    def test_multi_vendor_site(self, attributor):
+        obs, outcome = site(
+            "x.com",
+            extraction("data:AAA", "https://x.com/a.js"),
+            extraction("data:BBB", "https://x.com/b.js"),
+        )
+        assert attributor.attribute_site(obs, outcome).vendors == {"VendorA", "VendorB"}
+
+    def test_unattributed_site(self, attributor):
+        obs, outcome = site("x.com", extraction("data:ZZZ", "https://x.com/z.js"))
+        assert attributor.attribute_site(obs, outcome).vendors == set()
+
+    def test_duplicate_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            VendorAttributor([VendorSignature(name="X"), VendorSignature(name="X")])
+
+
+class TestAggregation:
+    def test_counts_and_totals(self, attributor):
+        obs1, out1 = site("a.com", extraction("data:AAA", "https://a.com/x.js"))
+        obs2, out2 = site("b.com", extraction("data:AAA", "https://b.com/x.js"))
+        obs3, out3 = site("c.com", extraction("data:ZZZ", "https://c.com/z.js"))
+        observations = {"a.com": obs1, "b.com": obs2, "c.com": obs3}
+        outcomes = {"a.com": out1, "b.com": out2, "c.com": out3}
+        pops = {"a.com": "top", "b.com": "tail", "c.com": "top"}
+
+        attributions = attributor.attribute_all(observations, outcomes)
+        counts = attributor.vendor_site_counts(attributions, pops)
+        assert counts["VendorA"] == {"top": 1, "tail": 1}
+        totals = attributor.attributed_site_totals(attributions, pops)
+        assert totals == {"top": 1, "tail": 1}  # c.com unattributed
+
+    def test_non_fp_sites_skipped(self, attributor):
+        obs, _ = site("a.com")
+        empty = DetectionOutcome(domain="a.com")
+        attributions = attributor.attribute_all({"a.com": obs}, {"a.com": empty})
+        assert attributions == {}
+
+
+class TestImpervaRegex:
+    """Table 3's regex: https?://(?:www\\.)?[^/]+/([A-Za-z\\-]+)$"""
+
+    @pytest.mark.parametrize(
+        "url,matches",
+        [
+            ("https://shop.example/AbCdEf-GhIjKl", True),
+            ("https://www.example.com/TokenPath", True),
+            ("http://example.com/abc-def-ghi", True),
+            ("https://example.com/path/deeper", False),
+            ("https://example.com/script.js", False),
+            ("https://example.com/has123digits", False),
+            ("https://example.com/", False),
+        ],
+    )
+    def test_cases(self, url, matches):
+        assert bool(IMPERVA_URL_REGEX.match(url)) == matches

@@ -1,0 +1,118 @@
+"""Tests for canvas clustering (§4.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.clustering import cluster_canvases, rank_clusters
+from repro.core.detection import DetectionOutcome
+from repro.core.records import CanvasExtraction
+
+
+def extraction(data, script="https://v.com/fp.js"):
+    return CanvasExtraction(
+        data_url=data, mime="image/png", width=200, height=50, script_url=script, canvas_id=1, t_ms=1.0
+    )
+
+
+def outcome(domain, *data_urls):
+    o = DetectionOutcome(domain=domain)
+    o.fingerprintable.extend(extraction(d) for d in data_urls)
+    return o
+
+
+class TestClustering:
+    def test_identical_canvases_group(self):
+        outcomes = {
+            "a.com": outcome("a.com", "data:AAA"),
+            "b.com": outcome("b.com", "data:AAA"),
+            "c.com": outcome("c.com", "data:BBB"),
+        }
+        pops = {"a.com": "top", "b.com": "top", "c.com": "tail"}
+        clusters = cluster_canvases(outcomes, pops)
+        assert len(clusters) == 2
+        sizes = sorted(c.site_count() for c in clusters.values())
+        assert sizes == [1, 2]
+
+    def test_populations_tracked_separately(self):
+        outcomes = {
+            "a.com": outcome("a.com", "data:X"),
+            "b.com": outcome("b.com", "data:X"),
+        }
+        pops = {"a.com": "top", "b.com": "tail"}
+        clusters = cluster_canvases(outcomes, pops)
+        (cluster,) = clusters.values()
+        assert cluster.site_count("top") == 1
+        assert cluster.site_count("tail") == 1
+        assert cluster.site_count() == 2
+
+    def test_double_extraction_counts_once_per_site(self):
+        outcomes = {"a.com": outcome("a.com", "data:X", "data:X")}
+        clusters = cluster_canvases(outcomes, {"a.com": "top"})
+        (cluster,) = clusters.values()
+        assert cluster.site_count() == 1
+        assert cluster.extraction_count == 2
+        assert cluster.extractions_per_site["a.com"] == 2
+
+    def test_script_urls_accumulated(self):
+        o1 = DetectionOutcome(domain="a.com")
+        o1.fingerprintable.append(extraction("data:X", script="https://v.com/fp.js"))
+        o2 = DetectionOutcome(domain="b.com")
+        o2.fingerprintable.append(extraction("data:X", script="https://b.com/bundle.js"))
+        clusters = cluster_canvases({"a.com": o1, "b.com": o2}, {"a.com": "top", "b.com": "top"})
+        (cluster,) = clusters.values()
+        assert cluster.script_urls == {"https://v.com/fp.js", "https://b.com/bundle.js"}
+
+    def test_empty(self):
+        assert cluster_canvases({}, {}) == {}
+
+
+class TestRanking:
+    def test_rank_by_top_popularity(self):
+        outcomes = {}
+        pops = {}
+        for i in range(5):
+            d = f"s{i}.com"
+            outcomes[d] = outcome(d, "data:POPULAR")
+            pops[d] = "top"
+        outcomes["t.com"] = outcome("t.com", "data:RARE")
+        pops["t.com"] = "top"
+        clusters = cluster_canvases(outcomes, pops)
+        ranked = rank_clusters(clusters, "top")
+        assert ranked[0].site_count("top") == 5
+        assert ranked[1].site_count("top") == 1
+
+    def test_rank_deterministic_on_ties(self):
+        outcomes = {
+            "a.com": outcome("a.com", "data:X"),
+            "b.com": outcome("b.com", "data:Y"),
+        }
+        pops = {"a.com": "top", "b.com": "top"}
+        r1 = [c.canvas_hash for c in rank_clusters(cluster_canvases(outcomes, pops), "top")]
+        r2 = [c.canvas_hash for c in rank_clusters(cluster_canvases(outcomes, pops), "top")]
+        assert r1 == r2
+
+
+@given(
+    assignments=st.lists(
+        st.tuples(st.sampled_from(["c1", "c2", "c3", "c4"]), st.sampled_from(["top", "tail"])),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_cluster_partition_invariants(assignments):
+    """Clusters partition extractions; site counts never exceed site totals."""
+    outcomes = {}
+    pops = {}
+    for i, (canvas, pop) in enumerate(assignments):
+        domain = f"site{i}.com"
+        outcomes[domain] = outcome(domain, f"data:{canvas}")
+        pops[domain] = pop
+    clusters = cluster_canvases(outcomes, pops)
+    # Every extraction accounted for exactly once.
+    assert sum(c.extraction_count for c in clusters.values()) == len(assignments)
+    # Union of cluster sites == all sites.
+    all_sites = set()
+    for c in clusters.values():
+        all_sites |= c.all_sites()
+    assert all_sites == set(outcomes)
+    # Distinct canvases <= 4 by construction.
+    assert len(clusters) <= 4

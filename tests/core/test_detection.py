@@ -1,0 +1,135 @@
+"""Tests for the §3.2 detection heuristics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.detection import ExclusionReason, FingerprintDetector, MIN_CANVAS_SIZE
+from repro.core.records import CanvasApiCall, CanvasExtraction, SiteObservation
+
+
+def extraction(mime="image/png", w=240, h=60, script="https://v.com/fp.js", data="data:x", t=1.0):
+    return CanvasExtraction(
+        data_url=data, mime=mime, width=w, height=h, script_url=script, canvas_id=1, t_ms=t
+    )
+
+
+def call(method, script="https://v.com/fp.js"):
+    return CanvasApiCall(
+        interface="CanvasRenderingContext2D",
+        method=method,
+        args=(),
+        retval=None,
+        script_url=script,
+        canvas_id=1,
+        t_ms=0.5,
+    )
+
+
+def obs(extractions=(), calls=(), domain="site.com"):
+    return SiteObservation(
+        domain=domain,
+        rank=1,
+        population="top",
+        success=True,
+        calls=list(calls),
+        extractions=list(extractions),
+    )
+
+
+@pytest.fixture
+def detector():
+    return FingerprintDetector()
+
+
+class TestHeuristics:
+    def test_png_large_canvas_is_fingerprintable(self, detector):
+        outcome = detector.detect(obs([extraction()]))
+        assert outcome.is_fingerprinting_site
+        assert not outcome.excluded
+
+    def test_jpeg_excluded(self, detector):
+        outcome = detector.detect(obs([extraction(mime="image/jpeg")]))
+        assert outcome.excluded_by(ExclusionReason.LOSSY_FORMAT)
+        assert not outcome.is_fingerprinting_site
+
+    def test_webp_excluded(self, detector):
+        outcome = detector.detect(obs([extraction(mime="image/webp", w=1, h=1)]))
+        # Lossy check fires first, which also covers webp compat checks.
+        assert outcome.excluded_by(ExclusionReason.LOSSY_FORMAT)
+
+    @pytest.mark.parametrize("w,h", [(15, 100), (100, 15), (5, 5), (12, 12), (1, 1)])
+    def test_small_canvases_excluded(self, detector, w, h):
+        outcome = detector.detect(obs([extraction(w=w, h=h)]))
+        assert outcome.excluded_by(ExclusionReason.TOO_SMALL)
+
+    def test_16x16_boundary_is_fingerprintable(self, detector):
+        outcome = detector.detect(obs([extraction(w=MIN_CANVAS_SIZE, h=MIN_CANVAS_SIZE)]))
+        assert outcome.is_fingerprinting_site
+
+    @pytest.mark.parametrize("method", ["save", "restore"])
+    def test_animation_script_excluded(self, detector, method):
+        outcome = detector.detect(obs([extraction()], calls=[call(method)]))
+        assert outcome.excluded_by(ExclusionReason.ANIMATION_SCRIPT)
+
+    def test_animation_by_other_script_does_not_exclude(self, detector):
+        outcome = detector.detect(
+            obs([extraction(script="https://v.com/fp.js")], calls=[call("save", script="https://other.com/anim.js")])
+        )
+        assert outcome.is_fingerprinting_site
+
+    def test_mixed_site(self, detector):
+        outcome = detector.detect(
+            obs(
+                [
+                    extraction(),                             # fingerprintable
+                    extraction(mime="image/webp", w=1, h=1),  # webp check
+                    extraction(w=12, h=12),                   # small canvas
+                ]
+            )
+        )
+        assert len(outcome.fingerprintable) == 1
+        assert len(outcome.excluded) == 2
+        assert outcome.total_extractions == 3
+        assert not outcome.fully_excluded
+
+    def test_fully_excluded_site(self, detector):
+        outcome = detector.detect(obs([extraction(w=5, h=5)]))
+        assert outcome.fully_excluded
+
+    def test_site_without_extractions(self, detector):
+        outcome = detector.detect(obs([]))
+        assert not outcome.is_fingerprinting_site
+        assert not outcome.fully_excluded
+
+
+class TestAggregates:
+    def test_fingerprintable_fraction(self, detector):
+        outcomes = [
+            detector.detect(obs([extraction(), extraction(mime="image/jpeg")])),
+            detector.detect(obs([extraction()], domain="b.com")),
+        ]
+        assert FingerprintDetector.fingerprintable_fraction(outcomes) == pytest.approx(2 / 3)
+
+    def test_fraction_empty(self):
+        assert FingerprintDetector.fingerprintable_fraction([]) == 0.0
+
+    def test_detect_all_keys_by_domain(self, detector):
+        outcomes = detector.detect_all([obs([], domain="a.com"), obs([], domain="b.com")])
+        assert set(outcomes) == {"a.com", "b.com"}
+
+
+@given(
+    w=st.integers(1, 400),
+    h=st.integers(1, 400),
+    mime=st.sampled_from(["image/png", "image/jpeg", "image/webp"]),
+)
+def test_classification_is_total_and_consistent(w, h, mime):
+    detector = FingerprintDetector()
+    e = extraction(mime=mime, w=w, h=h)
+    reason = detector.classify_extraction(e, set())
+    if mime != "image/png":
+        assert reason is ExclusionReason.LOSSY_FORMAT
+    elif w < 16 or h < 16:
+        assert reason is ExclusionReason.TOO_SMALL
+    else:
+        assert reason is None

@@ -1,0 +1,112 @@
+"""Tests for the §4.3.1 FingerprintJS ecosystem breakdown."""
+
+import pytest
+
+from repro.core.detection import DetectionOutcome
+from repro.core.fpjs import fpjs_breakdown
+from repro.core.records import CanvasExtraction, SiteObservation
+
+
+def extraction(data, script):
+    return CanvasExtraction(
+        data_url=data, mime="image/png", width=200, height=50, script_url=script, canvas_id=1, t_ms=1.0
+    )
+
+
+def make_site(domain, script_url, source, data="data:FPJS"):
+    e = extraction(data, script_url)
+    obs = SiteObservation(
+        domain=domain,
+        rank=1,
+        population="top",
+        success=True,
+        extractions=[e],
+        script_sources={script_url: source} if script_url else {},
+    )
+    outcome = DetectionOutcome(domain=domain)
+    outcome.fingerprintable.append(e)
+    return obs, outcome, e.canvas_hash
+
+
+class TestBreakdown:
+    def build(self, *sites):
+        observations, outcomes, hashes = {}, {}, set()
+        pops = {}
+        for obs, outcome, h in sites:
+            observations[obs.domain] = obs
+            outcomes[obs.domain] = outcome
+            hashes.add(h)
+            pops[obs.domain] = obs.population
+        return observations, outcomes, pops, hashes
+
+    def test_commercial_by_content_marker(self):
+        site = make_site(
+            "a.com", "https://fp.a.com/pro.js", "var x; var __mathmlProbe = 1; /* pro */"
+        )
+        observations, outcomes, pops, hashes = self.build(site)
+        breakdown = fpjs_breakdown(observations, outcomes, pops, hashes)
+        assert breakdown.get("commercial")["top"] == 1
+
+    def test_commercial_by_url(self):
+        site = make_site("a.com", "https://fpnpmcdn.net/v4/pro.min.js", None)
+        observations, outcomes, pops, hashes = self.build(site)
+        assert fpjs_breakdown(observations, outcomes, pops, hashes).get("commercial")["top"] == 1
+
+    def test_adtech_by_host(self):
+        site = make_site("a.com", "https://js.aldata-media.com/fp.min.js", "oss code")
+        observations, outcomes, pops, hashes = self.build(site)
+        assert fpjs_breakdown(observations, outcomes, pops, hashes).get("AIdata")["top"] == 1
+
+    def test_adtech_by_bundled_banner(self):
+        site = make_site(
+            "a.com", "https://a.com/#inline", "/* MGID audience integration */ oss code"
+        )
+        observations, outcomes, pops, hashes = self.build(site)
+        assert fpjs_breakdown(observations, outcomes, pops, hashes).get("MGID")["top"] == 1
+
+    def test_self_hosted_is_oss(self):
+        site = make_site("a.com", "https://a.com/assets/app.js", "plain oss fingerprint code")
+        observations, outcomes, pops, hashes = self.build(site)
+        assert fpjs_breakdown(observations, outcomes, pops, hashes).get("oss")["top"] == 1
+
+    def test_commercial_evidence_wins(self):
+        e1 = extraction("data:FPJS", "https://js.aldata-media.com/fp.min.js")
+        e2 = extraction("data:FPJS2", "https://fpnpmcdn.net/v4/pro.min.js")
+        obs = SiteObservation(
+            domain="multi.com", rank=1, population="top", success=True, extractions=[e1, e2]
+        )
+        outcome = DetectionOutcome(domain="multi.com")
+        outcome.fingerprintable.extend([e1, e2])
+        breakdown = fpjs_breakdown(
+            {"multi.com": obs},
+            {"multi.com": outcome},
+            {"multi.com": "top"},
+            {e1.canvas_hash, e2.canvas_hash},
+        )
+        assert breakdown.get("commercial")["top"] == 1
+        assert breakdown.get("AIdata")["top"] == 0
+
+    def test_non_fpjs_sites_ignored(self):
+        site = make_site("a.com", "https://other.com/x.js", "code", data="data:OTHER")
+        observations, outcomes, pops, _ = self.build(site)
+        breakdown = fpjs_breakdown(observations, outcomes, pops, {"nomatch"})
+        assert breakdown.counts == {}
+
+
+class TestEndToEnd:
+    def test_breakdown_over_synthetic_world(self):
+        from repro.config import StudyScale
+        from repro.webgen import build_world
+
+        world = build_world(StudyScale(fraction=0.04, seed=31337))
+        result = world.run_full_study(include_adblock_crawls=False)
+        fpjs_sig = next(s for s in result.signatures if s.name == "FingerprintJS")
+        breakdown = fpjs_breakdown(
+            result.control.by_domain(), result.outcomes, result.populations, fpjs_sig.canvas_hashes
+        )
+        total = sum(r["top"] + r["tail"] for r in breakdown.counts.values())
+        fpjs_sites = result.vendor_counts["FingerprintJS"]
+        assert total == fpjs_sites["top"] + fpjs_sites["tail"]
+        # OSS self-hosting dominates, as in the paper.
+        oss = breakdown.get("oss")
+        assert oss["top"] + oss["tail"] >= total * 0.4

@@ -1,0 +1,92 @@
+"""Property tests: the observation schema round-trips through JSON exactly."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.records import (
+    CanvasApiCall,
+    CanvasExtraction,
+    PropertyAccess,
+    SiteObservation,
+)
+
+_text = st.text(max_size=30)
+_url = st.one_of(st.none(), st.sampled_from([
+    "https://vendor.net/fp.js",
+    "https://site.example/#inline",
+    "https://cdn.jsdelivr.net/npm/fp@1/fp.min.js",
+]))
+_scalar = st.one_of(st.none(), st.booleans(), st.integers(-1000, 1000), _text)
+
+_calls = st.builds(
+    CanvasApiCall,
+    interface=st.sampled_from(["CanvasRenderingContext2D", "HTMLCanvasElement"]),
+    method=st.sampled_from(["fillRect", "fillText", "toDataURL", "save", "getContext"]),
+    args=st.tuples(_scalar, _scalar),
+    retval=st.one_of(st.none(), _text),
+    script_url=_url,
+    canvas_id=st.integers(1, 50),
+    t_ms=st.floats(0, 1e6, allow_nan=False).map(lambda x: round(x, 3)),
+)
+
+_props = st.builds(
+    PropertyAccess,
+    interface=st.just("CanvasRenderingContext2D"),
+    prop=st.sampled_from(["fillStyle", "font", "textBaseline", "width"]),
+    value=_scalar,
+    script_url=_url,
+    canvas_id=st.integers(1, 50),
+    t_ms=st.floats(0, 1e6, allow_nan=False).map(lambda x: round(x, 3)),
+)
+
+_extractions = st.builds(
+    CanvasExtraction,
+    data_url=st.text(alphabet="abcdefABCDEF0123456789+/=", min_size=1, max_size=60).map(
+        lambda s: "data:image/png;base64," + s
+    ),
+    mime=st.sampled_from(["image/png", "image/jpeg", "image/webp"]),
+    width=st.integers(1, 500),
+    height=st.integers(1, 500),
+    script_url=_url,
+    canvas_id=st.integers(1, 50),
+    t_ms=st.floats(0, 1e6, allow_nan=False).map(lambda x: round(x, 3)),
+    method=st.just("toDataURL"),
+)
+
+_observations = st.builds(
+    SiteObservation,
+    domain=st.from_regex(r"[a-z]{3,10}\.(com|net|ru)", fullmatch=True),
+    rank=st.integers(1, 1_000_000),
+    population=st.sampled_from(["top", "tail"]),
+    success=st.booleans(),
+    failure_reason=st.one_of(st.none(), st.sampled_from(["bot-blocked", "network-error"])),
+    final_url=st.one_of(st.none(), st.just("https://x.example/")),
+    calls=st.lists(_calls, max_size=5),
+    property_accesses=st.lists(_props, max_size=5),
+    extractions=st.lists(_extractions, max_size=5),
+    blocked_urls=st.lists(st.just("https://blocked.example/x.js"), max_size=2),
+    script_errors=st.lists(_text, max_size=2),
+    script_sources=st.dictionaries(st.sampled_from(["https://a/x.js", "https://b/y.js"]), _text, max_size=2),
+)
+
+
+@given(_observations)
+def test_observation_json_roundtrip(observation):
+    restored = SiteObservation.from_json(observation.to_json())
+    assert restored == observation
+
+
+@given(_extractions)
+def test_extraction_hash_stable_under_roundtrip(extraction):
+    restored = CanvasExtraction.from_json(extraction.to_json())
+    assert restored.canvas_hash == extraction.canvas_hash
+    assert restored.is_lossless == (extraction.mime == "image/png")
+
+
+@given(_observations)
+def test_observation_roundtrip_through_storage(observation):
+    import json
+
+    # A second serialization pass must be byte-identical (canonical form).
+    once = json.dumps(observation.to_json(), sort_keys=True)
+    twice = json.dumps(SiteObservation.from_json(observation.to_json()).to_json(), sort_keys=True)
+    assert once == twice

@@ -1,0 +1,150 @@
+"""Tests for the DOM substrate: HTML scanning, elements, document, window."""
+
+import pytest
+
+from repro.dom.document import Document
+from repro.dom.elements import DOMElement
+from repro.dom.html import parse_html
+from repro.dom.window import make_navigator, make_screen
+from repro.js import Interpreter
+
+
+class TestHTMLScanner:
+    def test_external_and_inline_in_order(self):
+        page = parse_html(
+            '<html><script src="/a.js"></script><script>var x = 1;</script>'
+            '<script src="https://cdn.example/b.js"></script></html>'
+        )
+        assert [s.src for s in page.scripts] == ["/a.js", None, "https://cdn.example/b.js"]
+        assert page.scripts[1].source == "var x = 1;"
+
+    def test_title(self):
+        assert parse_html("<title> My Site </title>").title == "My Site"
+        assert parse_html("<html></html>").title == ""
+
+    def test_attrs_extracted(self):
+        page = parse_html('<script src="/x.js" data-consent="required" async="1"></script>')
+        assert page.scripts[0].attr("data-consent") == "required"
+        assert page.scripts[0].attr("missing") is None
+
+    def test_single_quotes(self):
+        page = parse_html("<script src='/q.js'></script>")
+        assert page.scripts[0].src == "/q.js"
+
+    def test_consent_banner_markers(self):
+        assert parse_html('<div class="consent-banner">x</div>').has_consent_banner
+        assert parse_html("<div data-consent-banner='1'>x</div>").has_consent_banner
+        assert not parse_html("<div>no banner</div>").has_consent_banner
+
+    def test_multiline_inline_script(self):
+        page = parse_html("<script>\nvar a = 1;\nvar b = 2;\n</script>")
+        assert "var b = 2;" in page.scripts[0].source
+
+    def test_case_insensitive_tags(self):
+        page = parse_html('<SCRIPT SRC="/up.js"></SCRIPT>')
+        assert page.scripts[0].src == "/up.js"
+
+
+class TestDOMElement:
+    def test_tree_operations(self):
+        parent = DOMElement("div")
+        child = DOMElement("span")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert child in parent.children
+        parent.remove_child(child)
+        assert child.parent is None
+
+    def test_reparenting(self):
+        a, b, c = DOMElement("div"), DOMElement("div"), DOMElement("p")
+        a.append_child(c)
+        b.append_child(c)
+        assert c not in a.children and c in b.children
+
+    def test_iter_tree(self):
+        root = DOMElement("html")
+        body = DOMElement("body")
+        div = DOMElement("div")
+        root.append_child(body)
+        body.append_child(div)
+        assert [e.tag_name for e in root.iter_tree()] == ["html", "body", "div"]
+
+
+class TestDocument:
+    def test_create_element(self):
+        doc = Document()
+        el = doc.create_element("DIV")
+        assert isinstance(el, DOMElement)
+        assert el.tag_name == "div"
+
+    def test_canvas_factory_injected(self):
+        sentinel = object()
+        doc = Document(canvas_factory=lambda: sentinel)
+        assert doc.create_element("canvas") is sentinel
+
+    def test_get_element_by_id(self):
+        doc = Document()
+        div = doc.create_element("div")
+        div.attributes["id"] = "target"
+        doc.body.append_child(div)
+        assert doc.get_element_by_id("target") is div
+        assert doc.get_element_by_id("missing") is None
+
+    def test_query_selector_all(self):
+        doc = Document()
+        for cls in ("consent-accept", "consent-accept", "other"):
+            el = doc.create_element("button")
+            el.attributes["class"] = cls
+            doc.body.append_child(el)
+        assert len(doc.query_selector_all(".consent-accept")) == 2
+        assert len(doc.query_selector_all("button")) == 3
+
+
+class TestJSIntegration:
+    @pytest.fixture
+    def interp(self):
+        interp = Interpreter()
+        doc = Document(url="https://page.example/")
+        interp.define_global("document", doc)
+        interp.define_global("navigator", make_navigator("intel-ubuntu-22.04"))
+        interp.define_global("screen", make_screen())
+        return interp
+
+    def test_create_and_append(self, interp):
+        result = interp.run(
+            """
+            var div = document.createElement('div');
+            div.id = 'made-by-js';
+            document.body.appendChild(div);
+            document.getElementById('made-by-js').tagName;
+            """
+        )
+        assert result == "DIV"
+
+    def test_set_attribute_roundtrip(self, interp):
+        result = interp.run(
+            """
+            var el = document.createElement('span');
+            el.setAttribute('data-k', 'v1');
+            el.getAttribute('data-k');
+            """
+        )
+        assert result == "v1"
+
+    def test_navigator_properties(self, interp):
+        assert interp.run("navigator.platform;") == "Linux x86_64"
+        assert interp.run("navigator.webdriver;") is False
+        assert "Chrome" in interp.run("navigator.userAgent;")
+
+    def test_m1_navigator_differs(self):
+        intel = make_navigator("intel-ubuntu-22.04")
+        m1 = make_navigator("apple-m1")
+        assert intel.get("platform") != m1.get("platform")
+
+    def test_screen_properties(self, interp):
+        assert interp.run("screen.width + 'x' + screen.height;") == "1920x1080"
+
+    def test_text_content(self, interp):
+        assert interp.run(
+            "var p = document.createElement('p'); p.textContent = 'hi'; p.textContent;"
+        ) == "hi"

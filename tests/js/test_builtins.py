@@ -1,0 +1,161 @@
+"""Focused tests for JS built-in objects and primitive methods."""
+
+import math
+
+import pytest
+
+from repro.js import Interpreter, JSRuntimeError
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+def run(interp, src):
+    return interp.run(src)
+
+
+class TestMath:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("Math.round(2.5);", 3.0),
+            ("Math.round(-2.5);", -2.0),  # JS rounds half toward +inf
+            ("Math.trunc(-2.7);", -2.0),
+            ("Math.sign(-5);", -1.0),
+            ("Math.sign(0);", 0.0),
+            ("Math.min();", math.inf),
+            ("Math.max();", -math.inf),
+            ("Math.hypot(3, 4);", 5.0),
+            ("Math.atan2(1, 1) * 4;", math.pi),
+            ("Math.LN2;", math.log(2)),
+        ],
+    )
+    def test_cases(self, interp, src, expected):
+        assert run(interp, src) == pytest.approx(expected)
+
+    def test_sqrt_negative_nan(self, interp):
+        assert math.isnan(run(interp, "Math.sqrt(-1);"))
+
+    def test_log_edge_cases(self, interp):
+        assert run(interp, "Math.log(0);") == -math.inf
+        assert math.isnan(run(interp, "Math.log(-1);"))
+
+
+class TestJSON:
+    def test_stringify_nested(self, interp):
+        assert run(interp, "JSON.stringify([{a: 1}, [true, null]]);") == '[{"a":1},[true,null]]'
+
+    def test_stringify_skips_functions(self, interp):
+        assert run(interp, "JSON.stringify({f: function() {}, x: 1});") == '{"x":1}'
+
+    def test_stringify_undefined_returns_undefined(self, interp):
+        assert run(interp, "typeof JSON.stringify(undefined);") == "undefined"
+
+    def test_parse_invalid_throws_catchable(self, interp):
+        src = "var r = 'ok'; try { JSON.parse('{bad'); } catch (e) { r = 'caught'; } r;"
+        assert run(interp, src) == "caught"
+
+    def test_roundtrip(self, interp):
+        assert run(interp, "JSON.parse(JSON.stringify({k: [1, 'two']})).k[1];") == "two"
+
+
+class TestObjectNamespace:
+    def test_values(self, interp):
+        assert run(interp, "Object.values({a: 1, b: 2}).join('+');") == "1+2"
+
+    def test_assign(self, interp):
+        assert run(interp, "JSON.stringify(Object.assign({a: 1}, {b: 2}, {a: 3}));") == '{"a":3,"b":2}'
+
+    def test_keys_of_array(self, interp):
+        assert run(interp, "Object.keys(['x', 'y']).join(',');") == "0,1"
+
+
+class TestArrayNamespace:
+    def test_is_array(self, interp):
+        assert run(interp, "Array.isArray([]);") is True
+        assert run(interp, "Array.isArray('nope');") is False
+
+    def test_from_string(self, interp):
+        assert run(interp, "Array.from('abc').join('-');") == "a-b-c"
+
+    def test_from_with_mapper(self, interp):
+        assert run(interp, "Array.from([1, 2, 3], x => x * 10).join(',');") == "10,20,30"
+
+    def test_array_constructor_with_length(self, interp):
+        assert run(interp, "Array(3).length;") == 3.0
+
+
+class TestStringMethods:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("'abc'.padStart(5, '0');", "00abc"),
+            ("'abc'.padEnd(5, '.');", "abc.."),
+            ("'hello'.substr(1, 3);", "ell"),
+            ("'hello'.substring(3, 1);", "el"),  # swapped args
+            ("'abc'.at ? 'modern' : 'subset';", "subset"),
+            ("'a-b-c'.replace('-', '+');", "a+b-c"),
+            ("'a-b-c'.replaceAll('-', '+');", "a+b+c"),
+            ("'xyz'.concat('1', 2);", "xyz12"),
+            ("'AbC'.toUpperCase();", "ABC"),
+            ("'hello'.lastIndexOf('l');", 3.0),
+            ("'hello'.codePointAt(1);", 101.0),
+            ("''.split(',').length;", 1.0),
+            ("'abc'.split('').join('|');", "a|b|c"),
+        ],
+    )
+    def test_cases(self, interp, src, expected):
+        assert run(interp, src) == expected
+
+    def test_char_code_out_of_range(self, interp):
+        assert math.isnan(run(interp, "'ab'.charCodeAt(9);"))
+        assert run(interp, "'ab'.charAt(9);") == ""
+
+
+class TestNumberMethods:
+    def test_to_precision(self, interp):
+        assert run(interp, "(3.14159).toPrecision(3);") == "3.14"
+
+    def test_to_string_radix_2(self, interp):
+        assert run(interp, "(10).toString(2);") == "1010"
+
+    def test_to_string_radix_36(self, interp):
+        assert run(interp, "(35).toString(36);") == "z"
+
+    def test_number_namespace(self, interp):
+        assert run(interp, "Number('42');") == 42.0
+        assert run(interp, "Number.isInteger(4);") is True
+        assert run(interp, "Number.isInteger(4.5);") is False
+        assert run(interp, "Number.isNaN(NaN);") is True
+        assert run(interp, "Number.isNaN('NaN');") is False
+
+
+class TestEncoding:
+    def test_encode_uri_component(self, interp):
+        assert run(interp, "encodeURIComponent('a b&c');") == "a%20b%26c"
+
+    def test_btoa_non_latin1_throws(self, interp):
+        src = "var r = 'ok'; try { btoa('\\u2603'); } catch (e) { r = 'threw'; } r;"
+        assert run(interp, src) == "threw"
+
+    def test_atob_invalid_throws(self, interp):
+        src = "var r = 'ok'; try { atob('!not base64!'); } catch (e) { r = 'threw'; } r;"
+        assert run(interp, src) == "threw"
+
+
+class TestErrorConstructor:
+    def test_error_message(self, interp):
+        assert run(interp, "new Error('boom').message;") == "boom"
+
+    def test_typeerror_alias(self, interp):
+        assert run(interp, "new TypeError('t').message;") == "t"
+
+    def test_thrown_error_caught_with_message(self, interp):
+        src = """
+        function fail() { throw new Error('expected ' + (1 + 1)); }
+        var msg; try { fail(); } catch (e) { msg = e.message; }
+        msg;
+        """
+        assert run(interp, src) == "expected 2"

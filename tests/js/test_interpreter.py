@@ -1,0 +1,501 @@
+"""End-to-end tests for the JS engine (parser + interpreter + builtins)."""
+
+import math
+
+import pytest
+
+from repro.js import Interpreter, JSRuntimeError, JSSyntaxError, UNDEFINED
+from repro.js.values import JSArray, JSObject, NativeFunction
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+def run(interp, src):
+    return interp.run(src)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 + 2;", 3.0),
+            ("2 * 3 + 4;", 10.0),
+            ("2 + 3 * 4;", 14.0),
+            ("(2 + 3) * 4;", 20.0),
+            ("10 / 4;", 2.5),
+            ("7 % 3;", 1.0),
+            ("-5 + 1;", -4.0),
+            ("'a' + 'b';", "ab"),
+            ("'n=' + 5;", "n=5"),
+            ("1 + '2';", "12"),
+            ("'3' * '2';", 6.0),
+            ("1 < 2;", True),
+            ("'a' < 'b';", True),
+            ("1 === 1;", True),
+            ("1 === '1';", False),
+            ("1 == '1';", True),
+            ("null == undefined;", True),
+            ("null === undefined;", False),
+            ("!0;", True),
+            ("typeof 'x';", "string"),
+            ("typeof 5;", "number"),
+            ("typeof undefined;", "undefined"),
+            ("typeof {};", "object"),
+            ("typeof function(){};", "function"),
+            ("typeof missingVar;", "undefined"),
+            ("true && 'yes';", "yes"),
+            ("false || 'fallback';", "fallback"),
+            ("0 || '';", ""),
+            ("1 ? 'a' : 'b';", "a"),
+            ("5 & 3;", 1.0),
+            ("5 | 3;", 7.0),
+            ("5 ^ 3;", 6.0),
+            ("1 << 4;", 16.0),
+            ("-8 >> 1;", -4.0),
+            ("~5;", -6.0),
+        ],
+    )
+    def test_eval(self, interp, src, expected):
+        assert run(interp, src) == expected
+
+    def test_nan_comparisons(self, interp):
+        assert run(interp, "NaN === NaN;") is False
+        assert run(interp, "NaN < 1;") is False
+        assert run(interp, "isNaN(NaN);") is True
+
+    def test_division_by_zero(self, interp):
+        assert run(interp, "1 / 0;") == math.inf
+        assert math.isnan(run(interp, "0 / 0;"))
+
+
+class TestVariablesAndScope:
+    def test_var_declaration(self, interp):
+        assert run(interp, "var x = 5; x * 2;") == 10.0
+
+    def test_multiple_declarators(self, interp):
+        assert run(interp, "var a = 1, b = 2; a + b;") == 3.0
+
+    def test_uninitialized_is_undefined(self, interp):
+        assert run(interp, "var x; x;") is UNDEFINED
+
+    def test_undeclared_reference_throws(self, interp):
+        with pytest.raises(JSRuntimeError):
+            run(interp, "missing + 1;")
+
+    def test_closures(self, interp):
+        src = """
+        function counter() {
+            var n = 0;
+            return function() { n = n + 1; return n; };
+        }
+        var c = counter();
+        c(); c(); c();
+        """
+        assert run(interp, src) == 3.0
+
+    def test_block_scoping_of_let_is_lexical(self, interp):
+        src = "var x = 1; { let x = 2; } x;"
+        assert run(interp, src) == 1.0
+
+    def test_globals_persist_across_runs(self, interp):
+        run(interp, "var shared = 41;")
+        assert run(interp, "shared + 1;") == 42.0
+
+    def test_compound_assignment(self, interp):
+        assert run(interp, "var x = 1; x += 4; x *= 2; x;") == 10.0
+
+    def test_increment_decrement(self, interp):
+        assert run(interp, "var x = 5; x++; ++x; x--; x;") == 6.0
+        assert run(interp, "var y = 5; y++;") == 5.0
+        assert run(interp, "var z = 5; ++z;") == 6.0
+
+
+class TestControlFlow:
+    def test_if_else(self, interp):
+        assert run(interp, "var r; if (1 > 2) { r = 'a'; } else { r = 'b'; } r;") == "b"
+
+    def test_for_loop(self, interp):
+        assert run(interp, "var s = 0; for (var i = 1; i <= 10; i++) { s += i; } s;") == 55.0
+
+    def test_while_with_break(self, interp):
+        src = "var i = 0; while (true) { i++; if (i >= 7) break; } i;"
+        assert run(interp, src) == 7.0
+
+    def test_continue(self, interp):
+        src = "var s = 0; for (var i = 0; i < 10; i++) { if (i % 2) continue; s += i; } s;"
+        assert run(interp, src) == 20.0
+
+    def test_do_while(self, interp):
+        assert run(interp, "var i = 10; do { i++; } while (i < 5); i;") == 11.0
+
+    def test_for_of_array(self, interp):
+        assert run(interp, "var s = ''; for (var ch of ['a','b','c']) { s += ch; } s;") == "abc"
+
+    def test_for_of_string(self, interp):
+        assert run(interp, "var n = 0; for (var c of 'hello') { n++; } n;") == 5.0
+
+    def test_nested_loops_break_inner_only(self, interp):
+        src = """
+        var count = 0;
+        for (var i = 0; i < 3; i++) {
+            for (var j = 0; j < 10; j++) { if (j == 2) break; count++; }
+        }
+        count;
+        """
+        assert run(interp, src) == 6.0
+
+
+class TestFunctions:
+    def test_declaration_and_call(self, interp):
+        assert run(interp, "function add(a, b) { return a + b; } add(2, 3);") == 5.0
+
+    def test_hoisting(self, interp):
+        assert run(interp, "var r = f(); function f() { return 9; } r;") == 9.0
+
+    def test_missing_args_are_undefined(self, interp):
+        assert run(interp, "function f(a, b) { return typeof b; } f(1);") == "undefined"
+
+    def test_arguments_object(self, interp):
+        assert run(interp, "function f() { return arguments.length; } f(1, 2, 3);") == 3.0
+
+    def test_function_expression(self, interp):
+        assert run(interp, "var f = function(x) { return x * x; }; f(4);") == 16.0
+
+    def test_arrow_expression_body(self, interp):
+        assert run(interp, "var sq = x => x * x; sq(6);") == 36.0
+
+    def test_arrow_params_block_body(self, interp):
+        assert run(interp, "var f = (a, b) => { return a - b; }; f(9, 4);") == 5.0
+
+    def test_zero_arg_arrow(self, interp):
+        assert run(interp, "var f = () => 42; f();") == 42.0
+
+    def test_recursion(self, interp):
+        assert run(interp, "function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); } fib(12);") == 144.0
+
+    def test_this_in_method_call(self, interp):
+        src = "var obj = { x: 7, getX: function() { return this.x; } }; obj.getX();"
+        assert run(interp, src) == 7.0
+
+    def test_new_with_constructor(self, interp):
+        src = "function Point(x, y) { this.x = x; this.y = y; } var p = new Point(3, 4); p.x + p.y;"
+        assert run(interp, src) == 7.0
+
+    def test_call_apply_bind(self, interp):
+        src = "function who() { return this.name; } var o = {name: 'a'};"
+        assert run(interp, src + "who.call(o);") == "a"
+        assert run(interp, "who.apply(o, []);") == "a"
+        assert run(interp, "var b = who.bind(o); b();") == "a"
+
+    def test_calling_non_function_raises(self, interp):
+        with pytest.raises(JSRuntimeError):
+            run(interp, "var x = 5; x();")
+
+
+class TestObjectsAndArrays:
+    def test_object_literal_access(self, interp):
+        assert run(interp, "var o = {a: 1, 'b c': 2}; o.a + o['b c'];") == 3.0
+
+    def test_nested_objects(self, interp):
+        assert run(interp, "var o = {a: {b: {c: 'deep'}}}; o.a.b.c;") == "deep"
+
+    def test_property_assignment(self, interp):
+        assert run(interp, "var o = {}; o.x = 1; o['y'] = 2; o.x + o.y;") == 3.0
+
+    def test_delete(self, interp):
+        assert run(interp, "var o = {a: 1}; delete o.a; typeof o.a;") == "undefined"
+
+    def test_in_operator(self, interp):
+        assert run(interp, "var o = {a: 1}; 'a' in o;") is True
+        assert run(interp, "'b' in {a: 1};") is False
+
+    def test_array_literal_and_index(self, interp):
+        assert run(interp, "var a = [10, 20, 30]; a[1];") == 20.0
+
+    def test_array_length_and_growth(self, interp):
+        assert run(interp, "var a = []; a[4] = 1; a.length;") == 5.0
+
+    def test_array_push_pop(self, interp):
+        assert run(interp, "var a = [1]; a.push(2, 3); a.pop(); a.join('-');") == "1-2"
+
+    def test_array_map_filter_reduce(self, interp):
+        assert run(interp, "[1,2,3,4].map(x => x * 2).filter(x => x > 4).reduce((a, b) => a + b, 0);") == 14.0
+
+    def test_array_indexOf_includes(self, interp):
+        assert run(interp, "[1,2,3].indexOf(2);") == 1.0
+        assert run(interp, "[1,2,3].includes(4);") is False
+
+    def test_array_slice_splice(self, interp):
+        assert run(interp, "[0,1,2,3,4].slice(1, 3).join(',');") == "1,2"
+        assert run(interp, "var a = [1,2,3,4]; a.splice(1, 2); a.join(',');") == "1,4"
+
+    def test_array_sort(self, interp):
+        assert run(interp, "[3,1,2].sort(function(a,b){return a-b;}).join('');") == "123"
+
+    def test_object_keys(self, interp):
+        assert run(interp, "Object.keys({a: 1, b: 2}).join(',');") == "a,b"
+
+
+class TestStringsAndBuiltins:
+    def test_string_methods(self, interp):
+        assert run(interp, "'Hello World'.toLowerCase();") == "hello world"
+        assert run(interp, "'abcdef'.slice(1, 3);") == "bc"
+        assert run(interp, "'a,b,c'.split(',').length;") == 3.0
+        assert run(interp, "'hello'.charCodeAt(0);") == 104.0
+        assert run(interp, "'  pad  '.trim();") == "pad"
+        assert run(interp, "'abc'.indexOf('c');") == 2.0
+        assert run(interp, "'ha'.repeat(3);") == "hahaha"
+        assert run(interp, "'abc'.length;") == 3.0
+        assert run(interp, "'abc'[1];") == "b"
+
+    def test_string_fromCharCode(self, interp):
+        assert run(interp, "String.fromCharCode(72, 105);") == "Hi"
+
+    def test_math(self, interp):
+        assert run(interp, "Math.max(1, 9, 4);") == 9.0
+        assert run(interp, "Math.floor(2.7);") == 2.0
+        assert run(interp, "Math.abs(-3);") == 3.0
+        assert run(interp, "Math.pow(2, 10);") == 1024.0
+        assert run(interp, "Math.sqrt(16);") == 4.0
+
+    def test_math_random_in_range_and_deterministic(self, interp):
+        vals = [run(interp, "Math.random();") for _ in range(10)]
+        assert all(0 <= v < 1 for v in vals)
+        other = Interpreter()
+        assert [other.run("Math.random();") for _ in range(10)] == vals
+
+    def test_parse_int_float(self, interp):
+        assert run(interp, "parseInt('42px');") == 42.0
+        assert run(interp, "parseInt('ff', 16);") == 255.0
+        assert run(interp, "parseFloat('3.5rem');") == 3.5
+        assert math.isnan(run(interp, "parseInt('nope');"))
+
+    def test_json_roundtrip(self, interp):
+        assert run(interp, "JSON.stringify({a: [1, 'x', null], b: true});") == '{"a":[1,"x",null],"b":true}'
+        assert run(interp, "JSON.parse('{\"k\": [1, 2]}').k[1];") == 2.0
+
+    def test_number_toFixed_toString(self, interp):
+        assert run(interp, "(3.14159).toFixed(2);") == "3.14"
+        assert run(interp, "(255).toString(16);") == "ff"
+
+    def test_console_log_captured(self, interp):
+        run(interp, "console.log('hello', 42);")
+        assert interp.console_log == ["hello 42"]
+
+    def test_btoa_atob(self, interp):
+        assert run(interp, "btoa('abc');") == "YWJj"
+        assert run(interp, "atob('YWJj');") == "abc"
+
+
+class TestExceptions:
+    def test_try_catch(self, interp):
+        assert run(interp, "var r; try { throw 'boom'; } catch (e) { r = e; } r;") == "boom"
+
+    def test_finally_runs(self, interp):
+        src = "var log = ''; try { log += 'a'; } finally { log += 'b'; } log;"
+        assert run(interp, src) == "ab"
+
+    def test_catch_runtime_error_of_throw_only(self, interp):
+        assert run(interp, "var r = 'ok'; try { throw new Error('x'); } catch (e) { r = e.message; } r;") == "x"
+
+    def test_uncaught_throw_becomes_runtime_error(self, interp):
+        with pytest.raises(JSRuntimeError):
+            run(interp, "throw 'unhandled';")
+
+    def test_member_of_undefined_raises(self, interp):
+        with pytest.raises(JSRuntimeError):
+            run(interp, "var u; u.x;")
+
+
+class TestHostIntegration:
+    def test_native_function(self, interp):
+        calls = []
+
+        def hook(i, this, args):
+            calls.append(args)
+            return 99.0
+
+        interp.native("probe", hook)
+        assert run(interp, "probe(1, 'two');") == 99.0
+        assert calls == [[1.0, "two"]]
+
+    def test_host_object_method_gets_this(self, interp):
+        class Host(JSObject):
+            pass
+
+        host = Host()
+        seen = []
+        host.set("poke", NativeFunction(lambda i, t, a: seen.append(t) or UNDEFINED, "poke"))
+        interp.define_global("host", host)
+        run(interp, "host.poke();")
+        assert seen == [host]
+
+    def test_current_script_tracking(self, interp):
+        observed = []
+        interp.native("report", lambda i, t, a: observed.append(i.current_script) or UNDEFINED)
+        interp.run("report();", script_url="https://x.com/a.js")
+        interp.run("report();", script_url="https://x.com/b.js")
+        assert observed == ["https://x.com/a.js", "https://x.com/b.js"]
+
+    def test_step_budget(self):
+        small = Interpreter(step_budget=1000)
+        with pytest.raises(JSRuntimeError):
+            small.run("while (true) {}")
+
+    def test_syntax_error_reported(self, interp):
+        with pytest.raises(JSSyntaxError):
+            run(interp, "var = 5;")
+
+
+class TestRealisticScripts:
+    def test_string_builder_loop(self, interp):
+        src = """
+        function build() {
+            var parts = [];
+            for (var i = 0; i < 5; i++) { parts.push('v' + i); }
+            return parts.join('|');
+        }
+        build();
+        """
+        assert run(interp, src) == "v0|v1|v2|v3|v4"
+
+    def test_iife_module_pattern(self, interp):
+        src = """
+        var api = (function() {
+            var secret = 21;
+            return { double: function() { return secret * 2; } };
+        })();
+        api.double();
+        """
+        assert run(interp, src) == 42.0
+
+    def test_simple_hash_function(self, interp):
+        src = """
+        function hash(str) {
+            var h = 0;
+            for (var i = 0; i < str.length; i++) {
+                h = ((h << 5) - h + str.charCodeAt(i)) & 0x7fffffff;
+            }
+            return h;
+        }
+        hash('canvas-fingerprint');
+        """
+        result = run(interp, src)
+        assert isinstance(result, float) and result == int(result) and result >= 0
+
+
+class TestTemplateLiterals:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("`plain`;", "plain"),
+            ("var n = 7; `n is ${n}`;", "n is 7"),
+            ("`${1}${2}${3}`;", "123"),
+            ("`sum=${1 + 2 * 3}`;", "sum=7"),
+            ("var o = {k: 'v'}; `k -> ${o.k}`;", "k -> v"),
+            ("`${'a'.toUpperCase()}!`;", "A!"),
+            ("`${ `x${1}` }y`;", "x1y"),
+            ("`always ${1} string`.length;", 15.0),
+        ],
+    )
+    def test_cases(self, interp, src, expected):
+        assert run(interp, src) == expected
+
+    def test_template_in_function(self, interp):
+        src = """
+        function greet(name) { return `Hello, ${name}!`; }
+        greet('fingerprinter');
+        """
+        assert run(interp, src) == "Hello, fingerprinter!"
+
+
+class TestSwitch:
+    def test_basic_case_match(self, interp):
+        src = """
+        var r;
+        switch (2) {
+          case 1: r = 'one'; break;
+          case 2: r = 'two'; break;
+          case 3: r = 'three'; break;
+        }
+        r;
+        """
+        assert run(interp, src) == "two"
+
+    def test_fallthrough_without_break(self, interp):
+        src = """
+        var log = '';
+        switch (1) {
+          case 1: log += 'a';
+          case 2: log += 'b'; break;
+          case 3: log += 'c';
+        }
+        log;
+        """
+        assert run(interp, src) == "ab"
+
+    def test_default_clause(self, interp):
+        src = """
+        var r;
+        switch ('nope') {
+          case 'x': r = 1; break;
+          default: r = 'fallback';
+        }
+        r;
+        """
+        assert run(interp, src) == "fallback"
+
+    def test_default_falls_through(self, interp):
+        src = """
+        var log = '';
+        switch (9) {
+          case 1: log += 'a'; break;
+          default: log += 'd';
+          case 2: log += 'b';
+        }
+        log;
+        """
+        assert run(interp, src) == "db"
+
+    def test_strict_equality_matching(self, interp):
+        src = """
+        var r = 'none';
+        switch ('1') {
+          case 1: r = 'number'; break;
+          case '1': r = 'string'; break;
+        }
+        r;
+        """
+        assert run(interp, src) == "string"
+
+    def test_expressions_as_case_tests(self, interp):
+        src = """
+        var x = 10;
+        var r;
+        switch (x) {
+          case 5 + 5: r = 'computed'; break;
+          default: r = 'no';
+        }
+        r;
+        """
+        assert run(interp, src) == "computed"
+
+    def test_switch_inside_function_with_return(self, interp):
+        src = """
+        function classify(code) {
+          switch (code) {
+            case 200: return 'ok';
+            case 404: return 'missing';
+            default: return 'other';
+          }
+        }
+        classify(200) + '/' + classify(404) + '/' + classify(500);
+        """
+        assert run(interp, src) == "ok/missing/other"
+
+    def test_multiple_defaults_rejected(self, interp):
+        with pytest.raises(JSSyntaxError):
+            run(interp, "switch (1) { default: break; default: break; }")

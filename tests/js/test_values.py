@@ -1,0 +1,211 @@
+"""Property and unit tests for the JS value model and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.js.values import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSObject,
+    NativeFunction,
+    js_equals_loose,
+    js_equals_strict,
+    js_to_number,
+    js_to_string,
+    js_truthy,
+    js_type_of,
+)
+
+
+class TestSingletons:
+    def test_undefined_singleton(self):
+        from repro.js.values import JSUndefined
+
+        assert JSUndefined() is UNDEFINED
+
+    def test_null_singleton(self):
+        from repro.js.values import JSNull
+
+        assert JSNull() is NULL
+
+    def test_falsiness(self):
+        assert not UNDEFINED and not NULL
+
+
+class TestToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"),
+            (NULL, "null"),
+            (True, "true"),
+            (False, "false"),
+            (5.0, "5"),
+            (5.5, "5.5"),
+            (-0.25, "-0.25"),
+            (float("nan"), "NaN"),
+            (float("inf"), "Infinity"),
+            (float("-inf"), "-Infinity"),
+            ("already", "already"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert js_to_string(value) == expected
+
+    def test_array_join_semantics(self):
+        assert js_to_string(JSArray([1.0, "x", NULL, UNDEFINED])) == "1,x,,"
+
+    def test_object(self):
+        assert js_to_string(JSObject()) == "[object Object]"
+
+    def test_integral_floats_have_no_decimal(self):
+        assert js_to_string(1e15) == "1000000000000000"
+
+
+class TestToNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (NULL, 0.0),
+            (True, 1.0),
+            (False, 0.0),
+            ("", 0.0),
+            ("  42 ", 42.0),
+            ("3.5", 3.5),
+            ("0x10", 16.0),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert js_to_number(value) == expected
+
+    @pytest.mark.parametrize("value", [UNDEFINED, "not a number", JSObject()])
+    def test_nan_cases(self, value):
+        assert math.isnan(js_to_number(value))
+
+    def test_array_coercion(self):
+        assert js_to_number(JSArray([])) == 0.0
+        assert js_to_number(JSArray([7.0])) == 7.0
+        assert math.isnan(js_to_number(JSArray([1.0, 2.0])))
+
+
+class TestTypeOf:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"),
+            (NULL, "object"),
+            (True, "boolean"),
+            (1.5, "number"),
+            ("s", "string"),
+            (JSObject(), "object"),
+            (JSArray(), "object"),
+            (NativeFunction(lambda i, t, a: None, "f"), "function"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert js_type_of(value) == expected
+
+
+class TestEquality:
+    def test_strict_nan(self):
+        assert not js_equals_strict(float("nan"), float("nan"))
+
+    def test_strict_object_identity(self):
+        a = JSObject()
+        assert js_equals_strict(a, a)
+        assert not js_equals_strict(a, JSObject())
+
+    def test_loose_null_undefined(self):
+        assert js_equals_loose(NULL, UNDEFINED)
+        assert not js_equals_loose(NULL, 0.0)
+        assert not js_equals_loose(UNDEFINED, "")
+
+    def test_loose_number_string(self):
+        assert js_equals_loose(1.0, "1")
+        assert js_equals_loose("2.5", 2.5)
+        assert not js_equals_loose(1.0, "one")
+
+    def test_loose_boolean_coercion(self):
+        assert js_equals_loose(True, 1.0)
+        assert js_equals_loose(False, "0")
+
+    def test_loose_object_to_primitive(self):
+        assert js_equals_loose(JSArray([5.0]), "5")
+
+
+class TestArrayModel:
+    def test_length_grows_on_index_set(self):
+        a = JSArray()
+        a.set("4", "x")
+        assert a.get("length") == 5.0
+        assert a.get("2") is UNDEFINED
+
+    def test_length_truncates(self):
+        a = JSArray([1.0, 2.0, 3.0])
+        a.set("length", 1.0)
+        assert a.elements == [1.0]
+
+    def test_length_extends(self):
+        a = JSArray([1.0])
+        a.set("length", 3.0)
+        assert len(a.elements) == 3
+
+    def test_non_index_property(self):
+        a = JSArray()
+        a.set("custom", 9.0)
+        assert a.get("custom") == 9.0
+        assert a.get("length") == 0.0
+
+    def test_out_of_range_read(self):
+        assert JSArray([1.0]).get("99") is UNDEFINED
+
+
+class TestObjectModel:
+    def test_get_set_delete(self):
+        o = JSObject()
+        assert o.get("missing") is UNDEFINED
+        o.set("k", 1.0)
+        assert o.has("k")
+        assert o.delete("k")
+        assert not o.delete("k")
+
+    def test_keys_ordered(self):
+        o = JSObject()
+        for k in ("z", "a", "m"):
+            o.set(k, 1.0)
+        assert o.keys() == ["z", "a", "m"]
+
+
+# --- property tests -----------------------------------------------------------------
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_strict_equality_reflexive_for_numbers(x):
+    assert js_equals_strict(x, x)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e15, max_value=1e15))
+def test_number_string_roundtrip(x):
+    assert js_to_number(js_to_string(x)) == pytest.approx(x)
+
+
+@given(st.one_of(st.booleans(), st.floats(allow_nan=False), st.text(max_size=20)))
+def test_loose_equality_consistent_with_strict(value):
+    if isinstance(value, float) and math.isnan(value):
+        return
+    assert js_equals_loose(value, value)
+
+
+@given(st.text(max_size=10))
+def test_truthiness_matches_emptiness_for_strings(s):
+    assert js_truthy(s) == (len(s) > 0)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=10))
+def test_array_tostring_splits_back(values):
+    a = JSArray(list(values))
+    text = js_to_string(a)
+    assert text.count(",") == max(0, len(values) - 1)

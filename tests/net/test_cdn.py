@@ -1,0 +1,52 @@
+"""Tests for the popular-CDN list (Appendix A.5)."""
+
+import pytest
+
+from repro.net.cdn import POPULAR_CDN_DOMAINS, is_cdn_host, is_cdn_url
+from repro.net.url import URL
+
+
+class TestCDNList:
+    def test_paper_list_verbatim(self):
+        # A.5's twelve entries, exactly.
+        assert len(POPULAR_CDN_DOMAINS) == 12
+        for domain in (
+            "cloudflare.com",
+            "cloudfront.net",
+            "fastly.net",
+            "gstatic.com",
+            "googleusercontent.com",
+            "googleapis.com",
+            "akamai.net",
+            "azureedge.net",
+            "b-cdn.net",
+            "bootstrapcdn.com",
+            "cdn.jsdelivr.net",
+            "cdnjs.cloudflare.com",
+        ):
+            assert domain in POPULAR_CDN_DOMAINS
+
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("cloudflare.com", True),
+            ("cdnjs.cloudflare.com", True),
+            ("d1234.cloudfront.net", True),
+            ("cdn.jsdelivr.net", True),
+            ("assets.fastly.net", True),
+            ("example.com", False),
+            ("notcloudflare.com", False),
+            ("cloudflare.com.evil.net", False),
+            ("jsdelivr.net", False),  # only the cdn. subdomain is listed
+        ],
+    )
+    def test_is_cdn_host(self, host, expected):
+        assert is_cdn_host(host) == expected
+
+    def test_is_cdn_url_with_objects_and_strings(self):
+        assert is_cdn_url("https://ajax.googleapis.com/libs/fp.js")
+        assert is_cdn_url(URL.parse("https://x.b-cdn.net/fp.js"))
+        assert not is_cdn_url("https://selfhosted.example/fp.js")
+
+    def test_case_insensitive(self):
+        assert is_cdn_host("CDN.JSDELIVR.NET")

@@ -1,0 +1,118 @@
+"""Tests for repro.net.dns: resolution, CNAME chains, cloaking detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.dns import DNSError, DNSRecord, DNSZone, RecordType
+
+
+@pytest.fixture
+def zone():
+    z = DNSZone()
+    z.add_a("vendor.com", "203.0.113.1")
+    z.add_a("customer.com", "203.0.113.2")
+    z.add_cname("metrics.customer.com", "collector.vendor.com")
+    z.add_a("collector.vendor.com", "203.0.113.3")
+    return z
+
+
+class TestResolve:
+    def test_a_record(self, zone):
+        canonical, chain = zone.resolve("vendor.com")
+        assert canonical == "vendor.com"
+        assert chain == ["vendor.com"]
+
+    def test_cname_chain(self, zone):
+        canonical, chain = zone.resolve("metrics.customer.com")
+        assert canonical == "collector.vendor.com"
+        assert chain == ["metrics.customer.com", "collector.vendor.com"]
+
+    def test_nxdomain(self, zone):
+        with pytest.raises(DNSError):
+            zone.resolve("nope.example")
+
+    def test_case_insensitive(self, zone):
+        canonical, _ = zone.resolve("VENDOR.com")
+        assert canonical == "vendor.com"
+
+    def test_chain_of_cnames(self):
+        z = DNSZone()
+        z.add_cname("a.com", "b.com")
+        z.add_cname("b.com", "c.com")
+        z.add_a("c.com", "203.0.113.9")
+        canonical, chain = z.resolve("a.com")
+        assert canonical == "c.com"
+        assert chain == ["a.com", "b.com", "c.com"]
+
+    def test_loop_detected(self):
+        z = DNSZone()
+        z.add_cname("a.com", "b.com")
+        z.add_cname("b.com", "a.com")
+        with pytest.raises(DNSError):
+            z.resolve("a.com")
+
+    def test_self_cname_rejected(self):
+        z = DNSZone()
+        with pytest.raises(ValueError):
+            z.add_cname("a.com", "a.com")
+
+    def test_dangling_cname(self):
+        z = DNSZone()
+        z.add_cname("a.com", "gone.com")
+        with pytest.raises(DNSError):
+            z.resolve("a.com")
+
+    def test_too_long_chain(self):
+        z = DNSZone()
+        names = [f"h{i}.com" for i in range(DNSZone.MAX_CHAIN + 2)]
+        for a, b in zip(names, names[1:]):
+            z.add_cname(a, b)
+        z.add_a(names[-1], "203.0.113.4")
+        with pytest.raises(DNSError):
+            z.resolve(names[0])
+
+
+class TestCloaking:
+    def test_cloaked_subdomain(self, zone):
+        assert zone.is_cloaked("metrics.customer.com")
+
+    def test_plain_host_not_cloaked(self, zone):
+        assert not zone.is_cloaked("vendor.com")
+
+    def test_same_site_cname_not_cloaked(self):
+        z = DNSZone()
+        z.add_cname("www.example.com", "example.com")
+        z.add_a("example.com", "203.0.113.5")
+        assert not z.is_cloaked("www.example.com")
+
+    def test_unknown_name_not_cloaked(self, zone):
+        assert not zone.is_cloaked("missing.example")
+
+
+class TestZoneBasics:
+    def test_contains_and_len(self, zone):
+        assert "vendor.com" in zone
+        assert "missing.example" not in zone
+        assert len(zone) == 4
+
+    def test_lookup_returns_record(self, zone):
+        rec = zone.lookup("metrics.customer.com")
+        assert rec == DNSRecord("metrics.customer.com", RecordType.CNAME, "collector.vendor.com")
+
+
+_host = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6),
+    min_size=2,
+    max_size=4,
+).map(".".join)
+
+
+@given(hosts=st.lists(_host, min_size=1, max_size=20, unique=True))
+def test_a_records_resolve_to_themselves(hosts):
+    z = DNSZone()
+    for h in hosts:
+        z.add_a(h, "203.0.113.7")
+    for h in hosts:
+        canonical, chain = z.resolve(h)
+        assert canonical == h
+        assert chain == [h]

@@ -1,0 +1,89 @@
+"""Tests for repro.net.server and repro.net.http."""
+
+import pytest
+
+from repro.net.http import Request, ResourceType, Response
+from repro.net.server import Network, OriginServer
+from repro.net.url import URL
+
+
+@pytest.fixture
+def net():
+    n = Network()
+    site = n.server_for("example.com")
+    site.add_resource("/", "<html>home</html>")
+    site.add_script("/app.js", "var x = 1;")
+    return n
+
+
+class TestOriginServer:
+    def test_serves_registered_path(self, net):
+        resp = net.get("https://example.com/")
+        assert resp.ok
+        assert resp.body == "<html>home</html>"
+        assert resp.content_type == "text/html"
+        assert resp.served_by == "example.com"
+
+    def test_script_content_type(self, net):
+        resp = net.get("https://example.com/app.js")
+        assert resp.content_type == "application/javascript"
+
+    def test_404_for_unknown_path(self, net):
+        resp = net.get("https://example.com/missing")
+        assert resp.status == 404
+        assert not resp.ok
+
+    def test_rejects_relative_path(self):
+        with pytest.raises(ValueError):
+            OriginServer("a.com").add_resource("x", "body")
+
+
+class TestNetwork:
+    def test_nxdomain_gives_network_error(self, net):
+        resp = net.get("https://unknown.example/")
+        assert resp.status == 0
+
+    def test_server_for_idempotent(self, net):
+        assert net.server_for("example.com") is net.server_for("EXAMPLE.com")
+
+    def test_cname_routes_to_canonical_server(self, net):
+        net.alias("metrics.example.org", "example.com")
+        resp = net.get("https://metrics.example.org/app.js")
+        assert resp.ok
+        assert resp.body == "var x = 1;"
+        assert resp.served_by == "example.com"
+        # The URL the browser sees is still the cloaked one.
+        assert resp.url.host == "metrics.example.org"
+
+    def test_request_counters(self, net):
+        before = net.requests_served
+        net.get("https://example.com/")
+        net.get("https://example.com/missing")
+        assert net.requests_served == before + 1
+        assert net.requests_failed >= 1
+
+
+class TestRequestContext:
+    def test_third_party_detection(self):
+        doc = URL.parse("https://shop.example.com/")
+        req = Request(URL.parse("https://vendor.net/fp.js"), ResourceType.SCRIPT, document_url=doc)
+        assert req.third_party
+
+    def test_subdomain_is_first_party(self):
+        doc = URL.parse("https://example.com/")
+        req = Request(URL.parse("https://fp.example.com/fp.js"), ResourceType.SCRIPT, document_url=doc)
+        assert not req.third_party
+
+    def test_no_document_is_first_party(self):
+        req = Request(URL.parse("https://vendor.net/fp.js"))
+        assert not req.third_party
+
+
+class TestResponseHelpers:
+    def test_blocked_response(self):
+        r = Response.blocked(URL.parse("https://a.com/x.js"))
+        assert r.status == 0 and not r.ok
+
+    def test_not_found(self):
+        r = Response.not_found(URL.parse("https://a.com/x"))
+        assert r.status == 404

@@ -1,0 +1,162 @@
+"""Unit and property tests for repro.net.url."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import URL, URLError, origin_of, registrable_domain, same_site
+
+
+class TestParse:
+    def test_simple(self):
+        u = URL.parse("https://example.com/")
+        assert u.scheme == "https"
+        assert u.host == "example.com"
+        assert u.path == "/"
+        assert u.query == ""
+        assert u.fragment == ""
+        assert u.port is None
+
+    def test_full(self):
+        u = URL.parse("http://cdn.example.co.uk:8080/a/b.js?v=2#frag")
+        assert u.host == "cdn.example.co.uk"
+        assert u.port == 8080
+        assert u.path == "/a/b.js"
+        assert u.query == "v=2"
+        assert u.fragment == "frag"
+
+    def test_bare_authority_gets_root_path(self):
+        assert URL.parse("https://example.com").path == "/"
+
+    def test_host_lowercased(self):
+        assert URL.parse("https://ExAmPlE.COM/").host == "example.com"
+
+    def test_query_before_fragment(self):
+        u = URL.parse("https://a.com/p?x=1#y?z=2")
+        assert u.query == "x=1"
+        assert u.fragment == "y?z=2"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "example.com/path",       # no scheme
+            "ftp://example.com/",     # unsupported scheme
+            "https:/example.com/",    # missing authority
+            "https://",               # empty host
+            "https://exa mple.com/",  # space in host
+            "https://a.com:notaport/",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(URLError):
+            URL.parse(bad)
+
+    def test_constructor_validates_path(self):
+        with pytest.raises(URLError):
+            URL("https", "a.com", path="relative")
+
+    def test_constructor_validates_port_range(self):
+        with pytest.raises(URLError):
+            URL("https", "a.com", port=70000)
+
+
+class TestSerialize:
+    def test_roundtrip_simple(self):
+        text = "https://sub.example.com/x/y?q=1#f"
+        assert str(URL.parse(text)) == text
+
+    def test_default_port_omitted(self):
+        assert str(URL.parse("https://a.com:443/")) == "https://a.com/"
+        assert str(URL.parse("http://a.com:80/")) == "http://a.com/"
+
+    def test_nondefault_port_kept(self):
+        assert str(URL.parse("https://a.com:8443/")) == "https://a.com:8443/"
+
+
+class TestJoin:
+    def test_absolute_ref(self):
+        base = URL.parse("https://a.com/x/")
+        assert str(base.join("https://b.com/y")) == "https://b.com/y"
+
+    def test_scheme_relative(self):
+        base = URL.parse("https://a.com/x/")
+        assert str(base.join("//b.com/y")) == "https://b.com/y"
+
+    def test_root_relative(self):
+        base = URL.parse("https://a.com/x/page")
+        assert str(base.join("/y.js")) == "https://a.com/y.js"
+
+    def test_path_relative(self):
+        base = URL.parse("https://a.com/x/page")
+        assert str(base.join("y.js")) == "https://a.com/x/y.js"
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("example.com", "example.com"),
+            ("www.example.com", "example.com"),
+            ("a.b.c.example.com", "example.com"),
+            ("example.co.uk", "example.co.uk"),
+            ("www.example.co.uk", "example.co.uk"),
+            ("betus.com.pa", "betus.com.pa"),
+            ("shop.betus.com.pa", "betus.com.pa"),
+            ("d111.cloudfront.net", "d111.cloudfront.net"),
+            ("assets.d111.cloudfront.net", "d111.cloudfront.net"),
+            ("localhost", "localhost"),
+            ("com", "com"),
+        ],
+    )
+    def test_cases(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_case_insensitive(self):
+        assert registrable_domain("WWW.Example.COM") == "example.com"
+
+
+class TestSiteIdentity:
+    def test_same_site_subdomain(self):
+        assert same_site("https://a.example.com/", "https://b.example.com/x")
+
+    def test_cross_site(self):
+        assert not same_site("https://example.com/", "https://example.org/")
+
+    def test_origin_of(self):
+        assert origin_of("https://a.com/x?q") == "https://a.com"
+
+    def test_site_property(self):
+        assert URL.parse("https://cdn.shop.example.co.uk/a").site == "example.co.uk"
+
+
+# --- property tests ------------------------------------------------------------
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8)
+_host = st.lists(_label, min_size=2, max_size=5).map(".".join)
+_path_seg = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1, max_size=8)
+_path = st.lists(_path_seg, min_size=0, max_size=4).map(lambda segs: "/" + "/".join(segs))
+
+
+@given(scheme=st.sampled_from(["http", "https"]), host=_host, path=_path)
+def test_parse_serialize_roundtrip(scheme, host, path):
+    url = URL(scheme=scheme, host=host, path=path)
+    assert URL.parse(str(url)) == url
+
+
+@given(host=_host)
+def test_registrable_domain_is_suffix_and_idempotent(host):
+    rd = registrable_domain(host)
+    assert host == rd or host.endswith("." + rd)
+    assert registrable_domain(rd) == rd
+
+
+@given(host=_host, sub=_label)
+def test_subdomain_same_site(host, sub):
+    a = URL("https", host)
+    b = URL("https", f"{sub}.{host}")
+    # Adding one label never changes the registrable domain unless the host
+    # itself is a public suffix (excluded by construction here: >=2 labels of
+    # random letters are never in our PSL subset, but a 2-label host may be).
+    from repro.net.url import PUBLIC_SUFFIXES
+
+    if host not in PUBLIC_SUFFIXES and registrable_domain(host) == host or len(host.split(".")) > 2:
+        assert same_site(a, b) == (registrable_domain(f"{sub}.{host}") == registrable_domain(host))

@@ -1,0 +1,103 @@
+"""CLI entry-point tests (run in-process at tiny scale)."""
+
+import pytest
+
+from repro.config import PAPER, FULL_SCALE, StudyScale
+
+
+class TestConfig:
+    def test_prevalence_derivations(self):
+        assert PAPER.top_prevalence == pytest.approx(0.127, abs=0.001)
+        assert PAPER.tail_prevalence == pytest.approx(0.099, abs=0.001)
+
+    def test_vendor_lookup(self):
+        assert PAPER.vendor("Akamai").top == 485
+        assert PAPER.vendor("Shopify").tail == 457
+        with pytest.raises(KeyError):
+            PAPER.vendor("NotAVendor")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            StudyScale(fraction=0.0)
+        with pytest.raises(ValueError):
+            StudyScale(fraction=1.5)
+
+    def test_scale_site_counts(self):
+        assert FULL_SCALE.top_sites == 20_000
+        assert StudyScale(fraction=0.05).top_sites == 1_000
+        assert StudyScale(fraction=0.0001).top_sites >= 1
+
+    def test_table1_has_13_vendors(self):
+        assert len(PAPER.vendors) == 13
+        assert sum(1 for v in PAPER.vendors if v.security) == 8
+
+
+class TestExperimentsCLI:
+    def test_main_runs_selected_experiments(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["--scale", "0.01", "--only", "prevalence", "table3", "--no-adblock"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Prevalence of canvas fingerprinting" in out
+        assert "Table 3" in out
+        assert "Paper vs measured" in out
+
+
+class TestCrawlAnalyzeCLI:
+    def test_crawl_then_analyze(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main as analyze_main
+        from repro.crawler.__main__ import main as crawl_main
+
+        out_path = tmp_path / "crawl.jsonl.gz"
+        assert crawl_main(["--scale", "0.01", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        capsys.readouterr()
+
+        assert analyze_main([str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprinting" in out
+        assert "distinct test canvases" in out
+
+    def test_crawl_with_adblock(self, tmp_path, capsys):
+        from repro.crawler.__main__ import main as crawl_main
+
+        out_path = tmp_path / "abp.jsonl.gz"
+        assert crawl_main(["--scale", "0.005", "--adblock", "abp", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "crawled" in out
+
+    def test_crawl_on_m1_device(self, tmp_path, capsys):
+        from repro.crawler.__main__ import main as crawl_main
+
+        out_path = tmp_path / "m1.jsonl.gz"
+        rc = crawl_main(
+            ["--scale", "0.005", "--device", "apple-m1", "--out", str(out_path)]
+        )
+        assert rc == 0
+        from repro.crawler.storage import load_dataset
+
+        assert load_dataset(out_path).label == "apple-m1"
+
+
+class TestArtifactsFlag:
+    def test_artifacts_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "artifacts"
+        rc = main(
+            ["--scale", "0.01", "--only", "prevalence", "figure1", "--no-adblock",
+             "--artifacts", str(out)]
+        )
+        assert rc == 0
+        assert (out / "prevalence.txt").exists()
+        assert (out / "figure1.txt").exists()
+        assert (out / "paper_vs_measured.txt").read_text().count("paper") > 10
+        csv = (out / "figure1.csv").read_text().splitlines()
+        assert csv[0] == "rank,top_sites,tail_sites"
+        assert len(csv) > 1
+        # The PNG is drawn by our own canvas substrate.
+        from repro.canvas.encode import png_decode
+
+        pixels = png_decode((out / "figure1.png").read_bytes())
+        assert pixels.shape[2] == 4

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run cleanly and print sane output."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    captured = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        with redirect_stdout(captured):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return captured.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "FINGERPRINTING" in out
+        assert "clean" in out
+        assert "lossy-format" in out
+
+    def test_adblock_evasion(self):
+        out = run_example("adblock_evasion.py")
+        assert out.count("fingerprinted") >= 7      # all 4 control + 3 evasions
+        assert "BLOCKED" in out                      # the honest third party
+        assert "listed as script?   False" in out    # A.6 static check
+
+    def test_canvas_randomization(self):
+        out = run_example("canvas_randomization.py")
+        assert "render-twice says 'stable'" in out
+        assert "render-twice says 'UNSTABLE'" in out
+        assert "fingerprints equal? False" in out
+
+    def test_device_entropy(self):
+        out = run_example("device_entropy.py", ["12"])
+        assert "distinct PNG fingerprints:  12" in out
+        assert "stable across repeated visits: True" in out
+
+    @pytest.mark.slow
+    def test_full_study_small(self):
+        out = run_example("full_study.py", ["0.01"])
+        assert "Table 1" in out
+        assert "Paper vs measured" in out
+
+    @pytest.mark.slow
+    def test_vendor_attribution(self):
+        out = run_example("vendor_attribution.py")
+        assert "Ground-truth sources" in out
+        assert "Vendor reach" in out

@@ -1,0 +1,83 @@
+"""Inner-page (login) fingerprinting: the homepage-only lower bound.
+
+The paper states its homepage-only crawl is a lower bound on prevalence
+(§3.2 Limitations); the synthetic web plants login-page-only fingerprinting
+so the size of that bound is measurable.
+"""
+
+import pytest
+
+from repro.config import StudyScale
+from repro.core import FingerprintDetector
+from repro.crawler import run_crawl
+from repro.webgen import build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(StudyScale(fraction=0.04, seed=2718))
+
+
+def fp_sites(dataset):
+    detector = FingerprintDetector()
+    outcomes = detector.detect_all(dataset.successful())
+    return {d for d, o in outcomes.items() if o.is_fingerprinting_site}
+
+
+class TestLoginPages:
+    def test_some_sites_have_login_only_fingerprinting(self, world):
+        login_only = [
+            p
+            for p in world.plans.values()
+            if p.failure is None and p.login_deployments and not p.deployments
+        ]
+        assert login_only, "generator must plant login-only fingerprinting"
+
+    def test_login_pages_served(self, world):
+        plan = next(
+            p for p in world.plans.values() if p.failure is None and p.login_deployments
+        )
+        response = world.network.get(f"https://{plan.domain}/login")
+        assert response.ok
+        assert "<script" in response.body
+
+    def test_sites_without_login_page_404(self, world):
+        plan = next(
+            p
+            for p in world.plans.values()
+            if p.failure is None and not p.login_deployments
+        )
+        assert world.network.get(f"https://{plan.domain}/login").status == 404
+
+    def test_homepage_crawl_is_lower_bound(self, world):
+        homepage = run_crawl(world.network, world.all_targets, label="homepage")
+        with_inner = run_crawl(
+            world.network, world.all_targets, label="inner", inner_paths=("/login",)
+        )
+        base = fp_sites(homepage)
+        extended = fp_sites(with_inner)
+        assert base <= extended
+        assert len(extended) > len(base)  # the bound is strict
+
+    def test_login_fingerprinters_are_security_vendors(self, world):
+        vendors = {
+            d.vendor
+            for p in world.plans.values()
+            for d in p.login_deployments
+        }
+        assert vendors <= {"PerimeterX", "Sift Science", "Signifyd", "AWS Firewall"}
+
+    def test_inner_crawl_merges_observations(self, world):
+        plan = next(
+            p
+            for p in world.plans.values()
+            if p.failure is None and p.login_deployments and not p.deployments
+        )
+        dataset = run_crawl(
+            world.network,
+            [t for t in world.all_targets if t.domain == plan.domain],
+            inner_paths=("/login",),
+        )
+        (obs,) = dataset.observations
+        assert obs.success
+        assert obs.extractions  # the login-page canvas landed in the record

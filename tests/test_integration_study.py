@@ -1,0 +1,180 @@
+"""Full-pipeline integration tests: the whole study at small scale.
+
+These are the repository's strongest checks: they run the complete
+methodology (crawl -> detect -> cluster -> attribute -> context -> evasion)
+over a freshly built synthetic world and verify that the paper's qualitative
+findings — who wins, the direction of every effect — hold.
+"""
+
+import pytest
+
+from repro.config import StudyScale
+from repro.core.pipeline import validate_cross_machine
+from repro.webgen import build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(StudyScale(fraction=0.04, seed=4242))
+
+
+@pytest.fixture(scope="module")
+def result(world):
+    return world.run_full_study(include_adblock_crawls=True)
+
+
+class TestPrevalence:
+    def test_prevalence_bands(self, result):
+        assert 0.08 < result.prevalence.top.prevalence < 0.18
+        assert 0.05 < result.prevalence.tail.prevalence < 0.15
+
+    def test_top_more_prevalent_than_tail(self, result):
+        assert result.prevalence.top.prevalence > result.prevalence.tail.prevalence
+
+    def test_detection_matches_ground_truth(self, world, result):
+        """The pipeline must rediscover exactly the planted FP sites that
+        were successfully crawled (no false positives/negatives)."""
+        truth = set(world.ground_truth_fp_sites("top")) | set(world.ground_truth_fp_sites("tail"))
+        # Ground truth includes sites whose only deployment was blocked or
+        # errored; with no ad blocker in the control crawl they all run.
+        measured = result.fp_sites["top"] | result.fp_sites["tail"]
+        assert measured == truth
+
+    def test_median_canvases(self, result):
+        values = result.prevalence.combined_canvases_per_site
+        assert values
+        ordered = sorted(values)
+        assert ordered[len(ordered) // 2] in (1, 2, 3)
+
+    def test_canvas_count_tail_exists(self, result):
+        """Font probers give some sites dozens of canvases (paper max: 60)."""
+        assert result.prevalence.top.max_canvases <= 60
+
+
+class TestDetectionQuality:
+    def test_fingerprintable_fraction_band(self, result):
+        from repro.core.detection import FingerprintDetector
+
+        fraction = FingerprintDetector.fingerprintable_fraction(result.outcomes.values())
+        assert 0.70 < fraction < 0.95  # paper: 83%
+
+    def test_benign_exclusions_present(self, result):
+        from repro.core.detection import ExclusionReason
+
+        reasons = [r for o in result.outcomes.values() for _, r in o.excluded]
+        assert ExclusionReason.LOSSY_FORMAT in reasons
+        assert ExclusionReason.TOO_SMALL in reasons
+        assert ExclusionReason.ANIMATION_SCRIPT in reasons
+
+
+class TestClusteringAndAttribution:
+    def test_akamai_is_top_vendor(self, result):
+        counts = result.vendor_counts
+        akamai = counts["Akamai"]["top"]
+        assert akamai > 0
+        others = [counts[v]["top"] for v in counts if v not in ("Akamai", "FingerprintJS")]
+        assert akamai >= max(others)
+
+    def test_shopify_dominates_tail(self, result):
+        counts = result.vendor_counts
+        assert counts["Shopify"]["tail"] > counts["Shopify"]["top"]
+
+    def test_attribution_majority(self, result):
+        fp_top = len(result.fp_sites["top"])
+        if fp_top:
+            assert result.vendor_totals["top"] / fp_top > 0.5
+
+    def test_attribution_survives_bundling(self, world, result):
+        """Bundled vendor deployments must still be attributed by canvas."""
+        from repro.webgen.vendors import ServingMode
+
+        bundled_fpjs = {
+            p.domain
+            for p in world.plans.values()
+            if p.failure is None
+            and any(
+                d.vendor == "FingerprintJS" and d.serving == ServingMode.FIRST_PARTY_BUNDLE
+                for d in p.deployments
+            )
+        }
+        attributed = {
+            d for d, a in result.attributions.items() if "FingerprintJS" in a.vendors
+        }
+        missing = bundled_fpjs - attributed
+        assert not missing, f"bundled FPJS sites not attributed: {sorted(missing)[:5]}"
+
+    def test_cluster_shape_long_tailed(self, result):
+        sizes = sorted((c.site_count() for c in result.clusters.values()), reverse=True)
+        assert sizes[0] >= 5                       # a dominant head
+        singletons = sum(1 for s in sizes if s == 1)
+        assert singletons >= len(sizes) * 0.3      # and a long tail
+
+
+class TestContextAndEvasion:
+    def test_blocklist_coverage_ordering(self, result):
+        """EasyPrivacy >= Disconnect; Any >= each; All <= each (set algebra)."""
+        bc = result.blocklist_context
+        rows = bc.rows()
+        for counts in rows.values():
+            assert counts.top <= bc.any_list.top or counts is bc.any_list
+        assert bc.all_lists.top <= bc.easylist.top
+        assert bc.all_lists.top <= bc.easyprivacy.top
+        assert bc.all_lists.top <= bc.disconnect.top
+        assert bc.any_list.top <= bc.totals.top
+
+    def test_meaningful_blocklist_coverage(self, result):
+        bc = result.blocklist_context
+        frac_top, _ = bc.any_list.fraction(bc.totals)
+        assert 0.2 < frac_top < 0.7  # paper: 45%
+
+    def test_adblockers_barely_help(self, result):
+        control, abp, ubo = result.adblock_rows
+        for row in (abp, ubo):
+            for pop in ("top", "tail"):
+                kept = row.canvases[pop] / max(1, control.canvases[pop])
+                assert kept > 0.85, (row.label, pop, kept)  # paper: ~95-97%
+                assert kept <= 1.0
+
+    def test_ubo_blocks_at_least_as_much_as_abp(self, result):
+        _, abp, ubo = result.adblock_rows
+        assert ubo.canvases["top"] + ubo.canvases["tail"] <= abp.canvases["top"] + abp.canvases["tail"]
+
+    def test_first_party_serving_common(self, result):
+        sc = result.serving_context
+        assert 0.3 < sc.first_party_fraction("top") < 0.7  # paper: 49%
+
+    def test_subdomain_top_heavier_than_tail(self, result):
+        sc = result.serving_context
+        assert sc.subdomain_fraction("top") > sc.subdomain_fraction("tail")
+
+    def test_render_twice_band(self, result):
+        assert 0.25 < result.render_twice < 0.65  # paper: 45%
+
+
+class TestCrossMachine:
+    def test_groupings_agree_across_devices(self, world):
+        assert validate_cross_machine(world.network, world.all_targets[:120])
+
+
+class TestCrossMachineFleet:
+    def test_groupings_agree_across_a_device_fleet(self, world):
+        """§3.1 generalized: grouping is invariant across many device stacks."""
+        from repro.canvas.device import INTEL_UBUNTU, device_fleet
+
+        devices = [INTEL_UBUNTU] + device_fleet(3)
+        assert validate_cross_machine(world.network, world.all_targets[:60], devices=devices)
+
+
+class TestGatingHandled:
+    def test_gated_deployments_still_detected(self, world, result):
+        """Consent- and scroll-gated fingerprinting still counts: the crawler
+        opts in to banners and simulates scrolling (§3.1)."""
+        gated = {
+            p.domain
+            for p in world.plans.values()
+            if p.failure is None and any(d.gating for d in p.deployments)
+        }
+        assert gated, "generator must gate some deployments"
+        detected = result.fp_sites["top"] | result.fp_sites["tail"]
+        missing = gated - detected
+        assert not missing, sorted(missing)[:5]

@@ -1,0 +1,74 @@
+"""The crawl/analyze decoupling: analyses over a persisted dataset must be
+identical to analyses over the in-memory crawl — proof the pipeline would
+run unchanged on real crawl data shipped as JSONL."""
+
+import pytest
+
+from repro.config import StudyScale
+from repro.core.clustering import cluster_canvases
+from repro.core.detection import FingerprintDetector
+from repro.core.evasion import analyze_serving_context, render_twice_fraction
+from repro.core.prevalence import compute_prevalence
+from repro.crawler import load_dataset, run_crawl, save_dataset
+from repro.webgen import build_world
+
+
+@pytest.fixture(scope="module")
+def datasets(tmp_path_factory):
+    world = build_world(StudyScale(fraction=0.02, seed=1234))
+    live = run_crawl(world.network, world.all_targets, label="offline-test")
+    path = tmp_path_factory.mktemp("crawl") / "crawl.jsonl.gz"
+    save_dataset(live, path)
+    return live, load_dataset(path)
+
+
+class TestOfflineEqualsLive:
+    def test_prevalence_identical(self, datasets):
+        live, restored = datasets
+        detector = FingerprintDetector()
+        live_prev = compute_prevalence(live, detector.detect_all(live.successful()))
+        rest_prev = compute_prevalence(restored, detector.detect_all(restored.successful()))
+        for pop in ("top", "tail"):
+            a, b = live_prev.population(pop), rest_prev.population(pop)
+            assert (a.fp_sites, a.sites_successful, a.canvases_per_fp_site) == (
+                b.fp_sites,
+                b.sites_successful,
+                b.canvases_per_fp_site,
+            )
+
+    def test_clusters_identical(self, datasets):
+        live, restored = datasets
+        detector = FingerprintDetector()
+
+        def cluster_map(ds):
+            clusters = cluster_canvases(detector.detect_all(ds.successful()), ds.populations())
+            return {h: sorted(c.all_sites()) for h, c in clusters.items()}
+
+        assert cluster_map(live) == cluster_map(restored)
+
+    def test_render_twice_identical(self, datasets):
+        live, restored = datasets
+        detector = FingerprintDetector()
+        assert render_twice_fraction(detector.detect_all(live.successful())) == render_twice_fraction(
+            detector.detect_all(restored.successful())
+        )
+
+    def test_serving_context_identical(self, datasets):
+        live, restored = datasets
+        detector = FingerprintDetector()
+
+        def fractions(ds):
+            ctx = analyze_serving_context(detector.detect_all(ds.successful()), ds.populations())
+            return (
+                ctx.first_party_fraction("top"),
+                ctx.subdomain_fraction("top"),
+                ctx.cdn_fraction("top"),
+            )
+
+        assert fractions(live) == fractions(restored)
+
+    def test_script_sources_survive(self, datasets):
+        live, restored = datasets
+        live_sources = {d: o.script_sources for d, o in live.by_domain().items() if o.success}
+        rest_sources = {d: o.script_sources for d, o in restored.by_domain().items() if o.success}
+        assert live_sources == rest_sources

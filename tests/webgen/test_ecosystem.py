@@ -1,0 +1,174 @@
+"""Tests for world assembly: plans, materialization, serving modes, demos."""
+
+import pytest
+
+from repro.config import StudyScale
+from repro.js.parser import parse
+from repro.net.http import Request, ResourceType
+from repro.net.url import URL
+from repro.webgen import build_world
+from repro.webgen.vendors import VENDOR_SPECS, ServingMode
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(StudyScale(fraction=0.02, seed=777))
+
+
+class TestWorldStructure:
+    def test_target_counts(self, world):
+        assert len(world.top_targets) == 400
+        assert len(world.tail_targets) == 400
+        assert len(world.plans) == 800
+
+    def test_blocklists_generated(self, world):
+        assert "privacy-cs.mail.ru" in world.easylist_text
+        assert "/akam/" in world.easyprivacy_text
+        assert world.disconnect is not None and len(world.disconnect) > 5
+
+    def test_demo_pages_for_demo_vendors(self, world):
+        demo_vendors = {s.name for s in VENDOR_SPECS if s.has_demo}
+        assert demo_vendors <= set(world.demo_pages)
+        for url in world.demo_pages.values():
+            response = world.network.get(url)
+            assert response.ok
+            assert "<script" in response.body
+
+    def test_vendor_knowledge_covers_all_vendors(self, world):
+        knowledge = world.vendor_knowledge()
+        assert {k.name for k in knowledge} == {s.name for s in VENDOR_SPECS}
+        imperva = next(k for k in knowledge if k.name == "Imperva")
+        assert imperva.uses_url_regex
+
+
+class TestSiteMaterialization:
+    def test_successful_homepages_load(self, world):
+        ok_plans = [p for p in world.plans.values() if p.failure is None][:50]
+        for plan in ok_plans:
+            response = world.network.get(f"https://{plan.domain}/")
+            assert response.ok, plan.domain
+            assert "app.js" in response.body
+
+    def test_bot_blocked_sites_403(self, world):
+        blocked = [p for p in world.plans.values() if p.failure == "bot-blocked"]
+        assert blocked
+        for plan in blocked[:10]:
+            assert world.network.get(f"https://{plan.domain}/").status == 403
+
+    def test_network_error_sites_unresolvable(self, world):
+        dead = [p for p in world.plans.values() if p.failure == "network-error"]
+        assert dead
+        for plan in dead[:10]:
+            assert world.network.get(f"https://{plan.domain}/").status == 0
+
+    def test_every_script_tag_resolves(self, world):
+        """No dangling script srcs on working fingerprinting sites."""
+        import re
+
+        checked = 0
+        for plan in world.plans.values():
+            if plan.failure is not None or not plan.fingerprints:
+                continue
+            page = world.network.get(f"https://{plan.domain}/")
+            for src in re.findall(r'src="([^"]+)"', page.body):
+                url = URL.parse(src) if src.startswith("http") else URL.parse(f"https://{plan.domain}{src}")
+                response = world.network.get(str(url), resource_type=ResourceType.SCRIPT)
+                assert response.ok, f"{plan.domain} -> {src}"
+                checked += 1
+            if checked > 120:
+                break
+        assert checked > 20
+
+    def test_all_served_scripts_parse(self, world):
+        """Every generated script must be valid for the JS engine."""
+        import re
+
+        parsed = 0
+        for plan in list(world.plans.values())[:200]:
+            if plan.failure is not None:
+                continue
+            page = world.network.get(f"https://{plan.domain}/")
+            for src in re.findall(r'src="([^"]+)"', page.body):
+                full = src if src.startswith("http") else f"https://{plan.domain}{src}"
+                body = world.network.get(full).body
+                parse(body, full)
+                parsed += 1
+        assert parsed > 50
+
+
+class TestServingModes:
+    def test_bundled_vendor_code_in_app_js(self, world):
+        bundled = [
+            p
+            for p in world.plans.values()
+            if p.failure is None
+            and any(d.serving == ServingMode.FIRST_PARTY_BUNDLE for d in p.deployments)
+        ]
+        assert bundled
+        plan = bundled[0]
+        bundle = world.network.get(f"https://{plan.domain}/assets/app.js").body
+        assert "__pageAnalytics" in bundle  # site code
+        assert "toDataURL" in bundle        # vendor payload concatenated
+
+    def test_cname_cloak_resolves_to_vendor(self, world):
+        cloaked = [
+            (p, d)
+            for p in world.plans.values()
+            if p.failure is None
+            for d in p.deployments
+            if d.serving == ServingMode.CNAME_CLOAK and d.script_src
+        ]
+        if not cloaked:
+            pytest.skip("no CNAME-cloaked deployment at this scale/seed")
+        plan, deployment = cloaked[0]
+        host = URL.parse(deployment.script_src).host
+        assert host.endswith(plan.domain)          # looks first-party
+        assert world.network.dns.is_cloaked(host)  # but is cloaked
+        assert world.network.get(deployment.script_src).ok
+
+    def test_akamai_always_first_party(self, world):
+        akamai = [
+            d
+            for p in world.plans.values()
+            for d in p.deployments
+            if d.vendor == "Akamai" and p.failure is None
+        ]
+        assert akamai
+        assert all(d.serving == ServingMode.FIRST_PARTY_PATH for d in akamai)
+        assert all(d.script_src.startswith("/akam/") for d in akamai)
+
+    def test_imperva_unique_bare_paths(self, world):
+        from repro.core.attribution import IMPERVA_URL_REGEX
+
+        imperva = [
+            (p, d)
+            for p in world.plans.values()
+            for d in p.deployments
+            if d.vendor == "Imperva" and p.failure is None
+        ]
+        if not imperva:
+            pytest.skip("no Imperva deployment at this scale/seed")
+        paths = set()
+        for plan, deployment in imperva:
+            url = f"https://{plan.domain}{deployment.script_src}"
+            assert IMPERVA_URL_REGEX.match(url), url
+            paths.add(deployment.script_src)
+        assert len(paths) == len(imperva)  # unique per customer
+
+    def test_shopify_tail_heavy(self, world):
+        shopify = [p for p in world.plans.values() if any(d.vendor == "Shopify" for d in p.deployments)]
+        tail = sum(1 for p in shopify if p.population == "tail")
+        assert tail >= len(shopify) - tail  # more tail than top
+
+
+class TestGroundTruthRates:
+    def test_fp_rate_in_band(self, world):
+        for pop, low, high in (("top", 0.08, 0.18), ("tail", 0.06, 0.14)):
+            plans = [p for p in world.plans.values() if p.population == pop and p.failure is None]
+            rate = sum(1 for p in plans if p.fingerprints) / len(plans)
+            assert low < rate < high, (pop, rate)
+
+    def test_failure_rate_in_band(self, world):
+        top = [p for p in world.plans.values() if p.population == "top"]
+        failures = sum(1 for p in top if p.failure is not None)
+        assert 0.10 < failures / len(top) < 0.28

@@ -1,0 +1,149 @@
+"""Tests for the generated JS: every template must parse, execute in the
+browser, and produce exactly the behavior the ecosystem claims for it."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.net import Network
+from repro.webgen import scripts as S
+from repro.webgen.vendors import VENDOR_SPECS, VENDORS_BY_NAME
+
+
+def run_page(source: str):
+    network = Network()
+    site = network.server_for("host.example")
+    site.add_resource("/", "<html><body></body></html>")
+    site.add_script("/s.js", source)
+    site.add_resource("/page", f'<html><script src="/s.js"></script></html>')
+    browser = Browser(network)
+    from repro.net.url import URL
+
+    return browser.load(URL("https", "host.example", "/page"))
+
+
+class TestVendorScripts:
+    @pytest.mark.parametrize("spec", [v for v in VENDOR_SPECS if not v.per_site], ids=lambda v: v.name)
+    def test_executes_cleanly(self, spec):
+        page = run_page(spec.source())
+        assert not page.script_errors, page.script_errors
+
+    @pytest.mark.parametrize("spec", [v for v in VENDOR_SPECS if not v.per_site], ids=lambda v: v.name)
+    def test_extraction_count_matches_spec(self, spec):
+        page = run_page(spec.source())
+        assert len(page.instrument.extractions) == spec.extractions
+
+    @pytest.mark.parametrize("spec", [v for v in VENDOR_SPECS if not v.per_site], ids=lambda v: v.name)
+    def test_double_render_flag_matches_behavior(self, spec):
+        page = run_page(spec.source())
+        hashes = [e.canvas_hash for e in page.instrument.extractions]
+        has_duplicate = len(hashes) != len(set(hashes))
+        assert has_duplicate == spec.double_render
+
+    def test_vendor_canvases_distinct(self):
+        """Every vendor's canvas set must differ from every other's —
+        the diversity §4.2 exploits."""
+        canvas_sets = {}
+        for spec in VENDOR_SPECS:
+            if spec.per_site:
+                continue
+            page = run_page(spec.source())
+            canvas_sets[spec.name] = frozenset(e.canvas_hash for e in page.instrument.extractions)
+        names = list(canvas_sets)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert not (canvas_sets[a] & canvas_sets[b]), (a, b)
+
+    def test_fpjs_commercial_same_canvases_as_oss(self):
+        """The paper: both FPJS builds render the same test canvases."""
+        spec = VENDORS_BY_NAME["FingerprintJS"]
+        oss = frozenset(e.canvas_hash for e in run_page(spec.source()).instrument.extractions)
+        pro = frozenset(
+            e.canvas_hash for e in run_page(spec.source(commercial=True)).instrument.extractions
+        )
+        assert oss == pro
+
+    def test_imperva_canvas_unique_per_customer(self):
+        a = run_page(S.imperva_script("alpha.example")).instrument.extractions
+        b = run_page(S.imperva_script("beta.example")).instrument.extractions
+        assert len(a) == len(b) == 1
+        assert a[0].canvas_hash != b[0].canvas_hash
+
+
+class TestBenignScripts:
+    def test_webp_check_is_lossy_1x1(self):
+        page = run_page(S.webp_check_script())
+        (e,) = page.instrument.extractions
+        assert e.mime == "image/webp"
+        assert (e.width, e.height) == (1, 1)
+
+    def test_emoji_check_is_small(self):
+        page = run_page(S.emoji_check_script())
+        (e,) = page.instrument.extractions
+        assert e.width < 16 and e.height < 16
+
+    def test_small_canvas_dimensions(self):
+        page = run_page(S.small_canvas_script(12, "#e6e6e6"))
+        (e,) = page.instrument.extractions
+        assert (e.width, e.height) == (12, 12)
+        assert e.mime == "image/png"
+
+    def test_animation_tool_calls_save_restore(self):
+        page = run_page(S.animation_tool_script(3))
+        methods = {c.method for c in page.instrument.calls}
+        assert {"save", "restore"} <= methods
+        assert len(page.instrument.extractions) == 1
+
+    def test_benign_scripts_excluded_by_detector(self):
+        from repro.core import FingerprintDetector
+        from repro.core.records import SiteObservation
+
+        detector = FingerprintDetector()
+        for source in (
+            S.webp_check_script(),
+            S.emoji_check_script(),
+            S.small_canvas_script(5, "#0b365f"),
+            S.animation_tool_script(1),
+        ):
+            page = run_page(source)
+            obs = SiteObservation(
+                domain="x.com",
+                rank=1,
+                population="top",
+                success=True,
+                calls=page.instrument.calls,
+                extractions=page.instrument.extractions,
+            )
+            outcome = detector.detect(obs)
+            assert not outcome.is_fingerprinting_site, source[:60]
+
+
+class TestParameterizedScripts:
+    def test_font_prober_extraction_count(self):
+        page = run_page(S.font_prober_script(20, seed=5))
+        assert len(page.instrument.extractions) == 20
+
+    def test_font_prober_distinct_canvases(self):
+        page = run_page(S.font_prober_script(12, seed=5))
+        hashes = {e.canvas_hash for e in page.instrument.extractions}
+        assert len(hashes) >= 6  # six fonts cycled
+
+    def test_text_script_double_render_stable(self):
+        src = S.text_fingerprint_script("probe text", double_render=True, result_var="__r")
+        page = run_page(src)
+        a, b = page.instrument.extractions
+        assert a.canvas_hash == b.canvas_hash
+
+    def test_different_pangrams_different_canvases(self):
+        a = run_page(S.text_fingerprint_script("pangram one")).instrument.extractions[0]
+        b = run_page(S.text_fingerprint_script("pangram two")).instrument.extractions[0]
+        assert a.canvas_hash != b.canvas_hash
+
+    def test_geometry_script_hue_parameter(self):
+        a = run_page(S.geometry_fingerprint_script(0)).instrument.extractions[0]
+        b = run_page(S.geometry_fingerprint_script(120)).instrument.extractions[0]
+        assert a.canvas_hash != b.canvas_hash
+
+    def test_analytics_filler_no_canvas(self):
+        page = run_page(S.analytics_filler_script(1))
+        assert not page.instrument.extractions
+        assert not page.script_errors

@@ -1,0 +1,72 @@
+"""Statistical checks on the serving-mode model (§5.2 targets)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import StudyScale
+from repro.webgen import build_world
+from repro.webgen.vendors import ServingMode
+
+
+@pytest.fixture(scope="module")
+def plans():
+    world = build_world(StudyScale(fraction=0.1, seed=909))
+    return [p for p in world.plans.values() if p.failure is None and p.fingerprints]
+
+
+def serving_counter(plans, population, vendor=None, kind=None):
+    counts = Counter()
+    for plan in plans:
+        if plan.population != population:
+            continue
+        for d in plan.deployments:
+            if vendor is not None and d.vendor != vendor:
+                continue
+            if kind is not None and d.kind != kind:
+                continue
+            counts[d.serving] += 1
+    return counts
+
+
+class TestServingDistribution:
+    def test_akamai_always_first_party_path(self, plans):
+        counts = serving_counter(plans, "top", vendor="Akamai")
+        assert set(counts) == {ServingMode.FIRST_PARTY_PATH}
+
+    def test_mailru_always_third_party(self, plans):
+        for pop in ("top", "tail"):
+            counts = serving_counter(plans, pop, vendor="mail.ru")
+            if counts:
+                assert set(counts) == {ServingMode.THIRD_PARTY}
+
+    def test_fpjs_mix_covers_all_modes_in_top(self, plans):
+        counts = serving_counter(plans, "top", vendor="FingerprintJS")
+        assert counts[ServingMode.FIRST_PARTY_BUNDLE] > 0
+        assert counts[ServingMode.SUBDOMAIN] > 0
+        assert counts[ServingMode.THIRD_PARTY] > 0
+
+    def test_tail_boutiques_mostly_first_party(self, plans):
+        counts = serving_counter(plans, "tail", kind="boutique")
+        total = sum(counts.values())
+        first_party = (
+            counts[ServingMode.FIRST_PARTY_BUNDLE]
+            + counts[ServingMode.FIRST_PARTY_PATH]
+            + counts[ServingMode.SUBDOMAIN]
+            + counts[ServingMode.CNAME_CLOAK]
+        )
+        assert total > 20
+        assert first_party / total > 0.5  # drives the 52% tail figure
+
+    def test_top_boutiques_mostly_third_party(self, plans):
+        counts = serving_counter(plans, "top", kind="boutique")
+        total = sum(counts.values())
+        assert total > 20
+        assert counts[ServingMode.THIRD_PARTY] / total > 0.55
+
+    def test_every_serving_mode_appears_somewhere(self, plans):
+        counts = Counter()
+        for pop in ("top", "tail"):
+            counts += serving_counter(plans, pop)
+        for mode in ServingMode.ALL:
+            assert counts[mode] > 0, mode

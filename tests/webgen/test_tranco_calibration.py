@@ -1,0 +1,148 @@
+"""Tests for the ranking, calibration derivations, and boutique catalog."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PAPER
+from repro.webgen.boutique import BoutiqueCatalog
+from repro.webgen.calibration import derive_params
+from repro.webgen.tranco import TrancoRanking
+
+
+class TestTranco:
+    def test_top_ranks_sequential(self):
+        targets = TrancoRanking().top(100)
+        assert [t.rank for t in targets] == list(range(1, 101))
+        assert all(t.population == "top" for t in targets)
+
+    def test_domains_deterministic(self):
+        r1, r2 = TrancoRanking(seed=7), TrancoRanking(seed=7)
+        assert [t.domain for t in r1.top(50)] == [t.domain for t in r2.top(50)]
+
+    def test_different_seeds_differ(self):
+        a = [t.domain for t in TrancoRanking(seed=1).top(50)]
+        b = [t.domain for t in TrancoRanking(seed=2).top(50)]
+        assert a != b
+
+    def test_domains_unique(self):
+        domains = [t.domain for t in TrancoRanking().top(2000)]
+        assert len(set(domains)) == len(domains)
+
+    def test_tail_sample_range(self):
+        targets = TrancoRanking().tail_sample(500)
+        assert all(20_000 < t.rank <= 1_000_000 for t in targets)
+        assert all(t.population == "tail" for t in targets)
+        assert len({t.rank for t in targets}) == 500
+
+    def test_tail_sample_disjoint_from_top(self):
+        ranking = TrancoRanking()
+        top = {t.domain for t in ranking.top(1000)}
+        tail = {t.domain for t in ranking.tail_sample(1000)}
+        assert not top & tail
+
+    def test_ru_share_near_target(self):
+        targets = TrancoRanking().top(5000)
+        ru = sum(1 for t in targets if t.domain.endswith(".ru"))
+        assert 0.03 < ru / len(targets) < 0.065
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ValueError):
+            TrancoRanking().domain_at(0)
+
+
+class TestCalibration:
+    @pytest.fixture
+    def params(self):
+        return derive_params(PAPER)
+
+    def test_success_rates(self, params):
+        assert params.top.success_rate == pytest.approx(16_276 / 20_000)
+        assert params.tail.success_rate == pytest.approx(17_260 / 20_000)
+
+    def test_fp_rates(self, params):
+        assert params.top.fp_rate == pytest.approx(0.127, abs=0.001)
+        assert params.tail.fp_rate == pytest.approx(0.099, abs=0.001)
+
+    def test_mailru_rate_is_one_third_for_top(self, params):
+        assert params.top.mailru_given_ru == pytest.approx(1 / 3, abs=0.05)
+
+    def test_combined_fp_probability_matches_target(self, params):
+        """P(mail.ru or other) must equal the paper's prevalence."""
+        for rates, ru_share in ((params.top, params.ru_share), (params.tail, params.ru_share)):
+            p_m = ru_share * rates.mailru_given_ru
+            combined = p_m + (1 - p_m) * rates.other_fp_rate
+            assert combined == pytest.approx(rates.fp_rate, rel=1e-6)
+
+    def test_primary_weights_are_probabilities(self, params):
+        for rates in (params.top, params.tail):
+            weights = rates.weights_dict()
+            assert all(w >= 0 for w in weights.values())
+            assert sum(weights.values()) == pytest.approx(1.0, abs=1e-6)
+            assert "boutique" in weights
+
+    def test_small_vendor_rates_match_table1(self, params):
+        rates = dict(params.top.small_vendor_rates)
+        assert rates["Imperva"] == pytest.approx(49 / 2067, rel=1e-6)
+        assert rates["GeeTest"] == pytest.approx(1 / 2067, rel=1e-6)
+
+    def test_shopify_weight_tail_heavy(self, params):
+        top_w = params.top.weights_dict()["Shopify"]
+        tail_w = params.tail.weights_dict()["Shopify"]
+        assert tail_w > top_w * 5
+
+
+class TestBoutiqueCatalog:
+    @pytest.fixture
+    def catalog(self):
+        return BoutiqueCatalog(size=300, seed=11)
+
+    def test_deterministic(self):
+        a = BoutiqueCatalog(size=50, seed=3)
+        b = BoutiqueCatalog(size=50, seed=3)
+        assert [s.source for s in a] == [s.source for s in b]
+
+    def test_distinct_sources(self, catalog):
+        sources = {s.source for s in catalog}
+        assert len(sources) == len(catalog)
+
+    def test_unique_hosts(self, catalog):
+        hosts = {s.host for s in catalog}
+        assert len(hosts) == len(catalog)
+
+    def test_zipf_sampling_head_heavy(self, catalog):
+        rng = random.Random(5)
+        draws = [catalog.sample_index(rng, "top") for _ in range(3000)]
+        head = sum(1 for d in draws if d < 10)
+        mid = sum(1 for d in draws if 50 <= d < 60)
+        assert head > mid * 3
+
+    def test_top_population_avoids_tail_band(self, catalog):
+        rng = random.Random(5)
+        band_start = int(len(catalog) * 0.7)
+        draws = [catalog.sample_index(rng, "top") for _ in range(2000)]
+        assert all(d < band_start for d in draws)
+
+    def test_tail_population_reaches_tail_band(self, catalog):
+        rng = random.Random(5)
+        band_start = int(len(catalog) * 0.7)
+        draws = [catalog.sample_index(rng, "tail") for _ in range(2000)]
+        assert any(d >= band_start for d in draws)
+
+    def test_font_probers_exist(self, catalog):
+        probers = [s for s in catalog if s.extractions >= 20]
+        assert probers
+        assert all("__fontProbe" in s.source for s in probers)
+
+    def test_blockable_implies_listed(self, catalog):
+        for s in catalog:
+            if s.easylist_blockable:
+                assert s.in_easylist
+
+
+@settings(max_examples=20)
+@given(rank=st.integers(1, 1_000_000))
+def test_domain_at_stable(rank):
+    ranking = TrancoRanking(seed=99)
+    assert ranking.domain_at(rank) == ranking.domain_at(rank)
