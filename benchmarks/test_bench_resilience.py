@@ -1,0 +1,87 @@
+"""Benchmark: the §4.1 headline numbers survive transient network faults.
+
+A fault-free control crawl establishes the ground truth. The same world is
+then crawled through a :class:`FaultyNetwork` that afflicts ~12% of URLs
+with connection errors, 503 flaps, slow responses and truncated scripts.
+With retries and a page watchdog on, the measured success set — and
+therefore the §4.1 prevalence — must be *identical* to the fault-free run;
+with retries off, coverage must measurably degrade. This is the robustness
+contract that lets the reproduction (and a real crawl) trust its numbers.
+"""
+
+from repro.core.detection import FingerprintDetector
+from repro.core.prevalence import compute_prevalence
+from repro.crawler import PageBudget, RetryPolicy, run_crawl
+from repro.net.faults import FaultConfig, FaultyNetwork
+
+FAULTS = FaultConfig(fault_rate=0.12, max_consecutive=2)
+
+# Worst-case recovery needs 1 + 2*max_consecutive attempts: a faulty
+# document blocks script fetches, so document faults and script faults can
+# only clear sequentially before the clean load.
+RETRIES = RetryPolicy(max_attempts=5)
+BUDGET = PageBudget(max_page_ms=90_000.0)
+
+
+def _prevalence(dataset):
+    outcomes = FingerprintDetector().detect_all(dataset.successful())
+    return compute_prevalence(dataset, outcomes)
+
+
+def test_bench_prevalence_stable_under_faults(benchmark, world):
+    clean = run_crawl(world.network, world.all_targets, label="clean")
+
+    def crawl_with_faults():
+        # Fresh wrapper per round: fault state (attempt counters) must not
+        # leak across benchmark iterations.
+        faulty = FaultyNetwork(world.network, FAULTS, seed=world.scale.seed)
+        dataset = run_crawl(
+            faulty,
+            world.all_targets,
+            label="faulty",
+            retry_policy=RETRIES,
+            page_budget=BUDGET,
+        )
+        return dataset, faulty.injector.total_injected()
+
+    recovered, injected = benchmark.pedantic(crawl_with_faults, rounds=1, iterations=1)
+
+    clean_ok = {o.domain for o in clean.observations if o.success}
+    recovered_ok = {o.domain for o in recovered.observations if o.success}
+    assert injected > 0
+    assert recovered_ok == clean_ok  # every transient fault was ridden out
+    assert recovered.recovered_count() > 0
+
+    clean_prev = _prevalence(clean)
+    faulty_prev = _prevalence(recovered)
+    assert faulty_prev.top.fp_sites == clean_prev.top.fp_sites
+    assert faulty_prev.tail.fp_sites == clean_prev.tail.fp_sites
+
+    print()
+    print("Fault-free crawl:")
+    print(clean.health().summary())
+    print("Faulty crawl, retries on:")
+    print(recovered.health().summary())
+
+
+def test_bench_retries_off_degrades_coverage(benchmark, world):
+    clean = run_crawl(world.network, world.all_targets, label="clean")
+    clean_ok = {o.domain for o in clean.observations if o.success}
+
+    def crawl_without_retries():
+        faulty = FaultyNetwork(world.network, FAULTS, seed=world.scale.seed)
+        return run_crawl(
+            faulty,
+            world.all_targets,
+            label="no-retries",
+            page_budget=BUDGET,
+        )
+
+    fragile = benchmark.pedantic(crawl_without_retries, rounds=1, iterations=1)
+    fragile_ok = {o.domain for o in fragile.observations if o.success}
+
+    assert fragile_ok < clean_ok  # strictly worse coverage
+    lost = len(clean_ok) - len(fragile_ok)
+    print()
+    print(f"Retries off: lost {lost}/{len(clean_ok)} successful sites to faults")
+    print(fragile.health().summary())

@@ -73,6 +73,16 @@ def study_comparisons(result: StudyResult, paper: PaperTargets = PAPER) -> List[
             result.reach.max_reach_fraction_top,
         ),
         Comparison("render-twice check (FP sites)", paper.render_twice_fraction, result.render_twice),
+        Comparison(
+            "crawl success rate (top)",
+            paper.top_sites_success / paper.top_sites_crawled,
+            p.top.sites_successful / max(1, p.top.sites_crawled),
+        ),
+        Comparison(
+            "crawl success rate (tail)",
+            paper.tail_sites_success / paper.tail_sites_crawled,
+            p.tail.sites_successful / max(1, p.tail.sites_crawled),
+        ),
     ]
 
     fp = result.fp_sites
@@ -188,6 +198,18 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     if result.cross_machine_consistent is not None:
         status = "identical" if result.cross_machine_consistent else "DIFFERENT"
         sections[-1] += f"\ncross-machine canvas groupings (Intel vs M1): {status}"
+
+    health = result.control.health()
+    paper_rate = (paper.top_sites_success + paper.tail_sites_success) / max(
+        1, paper.top_sites_crawled + paper.tail_sites_crawled
+    )
+    sections.append(
+        "== Crawl health ==\n"
+        + health.summary()
+        + f"\npaper's crawl kept {paper.top_sites_success:,}/{paper.top_sites_crawled:,} top and "
+        f"{paper.tail_sites_success:,}/{paper.tail_sites_crawled:,} tail sites "
+        f"({paper_rate:.1%} overall)"
+    )
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

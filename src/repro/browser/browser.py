@@ -48,6 +48,12 @@ class Page:
     document: Optional[Document] = None
     blocked_urls: List[str] = field(default_factory=list)
     script_errors: List[str] = field(default_factory=list)
+    #: (url, status) for every subresource whose fetch failed — status 0 for
+    #: connection errors.  The collector classifies these transient/permanent.
+    subresource_failures: List[Tuple[str, int]] = field(default_factory=list)
+    #: Script URLs whose body arrived shorter than the declared
+    #: content-length (a transfer cut mid-flight); never executed.
+    truncated_scripts: List[str] = field(default_factory=list)
     executed_scripts: List[str] = field(default_factory=list)
     #: script_url -> source, for every script that actually executed.
     script_sources: Dict[str, str] = field(default_factory=dict)
@@ -59,6 +65,11 @@ class Page:
 
     def pending_count(self, group: str) -> int:
         return len(self._pending.get(group, []))
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Virtual time this page load has consumed (clock + response latency)."""
+        return self.instrument.clock.now_ms()
 
     def trigger(self, group: str) -> int:
         """Run a deferred script group ("consent" / "scroll"); returns count run."""
@@ -72,9 +83,18 @@ class Page:
 class Browser:
     """A scriptable browser over the synthetic network."""
 
-    def __init__(self, network: Network, profile: Optional[BrowserProfile] = None) -> None:
+    def __init__(
+        self,
+        network: Network,
+        profile: Optional[BrowserProfile] = None,
+        js_step_budget: Optional[int] = None,
+    ) -> None:
         self.network = network
         self.profile = profile or BrowserProfile()
+        #: Per-page interpreter step cap; the crawler's page watchdog maps
+        #: exhaustion to a ``timeout`` failure instead of hanging on a
+        #: runaway script.  None keeps the interpreter default.
+        self.js_step_budget = js_step_budget
         self._randomization = RandomizationState(self.profile.session_seed)
         #: Parse cache shared across page loads: each script URL+source is
         #: parsed once per browser, a large win when thousands of sites embed
@@ -94,8 +114,13 @@ class Browser:
 
         clock = VirtualClock()
         page.instrument = CanvasInstrument(clock)
+        if response.latency_ms:
+            clock.advance(response.latency_ms)
 
-        interp = Interpreter(ast_cache=self._ast_cache)
+        interp = Interpreter(
+            step_budget=self.js_step_budget or Interpreter.DEFAULT_STEP_BUDGET,
+            ast_cache=self._ast_cache,
+        )
         canvas_counter = {"next": 0}
         document = Document(url=str(url))
         page.document = document
@@ -158,8 +183,16 @@ class Browser:
                     page.blocked_urls.append(str(resolved))
                     return
             response = self.network.fetch(request)
+            if response.latency_ms:
+                page.instrument.clock.advance(response.latency_ms)
             if not response.ok:
                 page.script_errors.append(f"fetch failed ({response.status}): {resolved}")
+                page.subresource_failures.append((str(resolved), response.status))
+                return
+            declared = response.headers.get("content-length")
+            if declared is not None and int(declared) != len(response.body):
+                page.script_errors.append(f"truncated body: {resolved}")
+                page.truncated_scripts.append(str(resolved))
                 return
             script_url, source = str(resolved), response.body
 

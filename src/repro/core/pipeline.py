@@ -43,6 +43,7 @@ from repro.core.prevalence import PrevalenceReport, compute_prevalence
 from repro.core.reach import ReachReport, compute_reach
 from repro.crawler.collector import CanvasCollector
 from repro.crawler.crawl import CrawlDataset, CrawlTarget, run_crawl
+from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.net.server import Network
 from repro.net.url import URL
 
@@ -170,11 +171,26 @@ def run_study(
     include_adblock_crawls: bool = True,
     include_cross_machine: bool = False,
     cross_machine_sample: int = 200,
+    retry_policy: Optional[RetryPolicy] = None,
+    page_budget: Optional[PageBudget] = None,
 ) -> StudyResult:
-    """Run the full measurement study over a network."""
+    """Run the full measurement study over a network.
+
+    ``retry_policy`` / ``page_budget`` thread the resilience layer through
+    every crawl the study performs (control, ad-blocker, cross-machine), so
+    the whole methodology holds up under transient faults — e.g. a
+    :class:`~repro.net.faults.FaultyNetwork` wrapping ``network``.
+    """
     detector = FingerprintDetector()
 
-    control = run_crawl(network, targets, BrowserProfile(device=INTEL_UBUNTU), label="control")
+    control = run_crawl(
+        network,
+        targets,
+        BrowserProfile(device=INTEL_UBUNTU),
+        label="control",
+        retry_policy=retry_policy,
+        page_budget=page_budget,
+    )
     observations = control.by_domain()
     populations = control.populations()
     outcomes = detector.detect_all(control.successful())
@@ -226,10 +242,20 @@ def run_study(
             extra.append(RuleMatcher.from_text(ubo_extra_text, "ubo-extra"))
         ubo = AdBlockerExtension("UBlock Origin", ubo_matchers, extra_matchers=extra)
         abp_crawl = run_crawl(
-            network, targets, BrowserProfile(device=INTEL_UBUNTU, extensions=(abp,)), label="abp"
+            network,
+            targets,
+            BrowserProfile(device=INTEL_UBUNTU, extensions=(abp,)),
+            label="abp",
+            retry_policy=retry_policy,
+            page_budget=page_budget,
         )
         ubo_crawl = run_crawl(
-            network, targets, BrowserProfile(device=INTEL_UBUNTU, extensions=(ubo,)), label="ubo"
+            network,
+            targets,
+            BrowserProfile(device=INTEL_UBUNTU, extensions=(ubo,)),
+            label="ubo",
+            retry_policy=retry_policy,
+            page_budget=page_budget,
         )
         result.adblock_rows = compare_adblock_crawls(
             control, {"Adblock Plus": abp_crawl, "UBlock Origin": ubo_crawl}, detector
@@ -237,7 +263,11 @@ def run_study(
 
     if include_cross_machine:
         result.cross_machine_consistent = validate_cross_machine(
-            network, targets[:cross_machine_sample], detector
+            network,
+            targets[:cross_machine_sample],
+            detector,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
         )
 
     return result
@@ -248,6 +278,8 @@ def validate_cross_machine(
     targets: Sequence[CrawlTarget],
     detector: Optional[FingerprintDetector] = None,
     devices: Sequence[DeviceProfile] = (INTEL_UBUNTU, APPLE_M1),
+    retry_policy: Optional[RetryPolicy] = None,
+    page_budget: Optional[PageBudget] = None,
 ) -> bool:
     """§3.1's validation, generalized to any device fleet.
 
@@ -258,7 +290,14 @@ def validate_cross_machine(
     detector = detector or FingerprintDetector()
 
     def grouping(device: DeviceProfile) -> Tuple[Tuple[str, ...], ...]:
-        dataset = run_crawl(network, targets, BrowserProfile(device=device), label=device.name)
+        dataset = run_crawl(
+            network,
+            targets,
+            BrowserProfile(device=device),
+            label=device.name,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+        )
         outcomes = detector.detect_all(dataset.successful())
         clusters = cluster_canvases(outcomes, dataset.populations())
         groups = [tuple(sorted(c.all_sites())) for c in clusters.values() if c.all_sites()]

@@ -3,16 +3,45 @@
 from repro.crawler.autoconsent import Autoconsent
 from repro.crawler.behavior import UserBehavior
 from repro.crawler.collector import CanvasCollector
-from repro.crawler.crawl import CrawlDataset, CrawlTarget, run_crawl
-from repro.crawler.storage import load_dataset, save_dataset
+from repro.crawler.crawl import (
+    CrawlDataset,
+    CrawlHealth,
+    CrawlTarget,
+    resume_crawl,
+    run_crawl,
+)
+from repro.crawler.resilience import (
+    PageBudget,
+    RetryPolicy,
+    collect_with_retries,
+    is_transient,
+)
+from repro.crawler.storage import (
+    CheckpointWriter,
+    DatasetError,
+    checkpoint_path,
+    load_checkpoint,
+    load_dataset,
+    save_dataset,
+)
 
 __all__ = [
     "Autoconsent",
     "UserBehavior",
     "CanvasCollector",
     "CrawlDataset",
+    "CrawlHealth",
     "CrawlTarget",
     "run_crawl",
+    "resume_crawl",
+    "PageBudget",
+    "RetryPolicy",
+    "collect_with_retries",
+    "is_transient",
+    "CheckpointWriter",
+    "DatasetError",
+    "checkpoint_path",
+    "load_checkpoint",
     "load_dataset",
     "save_dataset",
 ]

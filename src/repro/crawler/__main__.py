@@ -1,12 +1,16 @@
 """Crawl the synthetic web and persist the dataset as JSONL.
 
 Decouples collection from analysis, like the real study: crawl once, then
-analyze the saved dataset offline.
+analyze the saved dataset offline.  Crawls are checkpointed: each
+observation is appended to ``<out>.partial`` as it lands, and a killed run
+continues with ``--resume`` without re-visiting persisted domains.
 
 Usage::
 
     python -m repro.crawler --scale 0.05 --out crawl.jsonl.gz
     python -m repro.crawler --scale 0.05 --adblock abp --out crawl-abp.jsonl.gz
+    python -m repro.crawler --scale 0.05 --out crawl.jsonl.gz --resume
+    python -m repro.crawler --scale 0.05 --fault-rate 0.1 --out crawl.jsonl.gz
 """
 
 from __future__ import annotations
@@ -20,8 +24,9 @@ from repro.browser.extensions import AdBlockerExtension
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import DEVICE_PROFILES, INTEL_UBUNTU
 from repro.config import StudyScale
-from repro.crawler.crawl import run_crawl
-from repro.crawler.storage import save_dataset
+from repro.crawler.crawl import resume_crawl
+from repro.crawler.resilience import PageBudget, RetryPolicy
+from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.webgen import build_world
 
 
@@ -42,6 +47,35 @@ def main(argv=None) -> int:
         default="none",
         help="install an ad blocker extension (§5.2 crawls)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from <out>.partial (or <out>), skipping persisted domains",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="page-load attempts per site; 1 disables retries",
+    )
+    parser.add_argument(
+        "--page-budget-ms",
+        type=float,
+        default=90_000.0,
+        help="per-page watchdog budget in virtual milliseconds",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject transient faults on this fraction of URLs (testing/chaos)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the fault schedule (defaults to --seed)",
+    )
     args = parser.parse_args(argv)
 
     world = build_world(StudyScale(fraction=args.scale, seed=args.seed))
@@ -56,21 +90,39 @@ def main(argv=None) -> int:
 
     profile = BrowserProfile(device=DEVICE_PROFILES[args.device], extensions=extensions)
 
+    network = world.network
+    if args.fault_rate > 0:
+        seed = args.seed if args.fault_seed is None else args.fault_seed
+        network = FaultyNetwork(network, FaultConfig(fault_rate=args.fault_rate), seed=seed)
+
+    retry_policy = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts > 1 else None
+    page_budget = PageBudget(max_page_ms=args.page_budget_ms)
+
     started = time.time()
     done = {"n": 0}
 
     def progress(index, observation):
-        done["n"] = index + 1
+        done["n"] += 1
         if done["n"] % 500 == 0:
             rate = done["n"] / (time.time() - started)
             print(f"  {done['n']} sites crawled ({rate:.0f}/s)", flush=True)
 
     label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
-    dataset = run_crawl(world.network, world.all_targets, profile, label=label, progress=progress)
-    save_dataset(dataset, args.out)
-    ok = sum(1 for o in dataset.observations if o.success)
-    print(f"crawled {len(dataset.observations)} sites ({ok} ok) in "
+    dataset = resume_crawl(
+        network,
+        world.all_targets,
+        args.out,
+        profile=profile,
+        label=label,
+        progress=progress,
+        retry_policy=retry_policy,
+        page_budget=page_budget,
+        resume=args.resume,
+    )
+    health = dataset.health()
+    print(f"crawled {health.total} sites ({health.successes} ok) in "
           f"{time.time() - started:.1f}s -> {args.out}")
+    print(health.summary())
     return 0
 
 

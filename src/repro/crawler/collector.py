@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.browser.browser import Browser, Page
 from repro.core.records import SiteObservation
 from repro.crawler.autoconsent import Autoconsent
 from repro.crawler.behavior import UserBehavior
+from repro.crawler.resilience import PageBudget
 from repro.net.url import URL
 
 __all__ = ["CanvasCollector"]
@@ -16,10 +18,20 @@ class CanvasCollector:
     """The modified-Tracker-Radar-Collector analogue.
 
     Wraps a browser, handles banners and behavior simulation, and flattens
-    the page's instrumentation into a :class:`SiteObservation`.
+    the page's instrumentation into a :class:`SiteObservation`.  Every visit
+    is crash-isolated: an exception anywhere in the load pipeline (parser,
+    interpreter, instrumentation — any collector bug) becomes a failed
+    observation with reason ``crash:<ExceptionType>`` rather than an aborted
+    crawl.  An optional :class:`PageBudget` acts as the page watchdog,
+    converting runaway pages into ``timeout`` failures.
     """
 
-    def __init__(self, browser: Browser, inner_paths: tuple = ()) -> None:
+    def __init__(
+        self,
+        browser: Browser,
+        inner_paths: tuple = (),
+        budget: Optional[PageBudget] = None,
+    ) -> None:
         self.browser = browser
         self.autoconsent = Autoconsent()
         self.behavior = UserBehavior()
@@ -27,32 +39,66 @@ class CanvasCollector:
         #: paper's crawl is homepage-only — a stated lower bound; enabling
         #: inner paths measures what that bound misses.
         self.inner_paths = tuple(inner_paths)
+        self.budget = budget
 
     def collect(self, domain: str, rank: int, population: str) -> SiteObservation:
-        """Crawl one homepage (plus any configured inner pages)."""
-        url = URL("https", domain)
-        page = self.browser.load(url)
-        if not page.ok:
+        """Crawl one homepage (plus any configured inner pages), crash-isolated."""
+        try:
+            return self._collect(domain, rank, population)
+        except Exception as exc:  # noqa: BLE001 — isolation is the whole point
             return SiteObservation(
                 domain=domain,
                 rank=rank,
                 population=population,
                 success=False,
-                failure_reason=self._failure_reason(page),
+                failure_reason=f"crash:{type(exc).__name__}",
+                script_errors=[f"{type(exc).__name__}: {exc}"],
             )
+
+    def _collect(self, domain: str, rank: int, population: str) -> SiteObservation:
+        url = URL("https", domain)
+        page = self.browser.load(url)
+        if not page.ok:
+            return self._failed(domain, rank, population, self._failure_reason(page), page)
+
+        reason = self._page_fault_reason(page)
+        if reason is not None:
+            return self._failed(domain, rank, population, reason, page)
 
         self.autoconsent.handle(page)
         self.behavior.simulate(page)
+
+        # The watchdog's final say: consent/scroll-triggered scripts also
+        # spend the page's time budget.
+        reason = self._page_fault_reason(page)
+        if reason is not None:
+            return self._failed(domain, rank, population, reason, page)
+
         observation = self._assemble(domain, rank, population, page)
 
         for path in self.inner_paths:
             inner = self.browser.load(url.with_path(path))
             if not inner.ok:
-                continue  # most sites have no such page
+                # Most sites have no such page — but keep the miss visible.
+                observation.inner_page_failures += 1
+                continue
             self.autoconsent.handle(inner)
             self.behavior.simulate(inner)
             self._merge(observation, inner)
         return observation
+
+    @staticmethod
+    def _failed(
+        domain: str, rank: int, population: str, reason: str, page: Page
+    ) -> SiteObservation:
+        return SiteObservation(
+            domain=domain,
+            rank=rank,
+            population=population,
+            success=False,
+            failure_reason=reason,
+            script_errors=list(page.script_errors),
+        )
 
     @staticmethod
     def _merge(observation: SiteObservation, page: Page) -> None:
@@ -71,7 +117,24 @@ class CanvasCollector:
             return "bot-blocked"
         if page.status == 404:
             return "not-found"
+        if 500 <= page.status < 600:
+            # 5xx is a server-side (often transient) condition, distinct from
+            # the permanent 4xx client errors — the retry layer keys off it.
+            return f"server-error-{page.status}"
         return f"http-{page.status}"
+
+    def _page_fault_reason(self, page: Page) -> Optional[str]:
+        """Post-load health check: transfer integrity, subresources, watchdog."""
+        if page.truncated_scripts:
+            return "truncated-script"
+        if any(s == 0 or s >= 500 for _u, s in page.subresource_failures):
+            return "subresource-error"
+        if self.budget is not None:
+            if self.budget.exceeded(page.elapsed_ms):
+                return "timeout"
+            if any("step budget exceeded" in e for e in page.script_errors):
+                return "timeout"
+        return None
 
     def _assemble(self, domain: str, rank: int, population: str, page: Page) -> SiteObservation:
         instrument = page.instrument

@@ -1,17 +1,24 @@
-"""Crawl orchestration over site lists."""
+"""Crawl orchestration over site lists: retries, checkpointing, resume."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.browser.browser import Browser
+from repro.browser.instrumentation import VirtualClock
 from repro.browser.profile import BrowserProfile
 from repro.core.records import SiteObservation
 from repro.crawler.collector import CanvasCollector
+from repro.crawler.resilience import (
+    PageBudget,
+    RetryPolicy,
+    collect_with_retries,
+    is_transient,
+)
 from repro.net.server import Network
 
-__all__ = ["CrawlTarget", "CrawlDataset", "run_crawl"]
+__all__ = ["CrawlTarget", "CrawlDataset", "CrawlHealth", "run_crawl", "resume_crawl"]
 
 
 @dataclass(frozen=True)
@@ -21,6 +28,56 @@ class CrawlTarget:
     domain: str
     rank: int
     population: str  # "top" | "tail"
+
+
+@dataclass(frozen=True)
+class CrawlHealth:
+    """Operational health of one crawl — the paper's 16,276/17,260 story.
+
+    Success counts say how much of the target list survived; the attempts
+    histogram and recovered count say how much of that survival the retry
+    layer bought; the failure table says what was lost and whether retrying
+    harder could have helped (transient) or not (permanent).
+    """
+
+    label: str
+    total: int
+    successes: int
+    #: Sites that only succeeded on a retry attempt (recovered transients).
+    recovered: int
+    #: attempts -> number of sites settling after exactly that many attempts.
+    attempts_histogram: Dict[int, int]
+    #: (reason, count, transient?) rows, most common first.
+    failure_rows: Tuple[Tuple[str, int, bool], ...]
+    inner_page_failures: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.total if self.total else 0.0
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(a * n for a, n in self.attempts_histogram.items())
+
+    def summary(self) -> str:
+        lines = [
+            f"crawl '{self.label}': {self.successes}/{self.total} sites ok "
+            f"({self.success_rate:.1%}), {self.recovered} recovered by retry, "
+            f"{self.total_attempts} page loads total",
+        ]
+        histogram = ", ".join(
+            f"{attempts} attempt{'s' if attempts > 1 else ''}: {count}"
+            for attempts, count in sorted(self.attempts_histogram.items())
+        )
+        lines.append(f"attempts histogram: {histogram or 'none'}")
+        if self.inner_page_failures:
+            lines.append(f"inner-page load failures: {self.inner_page_failures}")
+        if self.failure_rows:
+            lines.append("failures by reason:")
+            for reason, count, transient in self.failure_rows:
+                kind = "transient" if transient else "permanent"
+                lines.append(f"  {reason:28s} {count:6d}  ({kind})")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -53,6 +110,38 @@ class CrawlDataset:
                 out[o.failure_reason] = out.get(o.failure_reason, 0) + 1
         return out
 
+    # -- crawl health ---------------------------------------------------------
+
+    def attempts_histogram(self) -> Dict[int, int]:
+        """attempts -> number of sites that settled after that many attempts."""
+        out: Dict[int, int] = {}
+        for o in self.observations:
+            out[o.attempts] = out.get(o.attempts, 0) + 1
+        return out
+
+    def recovered_count(self) -> int:
+        """Sites that failed at least once but succeeded on a retry."""
+        return sum(1 for o in self.observations if o.recovered)
+
+    def failure_table(self) -> Tuple[Tuple[str, int, bool], ...]:
+        """(reason, count, transient?) rows, most common first."""
+        reasons = self.failure_reasons()
+        return tuple(
+            (reason, count, is_transient(reason))
+            for reason, count in sorted(reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+
+    def health(self) -> CrawlHealth:
+        return CrawlHealth(
+            label=self.label,
+            total=len(self.observations),
+            successes=sum(1 for o in self.observations if o.success),
+            recovered=self.recovered_count(),
+            attempts_histogram=self.attempts_histogram(),
+            failure_rows=self.failure_table(),
+            inner_page_failures=sum(o.inner_page_failures for o in self.observations),
+        )
+
 
 def run_crawl(
     network: Network,
@@ -61,19 +150,102 @@ def run_crawl(
     label: str = "control",
     progress: Optional[Callable[[int, SiteObservation], None]] = None,
     inner_paths: tuple = (),
+    retry_policy: Optional[RetryPolicy] = None,
+    page_budget: Optional[PageBudget] = None,
+    checkpoint=None,
+    resume_from: Optional[CrawlDataset] = None,
 ) -> CrawlDataset:
     """Visit every target with one browser configuration.
 
     The same browser instance is reused across sites (shared script parse
     cache), but each page load gets a fresh JS realm — matching how the
     real collector isolates page contexts within one browser process.
+
+    Resilience knobs (all optional, all off by default):
+
+    * ``retry_policy`` — retry transient failures with deterministic backoff;
+    * ``page_budget`` — per-page watchdog (virtual-time + JS step ceiling);
+    * ``checkpoint`` — any object with ``write(observation)``; called as each
+      observation lands, so a killed crawl leaves a loadable partial file
+      (see :class:`repro.crawler.storage.CheckpointWriter`);
+    * ``resume_from`` — a previously persisted (partial) dataset whose
+      domains are carried over verbatim and not re-visited.
     """
-    browser = Browser(network, profile)
-    collector = CanvasCollector(browser, inner_paths=inner_paths)
+    browser = Browser(
+        network,
+        profile,
+        js_step_budget=page_budget.max_js_steps if page_budget else None,
+    )
+    collector = CanvasCollector(browser, inner_paths=inner_paths, budget=page_budget)
     dataset = CrawlDataset(label=label)
+
+    done = set()
+    if resume_from is not None:
+        for observation in resume_from.observations:
+            dataset.observations.append(observation)
+            done.add(observation.domain)
+
+    # Crawl-level virtual clock: backoff delays advance it, so retry timing
+    # is observable and deterministic without any wall-clock sleeping.
+    backoff_clock = VirtualClock()
+
     for index, target in enumerate(targets):
-        observation = collector.collect(target.domain, target.rank, target.population)
+        if target.domain in done:
+            continue
+        observation = collect_with_retries(
+            collector, target, policy=retry_policy, clock=backoff_clock
+        )
         dataset.observations.append(observation)
+        if checkpoint is not None:
+            checkpoint.write(observation)
         if progress is not None:
             progress(index, observation)
+    return dataset
+
+
+def resume_crawl(
+    network: Network,
+    targets: Iterable[CrawlTarget],
+    out_path,
+    profile: Optional[BrowserProfile] = None,
+    label: str = "control",
+    progress: Optional[Callable[[int, SiteObservation], None]] = None,
+    inner_paths: tuple = (),
+    retry_policy: Optional[RetryPolicy] = None,
+    page_budget: Optional[PageBudget] = None,
+    resume: bool = True,
+) -> CrawlDataset:
+    """Run (or continue) a checkpointed crawl persisted at ``out_path``.
+
+    Every observation is appended to ``<out_path>.partial`` as it lands; on
+    completion the partial is atomically promoted to ``out_path``.  With
+    ``resume=True`` an existing partial (or finished) file is loaded first
+    and its domains are skipped, so a crawl killed mid-run completes into a
+    dataset identical to an uninterrupted one.
+    """
+    # Local import: storage depends on this module for CrawlDataset.
+    from repro.crawler import storage
+
+    prior = storage.load_checkpoint(out_path) if resume else None
+    if prior is not None:
+        label = prior.label
+    writer = storage.CheckpointWriter(out_path, label=label, resume=resume)
+    try:
+        dataset = run_crawl(
+            network,
+            targets,
+            profile=profile,
+            label=label,
+            progress=progress,
+            inner_paths=inner_paths,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            checkpoint=writer,
+            resume_from=prior,
+        )
+    except BaseException:
+        # Keep the partial file for a later --resume; never half-finalize.
+        writer.close()
+        raise
+    writer.finalize()
     return dataset

@@ -2,54 +2,247 @@
 
 One observation per line, so multi-GB crawls stream without loading fully
 into memory — the format the real collector family also uses.
+
+Durability model:
+
+* :func:`save_dataset` writes the whole file to a sibling temp file and
+  promotes it with :func:`os.replace`, so a crash mid-write can never leave
+  a half-written dataset at the target path;
+* :class:`CheckpointWriter` appends each observation to ``<path>.partial``
+  as it lands (flushed per line) and atomically promotes the partial on
+  :meth:`~CheckpointWriter.finalize` — the substrate for ``--resume``;
+* :func:`load_checkpoint` reads a partial file back, tolerating a truncated
+  final line (the signature of a crawl killed mid-write);
+* :func:`load_dataset` / :func:`iter_observations` raise :class:`DatasetError`
+  with the offending path and line number instead of a bare
+  ``json.JSONDecodeError`` on empty, corrupt or truncated files.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import os
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset
 
-__all__ = ["save_dataset", "load_dataset", "iter_observations"]
+__all__ = [
+    "DatasetError",
+    "save_dataset",
+    "load_dataset",
+    "iter_observations",
+    "CheckpointWriter",
+    "checkpoint_path",
+    "load_checkpoint",
+]
+
+FORMAT = "repro-crawl-v1"
+
+
+class DatasetError(ValueError):
+    """A dataset file is missing, empty, corrupt or of an unknown format."""
+
+
+def _is_gz(path: Path) -> bool:
+    return path.suffix == ".gz"
 
 
 def _open(path: Path, mode: str):
-    if path.suffix == ".gz":
+    if _is_gz(path):
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
 
+def _header_line(label: str) -> str:
+    return json.dumps({"label": label, "format": FORMAT}) + "\n"
+
+
+def _obs_line(observation: SiteObservation) -> str:
+    return json.dumps(observation.to_json(), separators=(",", ":")) + "\n"
+
+
+def _parse_header(line: str, path: Path) -> dict:
+    if not line.strip():
+        raise DatasetError(f"{path}: empty dataset file (no header line)")
+    try:
+        meta = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: corrupt dataset header: {exc}") from exc
+    if meta.get("format") not in (None, FORMAT):
+        raise DatasetError(f"{path}: unknown dataset format {meta.get('format')!r}")
+    return meta
+
+
 def save_dataset(dataset: CrawlDataset, path: Union[str, Path]) -> None:
-    """Write a crawl dataset as JSONL (header line + one line per site)."""
+    """Write a crawl dataset as JSONL (header line + one line per site).
+
+    The write is atomic: content goes to a same-directory temp file which is
+    promoted with ``os.replace``, so readers never observe a torn file.
+    """
     path = Path(path)
-    with _open(path, "w") as fh:
-        fh.write(json.dumps({"label": dataset.label, "format": "repro-crawl-v1"}) + "\n")
-        for obs in dataset.observations:
-            fh.write(json.dumps(obs.to_json(), separators=(",", ":")) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    fh = gzip.open(tmp, "wt", encoding="utf-8") if _is_gz(path) else open(
+        tmp, "w", encoding="utf-8"
+    )
+    try:
+        with fh:
+            fh.write(_header_line(dataset.label))
+            for obs in dataset.observations:
+                fh.write(_obs_line(obs))
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def iter_observations(path: Union[str, Path]) -> Iterator[SiteObservation]:
-    """Stream observations from a JSONL dataset file."""
+    """Stream observations from a JSONL dataset file.
+
+    Raises :class:`DatasetError` (with path and line number) on an empty,
+    truncated or otherwise corrupt file.
+    """
     path = Path(path)
     with _open(path, "r") as fh:
-        header = fh.readline()
-        meta = json.loads(header) if header.strip() else {}
-        if meta.get("format") not in (None, "repro-crawl-v1"):
-            raise ValueError(f"unknown dataset format {meta.get('format')!r}")
-        for line in fh:
-            if line.strip():
-                yield SiteObservation.from_json(json.loads(line))
+        _parse_header(fh.readline(), path)
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"{path}: corrupt or truncated dataset at line {lineno}: {exc}"
+                ) from exc
+            yield SiteObservation.from_json(record)
 
 
 def load_dataset(path: Union[str, Path]) -> CrawlDataset:
     """Load a full crawl dataset from disk."""
     path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such dataset file")
     with _open(path, "r") as fh:
-        header = json.loads(fh.readline())
+        header = _parse_header(fh.readline(), path)
     dataset = CrawlDataset(label=header.get("label", path.stem))
     dataset.observations.extend(iter_observations(path))
+    return dataset
+
+
+# -- checkpointing -----------------------------------------------------------------
+
+
+def checkpoint_path(path: Union[str, Path]) -> Path:
+    """The partial (in-progress) sibling of a dataset path."""
+    path = Path(path)
+    return path.with_name(path.name + ".partial")
+
+
+class CheckpointWriter:
+    """Append-mode JSONL checkpointing for an in-flight crawl.
+
+    Observations land in ``<path>.partial`` (always plain text, flushed per
+    line so a kill loses at most the line being written).  ``finalize()``
+    promotes the partial to the final path atomically — gzip-compressing on
+    the way if the final path ends in ``.gz``.
+    """
+
+    def __init__(self, path: Union[str, Path], label: str, resume: bool = False) -> None:
+        self.final_path = Path(path)
+        self.partial_path = checkpoint_path(path)
+        self.label = label
+        self.written = 0
+        seeded = False
+        if resume and not self.partial_path.exists() and self.final_path.exists():
+            # A finished dataset is a valid checkpoint: reopen it as partial.
+            with _open(self.final_path, "r") as src, open(
+                self.partial_path, "w", encoding="utf-8"
+            ) as dst:
+                for line in src:
+                    dst.write(line)
+            seeded = True
+        continuing = resume and (seeded or self.partial_path.exists())
+        self._fh = open(self.partial_path, "a" if continuing else "w", encoding="utf-8")
+        if not continuing or self._fh.tell() == 0:
+            self._fh.write(_header_line(label))
+            self._fh.flush()
+
+    def write(self, observation: SiteObservation) -> None:
+        self._fh.write(_obs_line(observation))
+        self._fh.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        """Close without promoting; the partial file stays for a resume."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def finalize(self) -> Path:
+        """Atomically promote the partial file to the final dataset path."""
+        self.close()
+        if _is_gz(self.final_path):
+            tmp = self.final_path.with_name(self.final_path.name + ".tmp")
+            try:
+                with open(self.partial_path, "r", encoding="utf-8") as src, gzip.open(
+                    tmp, "wt", encoding="utf-8"
+                ) as dst:
+                    for line in src:
+                        dst.write(line)
+                os.replace(tmp, self.final_path)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
+            self.partial_path.unlink(missing_ok=True)
+        else:
+            os.replace(self.partial_path, self.final_path)
+        return self.final_path
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.close()
+
+
+def load_checkpoint(path: Union[str, Path]) -> Optional[CrawlDataset]:
+    """Load whatever survives of a checkpointed crawl at ``path``.
+
+    Prefers ``<path>.partial`` (an interrupted run), falling back to the
+    final file (a finished run).  A truncated final line in the partial —
+    the expected state after a mid-write kill — is silently dropped; that
+    site is simply re-crawled on resume.  Returns None when neither exists.
+    """
+    final = Path(path)
+    partial = checkpoint_path(path)
+    if partial.exists():
+        return _load_tolerant(partial)
+    if final.exists():
+        return load_dataset(final)
+    return None
+
+
+def _load_tolerant(path: Path) -> CrawlDataset:
+    with open(path, "r", encoding="utf-8") as fh:
+        lines: List[str] = fh.readlines()
+    if not lines:
+        raise DatasetError(f"{path}: empty dataset file (no header line)")
+    header = _parse_header(lines[0], path)
+    dataset = CrawlDataset(label=header.get("label", path.stem))
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn final line from a mid-write kill
+            raise DatasetError(
+                f"{path}: corrupt dataset at line {lineno}: {exc}"
+            ) from exc
+        dataset.observations.append(SiteObservation.from_json(record))
     return dataset

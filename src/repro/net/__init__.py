@@ -5,8 +5,13 @@ from repro.net.http import Request, Response, ResourceType
 from repro.net.dns import DNSZone, DNSRecord, RecordType
 from repro.net.server import OriginServer, Network
 from repro.net.cdn import POPULAR_CDN_DOMAINS, is_cdn_url
+from repro.net.faults import FaultConfig, FaultInjector, FaultKind, FaultyNetwork
 
 __all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
+    "FaultyNetwork",
     "URL",
     "origin_of",
     "registrable_domain",

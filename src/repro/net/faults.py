@@ -1,0 +1,163 @@
+"""Deterministic transient-fault injection over the synthetic network.
+
+The ecosystem's per-site failure *plans* (``SitePlan.failure``) model
+permanent breakage: a dead domain stays dead for the whole crawl.  Real
+crawls additionally lose sites to *transient* faults — connection resets,
+5xx flaps, slow origins, truncated transfers — which is exactly the class a
+retry layer can win back (the paper's crawl kept 16,276/17,260 of its
+targets per population despite them).
+
+:class:`FaultInjector` decides, purely as a function of ``(seed, url)``,
+whether a URL is afflicted, with which fault kind, and for how many
+consecutive fetch attempts.  Because the schedule is keyed by URL rather
+than by draw order, the same seed yields the identical fault schedule no
+matter how many retries interleave — which makes robustness *testable*:
+a crawl with retries enabled must recover the exact success set of a
+fault-free crawl.
+
+:class:`FaultyNetwork` wraps any :class:`~repro.net.server.Network` and
+applies the schedule at ``fetch`` time; everything else (DNS, servers,
+aliases) passes straight through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.http import Request, Response, ResourceType
+
+__all__ = ["FaultKind", "FaultConfig", "FaultSchedule", "FaultInjector", "FaultyNetwork"]
+
+
+class FaultKind:
+    """The transient fault classes the injector can produce."""
+
+    CONNECTION_ERROR = "connection-error"   # status 0, nothing served
+    HTTP_FLAP = "http-flap"                 # 5xx that clears on a later attempt
+    SLOW_RESPONSE = "slow-response"         # served, but with huge virtual latency
+    TRUNCATED_SCRIPT = "truncated-script"   # script body cut short mid-transfer
+
+    ALL = (CONNECTION_ERROR, HTTP_FLAP, SLOW_RESPONSE, TRUNCATED_SCRIPT)
+    #: Kinds applicable to non-script resources (a document cannot be a
+    #: truncated *script*).
+    DOCUMENT = (CONNECTION_ERROR, HTTP_FLAP, SLOW_RESPONSE)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for the injected transient-failure mix."""
+
+    #: Fraction of URLs afflicted by any fault at all.
+    fault_rate: float = 0.0
+    #: Relative weights of the fault kinds among afflicted URLs.
+    connection_error_weight: float = 1.0
+    http_flap_weight: float = 1.0
+    slow_response_weight: float = 1.0
+    truncated_script_weight: float = 1.0
+    #: A fault afflicts at most this many consecutive attempts, then clears —
+    #: the defining property of a *transient* fault.  Keep this below a
+    #: retry policy's ``max_attempts`` and every afflicted site recovers.
+    max_consecutive: int = 2
+    #: Virtual latency injected by slow responses; pick it above the page
+    #: watchdog budget so slowness surfaces as a ``timeout`` failure.
+    slow_ms: float = 120_000.0
+    #: Status served while an HTTP flap lasts.
+    flap_status: int = 503
+
+    def weight_for(self, kind: str) -> float:
+        return {
+            FaultKind.CONNECTION_ERROR: self.connection_error_weight,
+            FaultKind.HTTP_FLAP: self.http_flap_weight,
+            FaultKind.SLOW_RESPONSE: self.slow_response_weight,
+            FaultKind.TRUNCATED_SCRIPT: self.truncated_script_weight,
+        }[kind]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """What happens to one URL: ``kind`` for its first ``fail_attempts`` fetches."""
+
+    kind: str
+    fail_attempts: int
+
+
+class FaultInjector:
+    """Seeded, order-independent fault scheduler."""
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        #: url -> fetch attempts seen so far (the per-URL fault clock).
+        self._attempts: Dict[str, int] = {}
+        #: kind -> number of faults actually injected.
+        self.injected: Dict[str, int] = {}
+
+    def schedule_for(self, url: str, resource_type: ResourceType) -> Optional[FaultSchedule]:
+        """The (stable) fault schedule for a URL, or None if unafflicted."""
+        rng = random.Random(f"faults:{self.seed}:{url}")
+        if rng.random() >= self.config.fault_rate:
+            return None
+        kinds = (
+            FaultKind.ALL if resource_type == ResourceType.SCRIPT else FaultKind.DOCUMENT
+        )
+        weights = [self.config.weight_for(k) for k in kinds]
+        if sum(weights) <= 0:
+            return None
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        return FaultSchedule(kind=kind, fail_attempts=rng.randint(1, self.config.max_consecutive))
+
+    def next_fault(self, url: str, resource_type: ResourceType) -> Optional[str]:
+        """Advance the URL's attempt counter; return the fault kind to apply now."""
+        attempt = self._attempts.get(url, 0) + 1
+        self._attempts[url] = attempt
+        schedule = self.schedule_for(url, resource_type)
+        if schedule is None or attempt > schedule.fail_attempts:
+            return None
+        self.injected[schedule.kind] = self.injected.get(schedule.kind, 0) + 1
+        return schedule.kind
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+class FaultyNetwork:
+    """A :class:`Network` wrapper that injects the configured transient faults.
+
+    Only ``fetch`` is intercepted; all other attributes (``dns``,
+    ``server_for``, ``alias``, counters, ...) delegate to the wrapped network,
+    so a ``FaultyNetwork`` drops into any crawl or study unchanged.
+    """
+
+    def __init__(self, inner, config: FaultConfig, seed: int = 0) -> None:
+        self.inner = inner
+        self.injector = FaultInjector(config, seed=seed)
+
+    def fetch(self, request: Request) -> Response:
+        config = self.injector.config
+        kind = self.injector.next_fault(str(request.url), request.resource_type)
+        if kind is None:
+            return self.inner.fetch(request)
+        if kind == FaultKind.CONNECTION_ERROR:
+            return Response(url=request.url, status=0, content_type="", body="")
+        if kind == FaultKind.HTTP_FLAP:
+            return Response(
+                url=request.url,
+                status=config.flap_status,
+                content_type="text/plain",
+                body="temporarily unavailable",
+            )
+        response = self.inner.fetch(request)
+        if kind == FaultKind.SLOW_RESPONSE:
+            response.latency_ms = config.slow_ms
+            return response
+        # TRUNCATED_SCRIPT: cut the body mid-transfer.  The declared
+        # content-length survives, which is how the browser detects it.
+        response.headers = dict(response.headers)
+        response.headers.setdefault("content-length", str(len(response.body)))
+        response.body = response.body[: len(response.body) // 2]
+        return response
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -57,6 +57,10 @@ class Response:
     #: Host that actually served the response after DNS/CNAME resolution —
     #: differs from ``url.host`` under CNAME cloaking.
     served_by: Optional[str] = None
+    #: Virtual delivery latency.  The browser advances the page clock by this
+    #: much, so slow responses trip the crawler's page watchdog instead of
+    #: hanging — real wall-clock time never passes.
+    latency_ms: float = 0.0
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,242 @@
+"""Tests for durable storage: atomic writes, clear errors, checkpoint/resume."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.records import SiteObservation
+from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
+from repro.crawler.storage import (
+    CheckpointWriter,
+    DatasetError,
+    checkpoint_path,
+    iter_observations,
+    load_checkpoint,
+    load_dataset,
+    save_dataset,
+)
+from repro.net.server import Network
+
+FP_SCRIPT = """
+var c = document.createElement('canvas');
+c.width = 200; c.height = 40;
+var g = c.getContext('2d');
+g.font = '13px Arial';
+g.fillText('checkpoint probe text', 3, 20);
+window.__fp = c.toDataURL();
+"""
+
+
+def make_obs(domain, success=True, **kwargs):
+    return SiteObservation(domain=domain, rank=1, population="top", success=success, **kwargs)
+
+
+def make_dataset(label="chk", domains=("a.example", "b.example")):
+    return CrawlDataset(label=label, observations=[make_obs(d) for d in domains])
+
+
+@pytest.fixture
+def network():
+    net = Network()
+    for i in range(6):
+        server = net.server_for(f"site-{i}.example")
+        server.add_resource("/", f"<html><title>{i}</title><script>{FP_SCRIPT}</script></html>")
+    return net
+
+
+TARGETS = [CrawlTarget(f"site-{i}.example", i + 1, "top") for i in range(6)]
+
+
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_dataset(make_dataset(), path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_dataset(make_dataset(domains=("old.example",)), path)
+        save_dataset(make_dataset(domains=("new.example",)), path)
+        assert [o.domain for o in load_dataset(path).observations] == ["new.example"]
+
+    def test_gzip_atomic_save_roundtrip(self, tmp_path):
+        path = tmp_path / "crawl.jsonl.gz"
+        save_dataset(make_dataset(), path)
+        assert list(tmp_path.iterdir()) == [path]
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            assert json.loads(fh.readline())["format"] == "repro-crawl-v1"
+        assert len(load_dataset(path).observations) == 2
+
+
+class TestClearErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such dataset"):
+            load_dataset(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty dataset"):
+            load_dataset(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(DatasetError, match="corrupt dataset header"):
+            load_dataset(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(DatasetError, match="unknown dataset format"):
+            list(iter_observations(path))
+
+    def test_truncated_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        save_dataset(make_dataset(), path)
+        path.write_text(path.read_text()[:-25])  # tear the last record
+        with pytest.raises(DatasetError, match="line 3"):
+            list(iter_observations(path))
+
+    def test_dataset_error_is_value_error(self):
+        assert issubclass(DatasetError, ValueError)
+
+
+class TestCheckpointWriter:
+    def test_partial_then_finalize(self, tmp_path):
+        final = tmp_path / "crawl.jsonl"
+        writer = CheckpointWriter(final, label="chk")
+        writer.write(make_obs("a.example"))
+        writer.write(make_obs("b.example"))
+        partial = checkpoint_path(final)
+        assert partial.exists() and not final.exists()
+        assert len(load_checkpoint(final).observations) == 2  # readable mid-crawl
+        writer.finalize()
+        assert final.exists() and not partial.exists()
+        loaded = load_dataset(final)
+        assert loaded.label == "chk"
+        assert [o.domain for o in loaded.observations] == ["a.example", "b.example"]
+
+    def test_finalize_to_gzip(self, tmp_path):
+        final = tmp_path / "crawl.jsonl.gz"
+        with CheckpointWriter(final, label="gz") as writer:
+            writer.write(make_obs("a.example"))
+        assert not checkpoint_path(final).exists()
+        assert load_dataset(final).observations[0].domain == "a.example"
+
+    def test_resume_appends_to_partial(self, tmp_path):
+        final = tmp_path / "crawl.jsonl"
+        first = CheckpointWriter(final, label="chk")
+        first.write(make_obs("a.example"))
+        first.close()  # killed mid-crawl: no finalize
+        second = CheckpointWriter(final, label="chk", resume=True)
+        second.write(make_obs("b.example"))
+        second.finalize()
+        assert [o.domain for o in load_dataset(final).observations] == [
+            "a.example", "b.example"
+        ]
+
+    def test_fresh_writer_truncates_stale_partial(self, tmp_path):
+        final = tmp_path / "crawl.jsonl"
+        stale = CheckpointWriter(final, label="old")
+        stale.write(make_obs("stale.example"))
+        stale.close()
+        with CheckpointWriter(final, label="new") as writer:
+            writer.write(make_obs("fresh.example"))
+        assert [o.domain for o in load_dataset(final).observations] == ["fresh.example"]
+
+    def test_resume_seeds_partial_from_finished_file(self, tmp_path):
+        final = tmp_path / "crawl.jsonl.gz"
+        save_dataset(make_dataset(domains=("a.example",)), final)
+        writer = CheckpointWriter(final, label="chk", resume=True)
+        writer.write(make_obs("b.example"))
+        writer.finalize()
+        assert [o.domain for o in load_dataset(final).observations] == [
+            "a.example", "b.example"
+        ]
+
+    def test_torn_final_line_tolerated_on_resume(self, tmp_path):
+        final = tmp_path / "crawl.jsonl"
+        writer = CheckpointWriter(final, label="chk")
+        writer.write(make_obs("a.example"))
+        writer.write(make_obs("b.example"))
+        writer.close()
+        partial = checkpoint_path(final)
+        partial.write_text(partial.read_text()[:-30])  # kill mid-write
+        loaded = load_checkpoint(final)
+        assert [o.domain for o in loaded.observations] == ["a.example"]
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        final = tmp_path / "crawl.jsonl"
+        writer = CheckpointWriter(final, label="chk")
+        writer.write(make_obs("a.example"))
+        writer.write(make_obs("b.example"))
+        writer.close()
+        partial = checkpoint_path(final)
+        lines = partial.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:-20] + "\n"
+        partial.write_text("".join(lines))
+        with pytest.raises(DatasetError, match="line 2"):
+            load_checkpoint(final)
+
+    def test_load_checkpoint_returns_none_when_nothing_exists(self, tmp_path):
+        assert load_checkpoint(tmp_path / "never.jsonl") is None
+
+
+class TestResumeCrawl:
+    def test_interrupted_crawl_resumes_to_identical_dataset(self, network, tmp_path):
+        reference = run_crawl(network, TARGETS, label="ref")
+
+        out = tmp_path / "crawl.jsonl"
+        killed_after = 2
+
+        def bomb(index, observation):
+            if index + 1 == killed_after:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            resume_crawl(network, TARGETS, out, label="ref", progress=bomb)
+
+        # The kill left a loadable checkpoint with exactly the crawled prefix.
+        assert not out.exists()
+        checkpoint = load_checkpoint(out)
+        assert [o.domain for o in checkpoint.observations] == [
+            t.domain for t in TARGETS[:killed_after]
+        ]
+
+        revisited = []
+        resumed = resume_crawl(
+            network, TARGETS, out, label="ref",
+            progress=lambda i, o: revisited.append(o.domain),
+        )
+        # Already-persisted domains are not re-visited...
+        assert revisited == [t.domain for t in TARGETS[killed_after:]]
+        # ...and the result equals an uninterrupted crawl, on disk too.
+        assert [o.to_json() for o in resumed.observations] == [
+            o.to_json() for o in reference.observations
+        ]
+        assert [o.to_json() for o in load_dataset(out).observations] == [
+            o.to_json() for o in reference.observations
+        ]
+        assert not checkpoint_path(out).exists()
+
+    def test_resume_over_finished_crawl_revisits_nothing(self, network, tmp_path):
+        out = tmp_path / "crawl.jsonl.gz"
+        first = resume_crawl(network, TARGETS, out, label="ref")
+        revisited = []
+        second = resume_crawl(
+            network, TARGETS, out, label="ref",
+            progress=lambda i, o: revisited.append(o.domain),
+        )
+        assert revisited == []
+        assert len(second.observations) == len(first.observations) == len(TARGETS)
+        assert len(load_dataset(out).observations) == len(TARGETS)
+
+    def test_fresh_run_ignores_prior_state(self, network, tmp_path):
+        out = tmp_path / "crawl.jsonl"
+        resume_crawl(network, TARGETS[:3], out, label="ref")
+        dataset = resume_crawl(network, TARGETS, out, label="ref", resume=False)
+        assert len(dataset.observations) == len(TARGETS)
+        assert len(load_dataset(out).observations) == len(TARGETS)

@@ -1,0 +1,349 @@
+"""Tests for the crawl resilience layer: retry policy, watchdog, crash
+isolation, and end-to-end fault recovery."""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.instrumentation import VirtualClock
+from repro.config import StudyScale
+from repro.core.records import SiteObservation
+from repro.crawler.collector import CanvasCollector
+from repro.crawler.crawl import CrawlTarget, run_crawl
+from repro.crawler.resilience import (
+    PageBudget,
+    RetryPolicy,
+    collect_with_retries,
+    is_transient,
+)
+from repro.net.faults import FaultConfig, FaultyNetwork
+from repro.net.server import Network
+from repro.webgen import build_world
+
+FP_SCRIPT = """
+var c = document.createElement('canvas');
+c.width = 200; c.height = 40;
+var g = c.getContext('2d');
+g.font = '13px Arial';
+g.fillText('resilience probe text', 3, 20);
+window.__fp = c.toDataURL();
+"""
+
+
+def make_network():
+    net = Network()
+    plain = net.server_for("plain.example")
+    plain.add_resource(
+        "/", '<html><title>P</title><script src="/fp.js"></script></html>'
+    )
+    plain.add_script("/fp.js", FP_SCRIPT)
+    flaky = net.server_for("flaky.example")
+    flaky.add_resource("/", f"<html><script>{FP_SCRIPT}</script></html>")
+    return net
+
+
+class TestFailureClassification:
+    @pytest.mark.parametrize(
+        "reason",
+        ["network-error", "timeout", "server-error-503", "server-error-500",
+         "truncated-script", "subresource-error"],
+    )
+    def test_transient_reasons(self, reason):
+        assert is_transient(reason)
+
+    @pytest.mark.parametrize(
+        "reason", ["bot-blocked", "not-found", "http-410", "crash:ValueError", None]
+    )
+    def test_permanent_reasons(self, reason):
+        assert not is_transient(reason)
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence_without_jitter(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=500, backoff_factor=2.0,
+                             jitter_fraction=0.0)
+        assert policy.backoff_schedule() == [500.0, 1000.0, 2000.0]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=10_000, backoff_factor=10.0,
+                             max_delay_ms=15_000, jitter_fraction=0.0)
+        assert policy.backoff_schedule() == [10_000.0, 15_000.0, 15_000.0, 15_000.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=1000, jitter_fraction=0.25)
+        first = policy.backoff_schedule(key="site.example")
+        second = policy.backoff_schedule(key="site.example")
+        assert first == second
+        for attempt, delay in enumerate(first, start=1):
+            nominal = min(1000 * 2.0 ** (attempt - 1), policy.max_delay_ms)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+        assert first != policy.backoff_schedule(key="other.example")
+
+    def test_never_retries_permanent_classes(self):
+        policy = RetryPolicy()
+        for reason in ("bot-blocked", "not-found", "http-410", "crash:TypeError", None):
+            assert not policy.is_retryable(reason)
+        for reason in ("network-error", "timeout", "server-error-503", "truncated-script"):
+            assert policy.is_retryable(reason)
+
+    def test_retry_crashes_opt_in(self):
+        assert RetryPolicy(retry_crashes=True).is_retryable("crash:RuntimeError")
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class FlakyCollector:
+    """Stub collector failing a fixed number of times before succeeding."""
+
+    def __init__(self, failures, reason="network-error"):
+        self.failures = failures
+        self.reason = reason
+        self.calls = 0
+
+    def collect(self, domain, rank, population):
+        self.calls += 1
+        if self.calls <= self.failures:
+            return SiteObservation(domain=domain, rank=rank, population=population,
+                                   success=False, failure_reason=self.reason)
+        return SiteObservation(domain=domain, rank=rank, population=population, success=True)
+
+
+TARGET = CrawlTarget("flaky.example", 1, "top")
+
+
+class TestCollectWithRetries:
+    def test_recovers_within_attempt_budget(self):
+        collector = FlakyCollector(failures=2)
+        obs = collect_with_retries(collector, TARGET, RetryPolicy(max_attempts=3))
+        assert obs.success and obs.attempts == 3 and obs.recovered
+        assert collector.calls == 3
+
+    def test_attempt_cap_exhausts(self):
+        collector = FlakyCollector(failures=5)
+        obs = collect_with_retries(collector, TARGET, RetryPolicy(max_attempts=3))
+        assert not obs.success and obs.attempts == 3
+        assert collector.calls == 3
+
+    def test_permanent_failure_not_retried(self):
+        collector = FlakyCollector(failures=5, reason="bot-blocked")
+        obs = collect_with_retries(collector, TARGET, RetryPolicy(max_attempts=3))
+        assert not obs.success and obs.attempts == 1
+        assert collector.calls == 1
+
+    def test_no_policy_means_single_attempt(self):
+        collector = FlakyCollector(failures=1)
+        obs = collect_with_retries(collector, TARGET, policy=None)
+        assert not obs.success and obs.attempts == 1
+
+    def test_backoff_advances_virtual_clock(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=500, jitter_fraction=0.0)
+        collect_with_retries(FlakyCollector(failures=2), TARGET, policy, clock=clock)
+        assert clock.now_ms() == 1500.0  # 500 + 1000
+
+
+class CrashingNetwork:
+    """Network wrapper whose fetch raises for one host — a collector bug stand-in."""
+
+    def __init__(self, inner, crash_host):
+        self.inner = inner
+        self.crash_host = crash_host
+
+    def fetch(self, request):
+        if request.url.host == self.crash_host:
+            raise RuntimeError("interpreter exploded")
+        return self.inner.fetch(request)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestCrashIsolation:
+    def test_crash_becomes_failed_observation(self):
+        network = CrashingNetwork(make_network(), "plain.example")
+        collector = CanvasCollector(Browser(network))
+        obs = collector.collect("plain.example", rank=1, population="top")
+        assert not obs.success
+        assert obs.failure_reason == "crash:RuntimeError"
+        assert any("interpreter exploded" in e for e in obs.script_errors)
+
+    def test_crawl_continues_past_a_crash(self):
+        network = CrashingNetwork(make_network(), "plain.example")
+        targets = [CrawlTarget("plain.example", 1, "top"), CrawlTarget("flaky.example", 2, "top")]
+        dataset = run_crawl(network, targets, label="crashy")
+        assert len(dataset.observations) == 2
+        assert dataset.failure_reasons() == {"crash:RuntimeError": 1}
+        assert dataset.by_domain()["flaky.example"].success
+
+    def test_crashes_not_retried_by_default(self):
+        network = CrashingNetwork(make_network(), "plain.example")
+        dataset = run_crawl(network, [CrawlTarget("plain.example", 1, "top")],
+                            retry_policy=RetryPolicy(max_attempts=3), label="crashy")
+        assert dataset.observations[0].attempts == 1
+
+
+def slow_only(slow_ms=120_000.0, max_consecutive=1):
+    return FaultConfig(fault_rate=1.0, connection_error_weight=0, http_flap_weight=0,
+                       truncated_script_weight=0, slow_response_weight=1,
+                       slow_ms=slow_ms, max_consecutive=max_consecutive)
+
+
+class TestPageWatchdog:
+    def test_slow_page_times_out_instead_of_hanging(self):
+        network = FaultyNetwork(make_network(), slow_only(), seed=1)
+        collector = CanvasCollector(Browser(network), budget=PageBudget(max_page_ms=90_000))
+        obs = collector.collect("plain.example", rank=1, population="top")
+        assert not obs.success and obs.failure_reason == "timeout"
+
+    def test_slow_page_recovers_with_retries(self):
+        network = FaultyNetwork(make_network(), slow_only(), seed=1)
+        dataset = run_crawl(network, [CrawlTarget("plain.example", 1, "top")],
+                            retry_policy=RetryPolicy(max_attempts=3),
+                            page_budget=PageBudget(max_page_ms=90_000))
+        obs = dataset.observations[0]
+        assert obs.success and obs.recovered
+        assert len(obs.extractions) == 1
+
+    def test_no_budget_means_no_timeout(self):
+        network = FaultyNetwork(make_network(), slow_only(), seed=1)
+        collector = CanvasCollector(Browser(network))
+        assert collector.collect("plain.example", rank=1, population="top").success
+
+    def test_js_step_budget_surfaces_as_timeout(self):
+        net = Network()
+        runaway = net.server_for("runaway.example")
+        runaway.add_resource(
+            "/",
+            "<html><script>var n = 0; for (var i = 0; i < 100000; i++) { n = n + 1; }"
+            "</script></html>",
+        )
+        dataset = run_crawl(net, [CrawlTarget("runaway.example", 1, "top")],
+                            page_budget=PageBudget(max_js_steps=500))
+        obs = dataset.observations[0]
+        assert not obs.success and obs.failure_reason == "timeout"
+        # Without a budget the default interpreter cap absorbs the loop.
+        relaxed = run_crawl(net, [CrawlTarget("runaway.example", 1, "top")])
+        assert relaxed.observations[0].success
+
+
+class TestTransientFailureReasons:
+    def test_truncated_script_fails_page_then_recovers(self):
+        config = FaultConfig(fault_rate=1.0, connection_error_weight=0, http_flap_weight=0,
+                             slow_response_weight=0, truncated_script_weight=1,
+                             max_consecutive=1)
+        network = FaultyNetwork(make_network(), config, seed=1)
+        collector = CanvasCollector(Browser(network))
+        obs = collector.collect("plain.example", rank=1, population="top")
+        assert not obs.success and obs.failure_reason == "truncated-script"
+        retried = run_crawl(
+            FaultyNetwork(make_network(), config, seed=1),
+            [CrawlTarget("plain.example", 1, "top")],
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        assert retried.observations[0].success and retried.observations[0].recovered
+
+    def test_5xx_reason_distinguishes_transient_class(self):
+        net = Network()
+        net.server_for("down.example").add_resource("/", "oops", status=503)
+        collector = CanvasCollector(Browser(net))
+        obs = collector.collect("down.example", rank=1, population="top")
+        assert obs.failure_reason == "server-error-503"
+        assert is_transient(obs.failure_reason)
+
+    def test_4xx_reason_stays_permanent(self):
+        net = Network()
+        net.server_for("gone.example").add_resource("/", "gone", status=410)
+        collector = CanvasCollector(Browser(net))
+        obs = collector.collect("gone.example", rank=1, population="top")
+        assert obs.failure_reason == "http-410"
+        assert not is_transient(obs.failure_reason)
+
+    def test_failed_subresource_is_visible_and_transient(self):
+        net = Network()
+        site = net.server_for("site.example")
+        site.add_resource(
+            "/", '<html><script src="https://nxdomain.example/fp.js"></script></html>'
+        )
+        collector = CanvasCollector(Browser(net))
+        obs = collector.collect("site.example", rank=1, population="top")
+        assert not obs.success and obs.failure_reason == "subresource-error"
+
+    def test_inner_page_failures_counted(self):
+        net = make_network()
+        collector = CanvasCollector(Browser(net), inner_paths=("/login",))
+        obs = collector.collect("plain.example", rank=1, population="top")
+        assert obs.success
+        assert obs.inner_page_failures == 1  # no /login page exists
+
+
+FAULT_MIX = FaultConfig(fault_rate=0.25, max_consecutive=2)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(StudyScale(fraction=0.002))
+
+
+class TestFaultRecoveryEndToEnd:
+    def _crawl(self, network, targets, retries):
+        # Worst-case recovery needs 1 + 2×max_consecutive attempts: a faulty
+        # document blocks script fetches, so document faults (≤2) and script
+        # faults (≤2) can only clear sequentially before the clean load.
+        return run_crawl(
+            network,
+            targets,
+            label="faulty",
+            retry_policy=RetryPolicy(max_attempts=5) if retries else None,
+            page_budget=PageBudget(max_page_ms=90_000),
+        )
+
+    def test_retries_recover_the_fault_free_success_set(self, small_world):
+        targets = small_world.all_targets
+        clean = self._crawl(small_world.network, targets, retries=False)
+        faulty = FaultyNetwork(small_world.network, FAULT_MIX, seed=11)
+        resilient = self._crawl(faulty, targets, retries=True)
+
+        assert {o.domain for o in resilient.successful()} == {
+            o.domain for o in clean.successful()
+        }
+        assert resilient.recovered_count() > 0
+        # Recovered pages carry the same canvases as the fault-free crawl.
+        clean_hashes = {
+            o.domain: sorted(e.canvas_hash for e in o.extractions)
+            for o in clean.successful()
+        }
+        resilient_hashes = {
+            o.domain: sorted(e.canvas_hash for e in o.extractions)
+            for o in resilient.successful()
+        }
+        assert resilient_hashes == clean_hashes
+
+    def test_disabling_retries_degrades_success(self, small_world):
+        targets = small_world.all_targets
+        clean = self._crawl(small_world.network, targets, retries=False)
+        faulty = FaultyNetwork(small_world.network, FAULT_MIX, seed=11)
+        degraded = self._crawl(faulty, targets, retries=False)
+        assert len(degraded.successful()) < len(clean.successful())
+
+    def test_same_seed_reproduces_identical_dataset(self, small_world):
+        targets = small_world.all_targets
+        first = self._crawl(FaultyNetwork(small_world.network, FAULT_MIX, seed=42), targets, True)
+        second = self._crawl(FaultyNetwork(small_world.network, FAULT_MIX, seed=42), targets, True)
+        assert [o.to_json() for o in first.observations] == [
+            o.to_json() for o in second.observations
+        ]
+
+    def test_health_reporting(self, small_world):
+        targets = small_world.all_targets
+        faulty = FaultyNetwork(small_world.network, FAULT_MIX, seed=11)
+        dataset = self._crawl(faulty, targets, retries=True)
+        health = dataset.health()
+        assert health.total == len(targets)
+        assert health.recovered == dataset.recovered_count() > 0
+        assert sum(health.attempts_histogram.values()) == health.total
+        assert health.total_attempts > health.total  # retries happened
+        text = health.summary()
+        assert "recovered by retry" in text and "attempts histogram" in text
+        for reason, count, transient in health.failure_rows:
+            assert count > 0 and transient == is_transient(reason)

@@ -1,0 +1,145 @@
+"""Tests for deterministic transient-fault injection (repro.net.faults)."""
+
+import pytest
+
+from repro.net.faults import FaultConfig, FaultInjector, FaultKind, FaultyNetwork
+from repro.net.http import Request, ResourceType
+from repro.net.server import Network
+from repro.net.url import URL
+
+
+def make_network():
+    net = Network()
+    for host in ("a.example", "b.example"):
+        server = net.server_for(host)
+        server.add_resource("/", f"<html><title>{host}</title></html>")
+        server.add_script("/app.js", "var x = 1;")
+    return net
+
+
+def doc_request(url):
+    return Request(url=URL.parse(url), resource_type=ResourceType.DOCUMENT)
+
+
+def script_request(url):
+    return Request(url=URL.parse(url), resource_type=ResourceType.SCRIPT)
+
+
+def only(kind_weight_name, **extra):
+    """A config afflicting every URL with exactly one fault kind."""
+    weights = {
+        "connection_error_weight": 0.0,
+        "http_flap_weight": 0.0,
+        "slow_response_weight": 0.0,
+        "truncated_script_weight": 0.0,
+    }
+    weights[kind_weight_name] = 1.0
+    return FaultConfig(fault_rate=1.0, **weights, **extra)
+
+
+URLS = [f"https://site-{i}.example/" for i in range(300)]
+
+
+class TestFaultInjector:
+    def test_schedule_is_deterministic_per_seed(self):
+        config = FaultConfig(fault_rate=0.3)
+        a = FaultInjector(config, seed=7)
+        b = FaultInjector(config, seed=7)
+        schedules_a = [a.schedule_for(u, ResourceType.DOCUMENT) for u in URLS]
+        schedules_b = [b.schedule_for(u, ResourceType.DOCUMENT) for u in URLS]
+        assert schedules_a == schedules_b
+        assert any(s is not None for s in schedules_a)
+
+    def test_schedule_differs_across_seeds(self):
+        config = FaultConfig(fault_rate=0.3)
+        a = FaultInjector(config, seed=1)
+        b = FaultInjector(config, seed=2)
+        assert [a.schedule_for(u, ResourceType.DOCUMENT) for u in URLS] != [
+            b.schedule_for(u, ResourceType.DOCUMENT) for u in URLS
+        ]
+
+    def test_schedule_independent_of_query_order(self):
+        injector = FaultInjector(FaultConfig(fault_rate=0.5), seed=3)
+        forward = [injector.schedule_for(u, ResourceType.DOCUMENT) for u in URLS]
+        backward = [injector.schedule_for(u, ResourceType.DOCUMENT) for u in reversed(URLS)]
+        assert forward == list(reversed(backward))
+
+    def test_fault_rate_zero_never_afflicts(self):
+        injector = FaultInjector(FaultConfig(fault_rate=0.0), seed=5)
+        assert all(injector.schedule_for(u, ResourceType.DOCUMENT) is None for u in URLS)
+
+    def test_fault_clears_after_max_consecutive(self):
+        injector = FaultInjector(only("connection_error_weight", max_consecutive=2), seed=1)
+        url = "https://a.example/"
+        kinds = [injector.next_fault(url, ResourceType.DOCUMENT) for _ in range(5)]
+        n_faults = sum(1 for k in kinds if k is not None)
+        assert 1 <= n_faults <= 2
+        # Once cleared, the fault stays cleared.
+        assert all(k is None for k in kinds[n_faults:])
+        assert injector.total_injected() == n_faults
+
+    def test_truncation_never_applies_to_documents(self):
+        injector = FaultInjector(only("truncated_script_weight"), seed=1)
+        assert all(injector.schedule_for(u, ResourceType.DOCUMENT) is None for u in URLS)
+        assert any(injector.schedule_for(u, ResourceType.SCRIPT) is not None for u in URLS)
+
+
+class TestFaultyNetwork:
+    def test_connection_error_then_recovery(self):
+        net = FaultyNetwork(make_network(), only("connection_error_weight", max_consecutive=1), seed=1)
+        first = net.fetch(doc_request("https://a.example/"))
+        second = net.fetch(doc_request("https://a.example/"))
+        assert first.status == 0
+        assert second.status == 200 and "a.example" in second.body
+
+    def test_http_flap_then_recovery(self):
+        net = FaultyNetwork(make_network(), only("http_flap_weight", max_consecutive=1), seed=1)
+        first = net.fetch(doc_request("https://a.example/"))
+        assert first.status == 503
+        assert net.fetch(doc_request("https://a.example/")).status == 200
+
+    def test_slow_response_sets_latency(self):
+        config = only("slow_response_weight", max_consecutive=1, slow_ms=120_000.0)
+        net = FaultyNetwork(make_network(), config, seed=1)
+        first = net.fetch(doc_request("https://a.example/"))
+        assert first.status == 200 and first.latency_ms == 120_000.0
+        assert net.fetch(doc_request("https://a.example/")).latency_ms == 0.0
+
+    def test_truncated_script_body_with_content_length(self):
+        net = FaultyNetwork(make_network(), only("truncated_script_weight", max_consecutive=1), seed=1)
+        first = net.fetch(script_request("https://a.example/app.js"))
+        assert int(first.headers["content-length"]) > len(first.body)
+        second = net.fetch(script_request("https://a.example/app.js"))
+        assert second.body == "var x = 1;"
+
+    def test_unafflicted_urls_pass_through(self):
+        inner = make_network()
+        net = FaultyNetwork(inner, FaultConfig(fault_rate=0.0), seed=1)
+        response = net.fetch(doc_request("https://b.example/"))
+        assert response.status == 200
+        assert inner.requests_served == 1
+
+    def test_delegates_everything_else(self):
+        inner = make_network()
+        net = FaultyNetwork(inner, FaultConfig(fault_rate=1.0), seed=1)
+        assert net.dns is inner.dns
+        assert net.has_host("a.example")
+        net.server_for("c.example").add_resource("/", "<html></html>")
+        assert inner.has_host("c.example")
+
+
+class TestConfigValidation:
+    def test_zero_weights_disable_faults(self):
+        config = FaultConfig(
+            fault_rate=1.0,
+            connection_error_weight=0.0,
+            http_flap_weight=0.0,
+            slow_response_weight=0.0,
+            truncated_script_weight=0.0,
+        )
+        injector = FaultInjector(config, seed=1)
+        assert injector.schedule_for("https://a.example/", ResourceType.SCRIPT) is None
+
+    def test_weight_for_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            FaultConfig().weight_for("meteor-strike")

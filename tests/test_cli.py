@@ -67,6 +67,37 @@ class TestCrawlAnalyzeCLI:
         out = capsys.readouterr().out
         assert "crawled" in out
 
+    def test_resume_over_finished_crawl(self, tmp_path, capsys):
+        from repro.crawler.__main__ import main as crawl_main
+        from repro.crawler.storage import load_dataset
+
+        out_path = tmp_path / "crawl.jsonl.gz"
+        assert crawl_main(["--scale", "0.005", "--out", str(out_path)]) == 0
+        n = len(load_dataset(out_path).observations)
+        capsys.readouterr()
+
+        assert crawl_main(
+            ["--scale", "0.005", "--out", str(out_path), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert len(load_dataset(out_path).observations) == n  # not doubled
+        assert "crawled" in out
+
+    def test_crawl_with_fault_injection(self, tmp_path, capsys):
+        from repro.crawler.__main__ import main as crawl_main
+        from repro.crawler.storage import load_dataset
+
+        out_path = tmp_path / "faulty.jsonl.gz"
+        rc = crawl_main(
+            ["--scale", "0.005", "--fault-rate", "0.2", "--max-attempts", "5",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attempts" in out  # health summary printed
+        dataset = load_dataset(out_path)
+        assert any(o.attempts > 1 for o in dataset.observations)
+
     def test_crawl_on_m1_device(self, tmp_path, capsys):
         from repro.crawler.__main__ import main as crawl_main
 
