@@ -48,9 +48,11 @@ class Page:
     document: Optional[Document] = None
     blocked_urls: List[str] = field(default_factory=list)
     script_errors: List[str] = field(default_factory=list)
-    #: (url, status) for every subresource whose fetch failed — status 0 for
-    #: connection errors.  The collector classifies these transient/permanent.
-    subresource_failures: List[Tuple[str, int]] = field(default_factory=list)
+    #: (url, status, error) for every subresource whose fetch failed — status 0
+    #: for connection/DNS errors, with ``error`` naming the cause (``"dns"``
+    #: for a nonexistent host, ``"connection"`` for a transient failure).
+    #: The collector classifies these transient/permanent.
+    subresource_failures: List[Tuple[str, int, Optional[str]]] = field(default_factory=list)
     #: Script URLs whose body arrived shorter than the declared
     #: content-length (a transfer cut mid-flight); never executed.
     truncated_scripts: List[str] = field(default_factory=list)
@@ -187,7 +189,9 @@ class Browser:
                 page.instrument.clock.advance(response.latency_ms)
             if not response.ok:
                 page.script_errors.append(f"fetch failed ({response.status}): {resolved}")
-                page.subresource_failures.append((str(resolved), response.status))
+                page.subresource_failures.append(
+                    (str(resolved), response.status, response.error)
+                )
                 return
             declared = response.headers.get("content-length")
             if declared is not None and int(declared) != len(response.body):

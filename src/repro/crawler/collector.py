@@ -124,10 +124,21 @@ class CanvasCollector:
         return f"http-{page.status}"
 
     def _page_fault_reason(self, page: Page) -> Optional[str]:
-        """Post-load health check: transfer integrity, subresources, watchdog."""
+        """Post-load health check: transfer integrity, subresources, watchdog.
+
+        Only *transient-looking* subresource failures (connection errors,
+        5xx) fail the page — those are exactly what a retry can win back.  A
+        DNS-nonexistent third-party host is permanent breakage the site
+        shipped: the page stays a success with the miss recorded in
+        ``script_errors``/``subresource_failures``, so retries are never
+        burned on a host that will never exist.
+        """
         if page.truncated_scripts:
             return "truncated-script"
-        if any(s == 0 or s >= 500 for _u, s in page.subresource_failures):
+        if any(
+            status >= 500 or (status == 0 and error != "dns")
+            for _url, status, error in page.subresource_failures
+        ):
             return "subresource-error"
         if self.budget is not None:
             if self.budget.exceeded(page.elapsed_ms):

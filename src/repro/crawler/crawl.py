@@ -170,7 +170,17 @@ def run_crawl(
       (see :class:`repro.crawler.storage.CheckpointWriter`);
     * ``resume_from`` — a previously persisted (partial) dataset whose
       domains are carried over verbatim and not re-visited.
+
+    When retries or fault injection are in play and no ``page_budget`` is
+    given, a default :class:`PageBudget` is installed: a slow-response fault
+    is pure virtual latency until a budget converts it into a ``timeout``,
+    so a robustness run without a watchdog would silently skip that whole
+    fault class.
     """
+    if page_budget is None and (
+        retry_policy is not None or getattr(network, "injector", None) is not None
+    ):
+        page_budget = PageBudget()
     browser = Browser(
         network,
         profile,

@@ -12,7 +12,9 @@ Durability model:
   as it lands (flushed per line) and atomically promotes the partial on
   :meth:`~CheckpointWriter.finalize` — the substrate for ``--resume``;
 * :func:`load_checkpoint` reads a partial file back, tolerating a truncated
-  final line (the signature of a crawl killed mid-write);
+  final line (the signature of a crawl killed mid-write), and ignores a
+  stale partial that a crash inside ``finalize()`` left next to an
+  already-promoted final file;
 * :func:`load_dataset` / :func:`iter_observations` raise :class:`DatasetError`
   with the offending path and line number instead of a bare
   ``json.JSONDecodeError`` on empty, corrupt or truncated files.
@@ -102,21 +104,27 @@ def iter_observations(path: Union[str, Path]) -> Iterator[SiteObservation]:
     """Stream observations from a JSONL dataset file.
 
     Raises :class:`DatasetError` (with path and line number) on an empty,
-    truncated or otherwise corrupt file.
+    truncated or otherwise corrupt file — including a truncated or invalid
+    ``.gz``, whose errors surface from the decompression layer mid-iteration.
     """
     path = Path(path)
-    with _open(path, "r") as fh:
-        _parse_header(fh.readline(), path)
-        for lineno, line in enumerate(fh, start=2):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(
-                    f"{path}: corrupt or truncated dataset at line {lineno}: {exc}"
-                ) from exc
-            yield SiteObservation.from_json(record)
+    try:
+        with _open(path, "r") as fh:
+            _parse_header(fh.readline(), path)
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetError(
+                        f"{path}: corrupt or truncated dataset at line {lineno}: {exc}"
+                    ) from exc
+                yield SiteObservation.from_json(record)
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise DatasetError(
+            f"{path}: corrupt or truncated gzip dataset: {exc}"
+        ) from exc
 
 
 def load_dataset(path: Union[str, Path]) -> CrawlDataset:
@@ -124,8 +132,13 @@ def load_dataset(path: Union[str, Path]) -> CrawlDataset:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"{path}: no such dataset file")
-    with _open(path, "r") as fh:
-        header = _parse_header(fh.readline(), path)
+    try:
+        with _open(path, "r") as fh:
+            header = _parse_header(fh.readline(), path)
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise DatasetError(
+            f"{path}: corrupt or truncated gzip dataset: {exc}"
+        ) from exc
     dataset = CrawlDataset(label=header.get("label", path.stem))
     dataset.observations.extend(iter_observations(path))
     return dataset
@@ -138,6 +151,64 @@ def checkpoint_path(path: Union[str, Path]) -> Path:
     """The partial (in-progress) sibling of a dataset path."""
     path = Path(path)
     return path.with_name(path.name + ".partial")
+
+
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a torn trailing fragment (the residue of a mid-write kill).
+
+    Mirrors :func:`_load_tolerant`'s read-side tolerance on the write side:
+    anything after the last newline, plus a final newline-terminated line
+    that is not valid JSON, is cut off — so reopening the partial in append
+    mode can never concatenate a new record onto a torn one.
+    """
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        if not data:
+            return
+        end = len(data)
+        if not data.endswith(b"\n"):
+            end = data.rfind(b"\n") + 1  # 0 when even the header is torn
+        if end:
+            prev = data.rfind(b"\n", 0, end - 1) + 1
+            if prev > 0:  # never validate away the header line here
+                try:
+                    json.loads(data[prev:end].decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    end = prev
+        if end != len(data):
+            fh.truncate(end)
+
+
+def _record_count(path: Path, tolerant: bool) -> int:
+    """Complete observation records in a dataset file; -1 if unreadable."""
+    try:
+        if tolerant:
+            return len(_load_tolerant(path).observations)
+        return sum(1 for _ in iter_observations(path))
+    except DatasetError:
+        return -1
+
+
+def _resume_source(final: Path, partial: Path) -> Optional[Path]:
+    """Which file a resume should continue from (None when neither exists).
+
+    An existing partial normally wins — it is an interrupted run.  But a
+    partial *alongside* a finished final file is usually the residue of a
+    crash inside :meth:`CheckpointWriter.finalize` between promotion and
+    cleanup; unless the partial has strictly more complete records than the
+    final file, the final file is the truth and the stale partial is ignored
+    (and overwritten on the next resume).
+    """
+    has_partial, has_final = partial.exists(), final.exists()
+    if has_partial and has_final:
+        if _record_count(partial, tolerant=True) > _record_count(final, tolerant=False):
+            return partial
+        return final
+    if has_partial:
+        return partial
+    if has_final:
+        return final
+    return None
 
 
 class CheckpointWriter:
@@ -154,16 +225,20 @@ class CheckpointWriter:
         self.partial_path = checkpoint_path(path)
         self.label = label
         self.written = 0
-        seeded = False
-        if resume and not self.partial_path.exists() and self.final_path.exists():
-            # A finished dataset is a valid checkpoint: reopen it as partial.
+        source = _resume_source(self.final_path, self.partial_path) if resume else None
+        if source is not None and source != self.partial_path:
+            # A finished dataset is a valid checkpoint: reopen it as partial
+            # (overwriting any stale leftover partial from a finalize crash).
             with _open(self.final_path, "r") as src, open(
                 self.partial_path, "w", encoding="utf-8"
             ) as dst:
                 for line in src:
                     dst.write(line)
-            seeded = True
-        continuing = resume and (seeded or self.partial_path.exists())
+        elif source is not None:
+            # Continuing an interrupted partial: cut off any torn trailing
+            # fragment first, so appends start on a record boundary.
+            _truncate_torn_tail(self.partial_path)
+        continuing = source is not None
         self._fh = open(self.partial_path, "a" if continuing else "w", encoding="utf-8")
         if not continuing or self._fh.tell() == 0:
             self._fh.write(_header_line(label))
@@ -213,17 +288,21 @@ def load_checkpoint(path: Union[str, Path]) -> Optional[CrawlDataset]:
     """Load whatever survives of a checkpointed crawl at ``path``.
 
     Prefers ``<path>.partial`` (an interrupted run), falling back to the
-    final file (a finished run).  A truncated final line in the partial —
-    the expected state after a mid-write kill — is silently dropped; that
-    site is simply re-crawled on resume.  Returns None when neither exists.
+    final file (a finished run) — except when the final file has at least as
+    many records, which marks the partial as a stale leftover from a crash
+    inside :meth:`CheckpointWriter.finalize` (see :func:`_resume_source`).
+    A truncated final line in the partial — the expected state after a
+    mid-write kill — is silently dropped; that site is simply re-crawled on
+    resume.  Returns None when neither file exists.
     """
     final = Path(path)
     partial = checkpoint_path(path)
-    if partial.exists():
+    source = _resume_source(final, partial)
+    if source is None:
+        return None
+    if source == partial:
         return _load_tolerant(partial)
-    if final.exists():
-        return load_dataset(final)
-    return None
+    return load_dataset(final)
 
 
 def _load_tolerant(path: Path) -> CrawlDataset:

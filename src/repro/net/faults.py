@@ -61,7 +61,11 @@ class FaultConfig:
     #: retry policy's ``max_attempts`` and every afflicted site recovers.
     max_consecutive: int = 2
     #: Virtual latency injected by slow responses; pick it above the page
-    #: watchdog budget so slowness surfaces as a ``timeout`` failure.
+    #: watchdog budget so slowness surfaces as a ``timeout`` failure.  A slow
+    #: response is *only* observable through a
+    #: :class:`~repro.crawler.resilience.PageBudget` — without one the latency
+    #: merely advances the virtual clock.  ``run_crawl`` therefore defaults a
+    #: ``PageBudget`` whenever a ``FaultyNetwork`` or retry policy is in play.
     slow_ms: float = 120_000.0
     #: Status served while an HTTP flap lasts.
     flap_status: int = 503
@@ -140,7 +144,9 @@ class FaultyNetwork:
         if kind is None:
             return self.inner.fetch(request)
         if kind == FaultKind.CONNECTION_ERROR:
-            return Response(url=request.url, status=0, content_type="", body="")
+            return Response(
+                url=request.url, status=0, content_type="", body="", error="connection"
+            )
         if kind == FaultKind.HTTP_FLAP:
             return Response(
                 url=request.url,

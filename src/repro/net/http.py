@@ -61,6 +61,12 @@ class Response:
     #: much, so slow responses trip the crawler's page watchdog instead of
     #: hanging — real wall-clock time never passes.
     latency_ms: float = 0.0
+    #: Machine-readable cause for status-0 responses: ``"dns"`` for a
+    #: nonexistent host (permanent — NXDOMAIN stays NXDOMAIN), ``"connection"``
+    #: for a transient connection failure, ``"blocked"`` for a request an
+    #: extension cancelled.  The crawler's transient/permanent failure
+    #: classification keys off this.
+    error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -73,4 +79,4 @@ class Response:
     @classmethod
     def blocked(cls, url: URL) -> "Response":
         """Pseudo-response for a request an extension cancelled."""
-        return cls(url=url, status=0, content_type="", body="")
+        return cls(url=url, status=0, content_type="", body="", error="blocked")

@@ -106,7 +106,7 @@ class Network:
             canonical, _chain = self.dns.resolve(request.url.host)
         except DNSError:
             self.requests_failed += 1
-            return Response(url=request.url, status=0, content_type="", body="")
+            return Response(url=request.url, status=0, content_type="", body="", error="dns")
         server = self._servers.get(canonical)
         if server is None:
             self.requests_failed += 1

@@ -103,6 +103,24 @@ class TestClearErrors:
     def test_dataset_error_is_value_error(self):
         assert issubclass(DatasetError, ValueError)
 
+    def test_truncated_gzip_reports_dataset_error(self, tmp_path):
+        path = tmp_path / "crawl.jsonl.gz"
+        save_dataset(make_dataset(), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # cut the gzip stream mid-flight
+        with pytest.raises(DatasetError, match="corrupt or truncated"):
+            list(iter_observations(path))
+        with pytest.raises(DatasetError, match="corrupt or truncated"):
+            load_dataset(path)
+
+    def test_non_gzip_bytes_behind_gz_suffix_report_dataset_error(self, tmp_path):
+        path = tmp_path / "crawl.jsonl.gz"
+        path.write_bytes(b"plainly not gzip data\n")
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+        with pytest.raises(DatasetError):
+            list(iter_observations(path))
+
 
 class TestCheckpointWriter:
     def test_partial_then_finalize(self, tmp_path):
@@ -184,6 +202,55 @@ class TestCheckpointWriter:
     def test_load_checkpoint_returns_none_when_nothing_exists(self, tmp_path):
         assert load_checkpoint(tmp_path / "never.jsonl") is None
 
+    def test_resume_truncates_torn_tail_before_appending(self, tmp_path):
+        # A mid-write kill leaves a torn fragment; a resume must not
+        # concatenate the next record onto it.
+        final = tmp_path / "crawl.jsonl"
+        writer = CheckpointWriter(final, label="chk")
+        writer.write(make_obs("a.example"))
+        writer.write(make_obs("b.example"))
+        writer.close()
+        partial = checkpoint_path(final)
+        partial.write_text(partial.read_text()[:-30])  # kill mid-write
+        second = CheckpointWriter(final, label="chk", resume=True)
+        second.write(make_obs("c.example"))
+        second.finalize()
+        loaded = load_dataset(final)  # must not raise: no torn line survives
+        assert [o.domain for o in loaded.observations] == ["a.example", "c.example"]
+
+    def test_stale_partial_next_to_finished_file_is_ignored(self, tmp_path):
+        # A crash in finalize() between promotion and cleanup leaves the
+        # pre-finalize partial next to the finished dataset; the final file
+        # has at least as many records and must win.
+        final = tmp_path / "crawl.jsonl.gz"
+        save_dataset(make_dataset(domains=("a.example", "b.example")), final)
+        partial = checkpoint_path(final)
+        partial.write_text(
+            json.dumps({"label": "chk", "format": "repro-crawl-v1"}) + "\n"
+            + json.dumps(make_obs("a.example").to_json(), separators=(",", ":")) + "\n"
+        )
+        checkpoint = load_checkpoint(final)
+        assert [o.domain for o in checkpoint.observations] == ["a.example", "b.example"]
+        # A resuming writer re-seeds from the final file, shadowing the
+        # stale partial entirely.
+        writer = CheckpointWriter(final, label="chk", resume=True)
+        writer.write(make_obs("c.example"))
+        writer.finalize()
+        assert [o.domain for o in load_dataset(final).observations] == [
+            "a.example", "b.example", "c.example"
+        ]
+
+    def test_partial_with_more_progress_than_final_still_wins(self, tmp_path):
+        # An interrupted *continuation* of a finished crawl is real progress,
+        # not finalize residue: the partial must stay preferred.
+        final = tmp_path / "crawl.jsonl"
+        save_dataset(make_dataset(domains=("a.example",)), final)
+        writer = CheckpointWriter(final, label="chk", resume=True)
+        writer.write(make_obs("b.example"))
+        writer.close()  # killed before finalize: partial (a, b) next to final (a)
+        checkpoint = load_checkpoint(final)
+        assert [o.domain for o in checkpoint.observations] == ["a.example", "b.example"]
+
 
 class TestResumeCrawl:
     def test_interrupted_crawl_resumes_to_identical_dataset(self, network, tmp_path):
@@ -221,6 +288,32 @@ class TestResumeCrawl:
             o.to_json() for o in reference.observations
         ]
         assert not checkpoint_path(out).exists()
+
+    def test_resume_after_kill_mid_write_yields_clean_dataset(self, network, tmp_path):
+        # The full kill-mid-write story: the crawl dies while a record is
+        # half-flushed, the torn site is re-crawled on resume, and the
+        # promoted dataset is byte-equivalent to an uninterrupted run.
+        reference = run_crawl(network, TARGETS, label="ref")
+        out = tmp_path / "crawl.jsonl"
+
+        def bomb(index, observation):
+            if index + 1 == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            resume_crawl(network, TARGETS, out, label="ref", progress=bomb)
+        partial = checkpoint_path(out)
+        partial.write_text(partial.read_text()[:-40])  # tear the last record
+
+        resumed = resume_crawl(network, TARGETS, out, label="ref")
+        assert not partial.exists()
+        loaded = load_dataset(out)  # must not raise DatasetError
+        assert [o.to_json() for o in loaded.observations] == [
+            o.to_json() for o in reference.observations
+        ]
+        assert [o.to_json() for o in resumed.observations] == [
+            o.to_json() for o in reference.observations
+        ]
 
     def test_resume_over_finished_crawl_revisits_nothing(self, network, tmp_path):
         out = tmp_path / "crawl.jsonl.gz"

@@ -3,7 +3,7 @@ isolation, and end-to-end fault recovery."""
 
 import pytest
 
-from repro.browser.browser import Browser
+from repro.browser.browser import Browser, Page
 from repro.browser.instrumentation import VirtualClock
 from repro.config import StudyScale
 from repro.core.records import SiteObservation
@@ -17,6 +17,7 @@ from repro.crawler.resilience import (
 )
 from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.net.server import Network
+from repro.net.url import URL
 from repro.webgen import build_world
 
 FP_SCRIPT = """
@@ -206,9 +207,26 @@ class TestPageWatchdog:
         assert len(obs.extractions) == 1
 
     def test_no_budget_means_no_timeout(self):
+        # Collector-level: without a watchdog the latency is invisible.
         network = FaultyNetwork(make_network(), slow_only(), seed=1)
         collector = CanvasCollector(Browser(network))
         assert collector.collect("plain.example", rank=1, population="top").success
+
+    def test_run_crawl_defaults_budget_under_fault_injection(self):
+        # Crawl-level: run_crawl installs a default PageBudget whenever a
+        # FaultyNetwork (or retry policy) is in play, so slow-response
+        # faults surface as timeouts instead of silently doing nothing.
+        network = FaultyNetwork(make_network(), slow_only(), seed=1)
+        dataset = run_crawl(network, [CrawlTarget("plain.example", 1, "top")])
+        obs = dataset.observations[0]
+        assert not obs.success and obs.failure_reason == "timeout"
+
+    def test_run_crawl_default_budget_recovers_with_retries(self):
+        network = FaultyNetwork(make_network(), slow_only(), seed=1)
+        dataset = run_crawl(network, [CrawlTarget("plain.example", 1, "top")],
+                            retry_policy=RetryPolicy(max_attempts=3))
+        obs = dataset.observations[0]
+        assert obs.success and obs.recovered
 
     def test_js_step_budget_surfaces_as_timeout(self):
         net = Network()
@@ -259,7 +277,10 @@ class TestTransientFailureReasons:
         assert obs.failure_reason == "http-410"
         assert not is_transient(obs.failure_reason)
 
-    def test_failed_subresource_is_visible_and_transient(self):
+    def test_dns_dead_subresource_keeps_page_a_success(self):
+        # A permanently nonexistent third-party host is breakage the site
+        # shipped, not weather: the page stays a success (with the miss
+        # recorded) so retries are never burned on it.
         net = Network()
         site = net.server_for("site.example")
         site.add_resource(
@@ -267,7 +288,30 @@ class TestTransientFailureReasons:
         )
         collector = CanvasCollector(Browser(net))
         obs = collector.collect("site.example", rank=1, population="top")
+        assert obs.success
+        assert any("fetch failed" in e for e in obs.script_errors)
+
+    def test_5xx_subresource_is_page_fatal_and_transient(self):
+        net = Network()
+        net.server_for("cdn.example").add_resource(
+            "/fp.js", "oops", content_type="application/javascript", status=503
+        )
+        site = net.server_for("site.example")
+        site.add_resource(
+            "/", '<html><script src="https://cdn.example/fp.js"></script></html>'
+        )
+        collector = CanvasCollector(Browser(net))
+        obs = collector.collect("site.example", rank=1, population="top")
         assert not obs.success and obs.failure_reason == "subresource-error"
+        assert is_transient(obs.failure_reason)
+
+    def test_connection_error_subresource_fatal_but_dns_is_not(self):
+        collector = CanvasCollector(Browser(Network()))
+        page = Page(url=URL("https", "site.example"), ok=True, status=200)
+        page.subresource_failures.append(("https://dead.example/a.js", 0, "dns"))
+        assert collector._page_fault_reason(page) is None
+        page.subresource_failures.append(("https://flaky.example/b.js", 0, "connection"))
+        assert collector._page_fault_reason(page) == "subresource-error"
 
     def test_inner_page_failures_counted(self):
         net = make_network()
