@@ -10,15 +10,12 @@ damage, quantifying *why* the paper does what it does:
   evasion story is that single exception.
 """
 
-import pytest
-
 from repro.blocklists import RuleMatcher
 from repro.browser import AdBlockerExtension, BrowserProfile
 from repro.core.attribution import VendorAttributor, VendorSignature
 from repro.core.detection import FingerprintDetector
 from repro.core.records import ANIMATION_METHODS
 from repro.crawler import run_crawl
-from repro.experiments import run_experiment
 
 
 class _NoSizeFilterDetector(FingerprintDetector):

@@ -1,0 +1,69 @@
+"""Benchmark: the staged pipeline — end-to-end wall time, per-stage
+timings, and the cold-vs-warm stage-cache speedup.
+
+A cold run executes every stage and populates the content-addressed cache;
+a warm run over the same world must resolve every stage from cache, perform
+zero page loads, and return an identical :class:`StudyResult`.  The warm/
+cold ratio is the payoff of content-addressed caching; the per-stage table
+shows where the cold time goes (the crawls dominate, by design).
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.config import StudyScale
+from repro.webgen import build_world
+
+
+def _fresh_world():
+    fraction = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+    return build_world(StudyScale(fraction=fraction))
+
+
+def test_bench_pipeline_cold_vs_warm(benchmark):
+    cache_dir = Path(tempfile.mkdtemp()) / "stage-cache"
+
+    import time
+
+    t0 = time.perf_counter()
+    cold = _fresh_world().run_full_study(jobs=2, cache_dir=cache_dir)
+    cold_seconds = time.perf_counter() - t0
+    assert all(not t.cached for t in cold.stage_timings)
+
+    def warm_run():
+        return _fresh_world().run_full_study(jobs=2, cache_dir=cache_dir)
+
+    warm = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    assert all(t.cached for t in warm.stage_timings)
+    assert warm == cold
+
+    warm_seconds = sum(t.seconds for t in warm.stage_timings)
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert speedup > 2, f"warm cache should be much faster (got {speedup:.1f}x)"
+
+    print()
+    print(f"cold end-to-end: {cold_seconds:.2f}s; warm stages: {warm_seconds:.3f}s "
+          f"({speedup:.0f}x speedup)")
+    print(f"{'stage':18s} {'cold':>9s} {'warm':>9s}")
+    warm_by_name = {t.name: t for t in warm.stage_timings}
+    for t in cold.stage_timings:
+        w = warm_by_name.get(t.name)
+        print(f"{t.name:18s} {t.seconds:8.3f}s {w.seconds if w else 0.0:8.3f}s")
+
+
+def test_bench_pipeline_serial_vs_parallel(benchmark):
+    """End-to-end study wall time with sharded parallel crawls."""
+    result = benchmark.pedantic(
+        lambda: _fresh_world().run_full_study(jobs=4), rounds=1, iterations=1
+    )
+    crawl_seconds = sum(
+        t.seconds for t in result.stage_timings if t.name.startswith("crawl.")
+    )
+    total_seconds = sum(t.seconds for t in result.stage_timings)
+    print()
+    print(f"stages total {total_seconds:.2f}s, crawls {crawl_seconds:.2f}s "
+          f"({crawl_seconds / max(total_seconds, 1e-9):.0%} of pipeline)")
+    for t in result.stage_timings:
+        print(f"  {t.name:18s} {t.seconds:8.3f}s")
+    assert result.prevalence is not None

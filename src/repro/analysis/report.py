@@ -12,7 +12,7 @@ from repro.config import PAPER, PaperTargets
 from repro.core.detection import FingerprintDetector
 from repro.core.pipeline import StudyResult
 
-__all__ = ["Comparison", "study_comparisons", "study_report"]
+__all__ = ["Comparison", "stage_timing_table", "study_comparisons", "study_report"]
 
 
 @dataclass(frozen=True)
@@ -181,6 +181,26 @@ def _median(values: List[int]) -> float:
     return float(ordered[mid]) if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
+def stage_timing_table(result: StudyResult) -> str:
+    """Per-stage wall time and cache outcome of the pipeline run.
+
+    Empty string when the result carries no timings (e.g. a result that was
+    deserialized from disk, or built before the stage-graph pipeline).
+    """
+    timings = result.stage_timings
+    if not timings:
+        return ""
+    total = sum(t.seconds for t in timings)
+    lines = [f"{'stage':18s} {'wall':>9s}  outcome"]
+    for t in timings:
+        lines.append(f"{t.name:18s} {t.seconds:8.2f}s  {t.status}")
+    hits = sum(1 for t in timings if t.cached)
+    lines.append(
+        f"{'total':18s} {total:8.2f}s  {hits}/{len(timings)} stages from cache"
+    )
+    return "\n".join(lines)
+
+
 def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figures: bool = True) -> str:
     """Render the complete study: tables, figures, paper-vs-measured."""
     sections: List[str] = []
@@ -210,6 +230,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
         f"{paper.tail_sites_success:,}/{paper.tail_sites_crawled:,} tail sites "
         f"({paper_rate:.1%} overall)"
     )
+
+    timing = stage_timing_table(result)
+    if timing:
+        sections.append("== Pipeline stage timings ==\n" + timing)
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

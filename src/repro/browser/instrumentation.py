@@ -16,6 +16,35 @@ from repro.core.records import CanvasApiCall, CanvasExtraction, PropertyAccess
 __all__ = ["VirtualClock", "CanvasInstrument"]
 
 
+def _pair_surrogates(text: str) -> str:
+    """Combine UTF-16 surrogate pairs into the code points they encode.
+
+    JS strings are sequences of UTF-16 code units, so an emoji drawn via
+    ``'\\ud83d\\ude03'`` reaches the instrument as two surrogate code units.
+    JSON text cannot distinguish that from the single astral character (the
+    escape sequences *are* the pair encoding), so previews must be
+    normalized here or a dataset would change when round-tripped through a
+    checkpoint or cache file.  Lone surrogates are kept as-is; they survive
+    JSON round-trips unchanged.
+    """
+    if not any("\ud800" <= ch <= "\udbff" for ch in text):
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if "\ud800" <= ch <= "\udbff" and i + 1 < len(text):
+            low = text[i + 1]
+            if "\udc00" <= low <= "\udfff":
+                code = 0x10000 + ((ord(ch) - 0xD800) << 10) + (ord(low) - 0xDC00)
+                out.append(chr(code))
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 class VirtualClock:
     """Deterministic per-page clock; each recorded event advances it."""
 
@@ -114,7 +143,7 @@ class CanvasInstrument:
         """JSON-able, truncated preview of a call argument / return value."""
         if isinstance(value, (bool, int, float)) or value is None:
             return value
-        text = str(value)
+        text = _pair_surrogates(str(value))
         if len(text) > self.ARG_PREVIEW:
             return text[: self.ARG_PREVIEW] + f"...<{len(text)} chars>"
         return text

@@ -11,39 +11,44 @@ any) :class:`~repro.net.server.Network`:
 5. blocklist context (§5.1) and serving-context evasions (§5.2),
 6. optional ad-blocker crawls (Table 2) and §5.3 randomization stats,
 7. optional cross-machine validation crawl (§3.1).
+
+Since the stage-graph refactor this module is a thin assembly layer: the
+steps above are typed stages in :mod:`repro.core.stages.study`, executed by
+:class:`~repro.core.stages.graph.StageGraph`.  ``run_study`` builds the
+:class:`~repro.core.stages.study.StudyContext`, executes the graph (with
+optional parallel crawling via ``jobs`` and content-addressed caching via
+``cache_dir``) and assembles the artifacts into a :class:`StudyResult`.
+The result is identical to the old monolithic pipeline's, whatever the
+worker count or cache temperature.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.blocklists.matcher import RuleMatcher
-from repro.browser.extensions import AdBlockerExtension
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
 from repro.core.attribution import (
     IMPERVA_URL_REGEX,
     AttributionMethod,
     SiteAttribution,
-    VendorAttributor,
     VendorSignature,
 )
 from repro.core.clustering import CanvasCluster, cluster_canvases
-from repro.core.context import BlocklistContext, analyze_blocklist_context
+from repro.core.context import BlocklistContext
 from repro.core.detection import DetectionOutcome, FingerprintDetector
-from repro.core.evasion import (
-    AdblockImpact,
-    ServingContext,
-    analyze_serving_context,
-    compare_adblock_crawls,
-    render_twice_fraction,
-)
-from repro.core.prevalence import PrevalenceReport, compute_prevalence
-from repro.core.reach import ReachReport, compute_reach
+from repro.core.evasion import AdblockImpact, ServingContext, render_twice_fraction
+from repro.core.prevalence import PrevalenceReport
+from repro.core.reach import ReachReport
+from repro.core.stages.cache import StageCache
+from repro.core.stages.stage import StageTiming
+from repro.core.stages.study import StudyContext, build_study_graph
 from repro.crawler.collector import CanvasCollector
-from repro.crawler.crawl import CrawlDataset, CrawlTarget, run_crawl
+from repro.crawler.crawl import CrawlDataset, CrawlTarget
 from repro.crawler.resilience import PageBudget, RetryPolicy
+from repro.crawler.shards import run_sharded_crawl
 from repro.net.server import Network
 from repro.net.url import URL
 
@@ -149,6 +154,10 @@ class StudyResult:
     adblock_rows: Tuple[AdblockImpact, ...] = ()
     render_twice: float = 0.0
     cross_machine_consistent: Optional[bool] = None
+    #: How each pipeline stage executed (wall time, cache hit or ran).
+    #: Excluded from equality: a cached run must compare equal to an
+    #: uncached one when the science is the same.
+    stage_timings: Tuple[StageTiming, ...] = field(default=(), compare=False, repr=False)
 
     @property
     def fp_sites(self) -> Dict[str, Set[str]]:
@@ -173,6 +182,9 @@ def run_study(
     cross_machine_sample: int = 200,
     retry_policy: Optional[RetryPolicy] = None,
     page_budget: Optional[PageBudget] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    stages: Optional[Sequence[str]] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -180,96 +192,65 @@ def run_study(
     every crawl the study performs (control, ad-blocker, cross-machine), so
     the whole methodology holds up under transient faults — e.g. a
     :class:`~repro.net.faults.FaultyNetwork` wrapping ``network``.
-    """
-    detector = FingerprintDetector()
 
-    control = run_crawl(
-        network,
-        targets,
-        BrowserProfile(device=INTEL_UBUNTU),
-        label="control",
+    ``jobs`` shards every crawl across that many worker processes and
+    ``cache_dir`` enables the content-addressed stage cache (warm re-runs
+    load every artifact and perform zero page loads).  Neither changes the
+    result: a parallel cached run returns a :class:`StudyResult` equal to a
+    serial uncached one.  ``stages`` optionally restricts execution to the
+    named stages plus their dependencies (see
+    :data:`repro.core.stages.study.STAGE_DOCS`); the result then only
+    carries the artifacts that were produced.
+    """
+    cache = StageCache(cache_dir) if cache_dir is not None else None
+    ctx = StudyContext(
+        network=network,
+        targets=targets,
+        vendor_knowledge=vendor_knowledge,
+        easylist_text=easylist_text,
+        easyprivacy_text=easyprivacy_text,
+        disconnect=disconnect,
+        ubo_extra_text=ubo_extra_text,
+        dns=dns,
+        include_adblock_crawls=include_adblock_crawls,
+        include_cross_machine=include_cross_machine,
+        cross_machine_sample=cross_machine_sample,
         retry_policy=retry_policy,
         page_budget=page_budget,
+        jobs=jobs,
+        checkpoint_dir=Path(cache_dir) / "shards" if cache_dir is not None else None,
     )
-    observations = control.by_domain()
-    populations = control.populations()
-    outcomes = detector.detect_all(control.successful())
+    graph = build_study_graph(ctx, cache=cache)
+    run = graph.execute(ctx, only=stages)
+    return _assemble_result(ctx, run)
 
-    clusters = cluster_canvases(outcomes, populations)
-    prevalence = compute_prevalence(control, outcomes)
 
-    fp_top = {d for d, o in outcomes.items() if o.is_fingerprinting_site and populations[d] == "top"}
-    fp_tail = {d for d, o in outcomes.items() if o.is_fingerprinting_site and populations[d] == "tail"}
-    reach = compute_reach(clusters, fp_top, fp_tail, prevalence.top.sites_successful)
-
-    signatures = harvest_vendor_signatures(network, vendor_knowledge, control)
-    attributor = VendorAttributor(signatures)
-    attributions = attributor.attribute_all(observations, outcomes)
-    vendor_counts = attributor.vendor_site_counts(attributions, populations)
-    vendor_totals = attributor.attributed_site_totals(attributions, populations)
-
+def _assemble_result(ctx: StudyContext, run) -> StudyResult:
+    """Fold graph artifacts into a :class:`StudyResult` (cheap, pure)."""
+    artifacts = run.artifacts
+    control = artifacts.get("crawl.control", CrawlDataset(label="control"))
+    outcomes = artifacts.get("detect", {})
+    attribution = artifacts.get(
+        "attribution", {"attributions": {}, "vendor_counts": {}, "vendor_totals": {}}
+    )
     result = StudyResult(
         control=control,
         outcomes=outcomes,
-        populations=populations,
-        clusters=clusters,
-        prevalence=prevalence,
-        reach=reach,
-        signatures=signatures,
-        attributions=attributions,
-        vendor_counts=vendor_counts,
-        vendor_totals=vendor_totals,
+        populations=control.populations(),
+        clusters=artifacts.get("cluster", {}),
+        prevalence=artifacts.get("prevalence"),
+        reach=artifacts.get("reach"),
+        signatures=artifacts.get("signatures", []),
+        attributions=attribution["attributions"],
+        vendor_counts=attribution["vendor_counts"],
+        vendor_totals=attribution["vendor_totals"],
         render_twice=render_twice_fraction(outcomes),
+        stage_timings=tuple(run.timings),
     )
-
-    if easylist_text and easyprivacy_text and disconnect is not None:
-        result.blocklist_context = analyze_blocklist_context(
-            outcomes,
-            populations,
-            RuleMatcher.from_text(easylist_text, "easylist"),
-            RuleMatcher.from_text(easyprivacy_text, "easyprivacy"),
-            disconnect,
-        )
-
-    result.serving_context = analyze_serving_context(outcomes, populations, dns=dns)
-
-    if include_adblock_crawls and easylist_text:
-        easylist = RuleMatcher.from_text(easylist_text, "easylist")
-        abp = AdBlockerExtension("Adblock Plus", [easylist])
-        ubo_matchers = [easylist]
-        extra = []
-        if ubo_extra_text:
-            extra.append(RuleMatcher.from_text(ubo_extra_text, "ubo-extra"))
-        ubo = AdBlockerExtension("UBlock Origin", ubo_matchers, extra_matchers=extra)
-        abp_crawl = run_crawl(
-            network,
-            targets,
-            BrowserProfile(device=INTEL_UBUNTU, extensions=(abp,)),
-            label="abp",
-            retry_policy=retry_policy,
-            page_budget=page_budget,
-        )
-        ubo_crawl = run_crawl(
-            network,
-            targets,
-            BrowserProfile(device=INTEL_UBUNTU, extensions=(ubo,)),
-            label="ubo",
-            retry_policy=retry_policy,
-            page_budget=page_budget,
-        )
-        result.adblock_rows = compare_adblock_crawls(
-            control, {"Adblock Plus": abp_crawl, "UBlock Origin": ubo_crawl}, detector
-        )
-
-    if include_cross_machine:
-        result.cross_machine_consistent = validate_cross_machine(
-            network,
-            targets[:cross_machine_sample],
-            detector,
-            retry_policy=retry_policy,
-            page_budget=page_budget,
-        )
-
+    result.blocklist_context = artifacts.get("blocklist_context")
+    result.serving_context = artifacts.get("serving_context")
+    result.adblock_rows = tuple(artifacts.get("adblock_rows", ()))
+    result.cross_machine_consistent = artifacts.get("cross_machine")
     return result
 
 
@@ -280,6 +261,7 @@ def validate_cross_machine(
     devices: Sequence[DeviceProfile] = (INTEL_UBUNTU, APPLE_M1),
     retry_policy: Optional[RetryPolicy] = None,
     page_budget: Optional[PageBudget] = None,
+    jobs: int = 1,
 ) -> bool:
     """§3.1's validation, generalized to any device fleet.
 
@@ -290,11 +272,12 @@ def validate_cross_machine(
     detector = detector or FingerprintDetector()
 
     def grouping(device: DeviceProfile) -> Tuple[Tuple[str, ...], ...]:
-        dataset = run_crawl(
+        dataset = run_sharded_crawl(
             network,
             targets,
             BrowserProfile(device=device),
             label=device.name,
+            jobs=jobs,
             retry_policy=retry_policy,
             page_budget=page_budget,
         )

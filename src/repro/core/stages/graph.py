@@ -1,0 +1,128 @@
+"""Topological stage-graph runner with content-addressed skipping.
+
+:class:`StageGraph` validates a set of stages (unique names, declared
+inputs resolvable, no cycles), derives a deterministic topological order,
+and executes stages in that order.  For every stage it:
+
+1. computes the content-addressed cache key (config + chained input keys);
+2. if a :class:`~repro.core.stages.cache.StageCache` is attached and the
+   key resolves, loads the artifact and *skips the stage entirely*;
+3. otherwise runs the stage, persists the artifact under its key, and
+   records wall-clock timing either way.
+
+``execute(only=...)`` restricts the run to the requested stages plus their
+transitive dependencies — the substrate for ``--stage`` CLI flags.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.core.stages.cache import StageCache
+from repro.core.stages.stage import Stage, StageTiming
+
+__all__ = ["StageGraph", "StageGraphError", "GraphRun"]
+
+
+class StageGraphError(ValueError):
+    """The stage set does not form a valid executable DAG."""
+
+
+@dataclass
+class GraphRun:
+    """Everything one graph execution produced."""
+
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    keys: Dict[str, str] = field(default_factory=dict)
+    timings: List[StageTiming] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.timings if t.cached)
+
+    @property
+    def stages_run(self) -> int:
+        return sum(1 for t in self.timings if not t.cached)
+
+
+class StageGraph:
+    """An executable DAG of :class:`Stage` objects."""
+
+    def __init__(self, stages: Sequence[Stage], cache: Optional[StageCache] = None) -> None:
+        self.cache = cache
+        self.stages: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise StageGraphError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+        for stage in stages:
+            for dep in stage.inputs:
+                if dep not in self.stages:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} consumes unknown artifact {dep!r}"
+                    )
+        self.order = self._topological_order()
+
+    def _topological_order(self) -> List[Stage]:
+        """Kahn's algorithm, deterministic: ready stages run in insertion order."""
+        pending = {name: set(stage.inputs) for name, stage in self.stages.items()}
+        order: List[Stage] = []
+        while pending:
+            ready = [name for name, deps in pending.items() if not deps]
+            if not ready:
+                cycle = ", ".join(sorted(pending))
+                raise StageGraphError(f"stage graph has a cycle among: {cycle}")
+            for name in ready:
+                order.append(self.stages[name])
+                del pending[name]
+            for deps in pending.values():
+                deps.difference_update(ready)
+        return order
+
+    def required(self, wanted: Sequence[str]) -> Set[str]:
+        """``wanted`` stages plus every transitive dependency."""
+        needed: Set[str] = set()
+        frontier = list(wanted)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            if name not in self.stages:
+                raise StageGraphError(
+                    f"unknown stage {name!r}; known: {sorted(self.stages)}"
+                )
+            needed.add(name)
+            frontier.extend(self.stages[name].inputs)
+        return needed
+
+    def execute(self, ctx: Any, only: Optional[Sequence[str]] = None) -> GraphRun:
+        """Run the graph (or the closure of ``only``) over a context."""
+        selected = self.required(only) if only is not None else set(self.stages)
+        run = GraphRun()
+        for stage in self.order:
+            if stage.name not in selected:
+                continue
+            started = time.perf_counter()
+            key = stage.cache_key(ctx, run.keys)
+            run.keys[stage.name] = key
+            cached = False
+            value: Any = None
+            if self.cache is not None:
+                cached, value = self.cache.get(stage.name, key, stage.artifact)
+            if not cached:
+                inputs = {name: run.artifacts[name] for name in stage.inputs}
+                value = stage.run(ctx, inputs)
+                if self.cache is not None:
+                    self.cache.put(stage.name, key, value, stage.artifact)
+            run.artifacts[stage.name] = value
+            run.timings.append(
+                StageTiming(
+                    name=stage.name,
+                    seconds=time.perf_counter() - started,
+                    cached=cached,
+                    key=key,
+                )
+            )
+        return run

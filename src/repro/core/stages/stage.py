@@ -1,0 +1,86 @@
+"""The typed stage protocol: declared inputs/outputs and cache identity.
+
+A :class:`Stage` is one re-runnable unit of the study pipeline (a crawl, the
+detection pass, clustering, attribution, ...).  Each stage declares:
+
+* ``name`` — its identity and the name of the single artifact it produces;
+* ``inputs`` — the artifact names (i.e. upstream stage names) it consumes;
+* ``version`` — bumped when the stage's *code* changes semantics, so stale
+  cached artifacts are invalidated without clearing the cache;
+* ``config_fingerprint(ctx)`` — the stage-relevant slice of the run
+  configuration (targets, profiles, blocklists, network content, ...).
+
+The cache key is a SHA-256 over ``(name, version, config, input keys)``.
+Because each input's *key* — not its value — feeds the hash, keys chain:
+invalidating a crawl automatically invalidates every stage downstream of
+it, while an analysis-parameter change re-runs only the analysis stages and
+reuses the cached crawl.  This is the FP-Inspector-style "re-runnable,
+independently cached stages" architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.stages.fingerprint import stable_hash
+
+__all__ = ["Stage", "StageTiming", "PIPELINE_VERSION"]
+
+#: Global schema version: bump to invalidate every cached artifact at once
+#: (e.g. when the observation schema or artifact serialization changes).
+PIPELINE_VERSION = "1"
+
+
+class Stage:
+    """One node of the study pipeline's stage graph."""
+
+    #: Artifact name this stage produces (must be unique within a graph).
+    name: str = "stage"
+    #: Artifact names this stage consumes (edges of the graph).
+    inputs: Tuple[str, ...] = ()
+    #: Stage code version; bump on semantic changes to ``run``.
+    version: str = "1"
+    #: How the artifact persists in the cache: "dataset" artifacts are
+    #: streamed as JSONL via :mod:`repro.crawler.storage` (and stay readable
+    #: by ``python -m repro.analysis``); everything else is pickled.
+    artifact: str = "pickle"
+
+    def config_fingerprint(self, ctx: Any) -> Any:
+        """The configuration this stage's output depends on (JSON-able)."""
+        return None
+
+    def run(self, ctx: Any, inputs: Dict[str, Any]) -> Any:
+        """Produce the stage artifact from resolved input artifacts."""
+        raise NotImplementedError
+
+    def cache_key(self, ctx: Any, input_keys: Dict[str, str]) -> str:
+        """Deterministic content-addressed key over config + chained inputs."""
+        return stable_hash(
+            {
+                "pipeline": PIPELINE_VERSION,
+                "stage": self.name,
+                "version": self.version,
+                "config": self.config_fingerprint(ctx),
+                "inputs": {name: input_keys[name] for name in self.inputs},
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stage {self.name} inputs={list(self.inputs)}>"
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """How one stage executed: wall time, cache outcome, cache key."""
+
+    name: str
+    seconds: float
+    cached: bool
+    key: Optional[str] = None
+    #: Free-form counters the stage reported (e.g. observation counts).
+    details: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def status(self) -> str:
+        return "cache-hit" if self.cached else "ran"

@@ -1,0 +1,412 @@
+"""The paper's methodology decomposed into typed, cacheable stages.
+
+Each monolith step of the old ``run_study`` becomes one :class:`Stage`:
+
+=================  ==========================================  ==========
+stage              produces                                    paper
+=================  ==========================================  ==========
+crawl.control      control :class:`CrawlDataset`               §3.1
+detect             ``{domain: DetectionOutcome}``              §3.2
+cluster            ``{hash: CanvasCluster}``                   §4.2
+prevalence         :class:`PrevalenceReport`                   §4.1
+reach              :class:`ReachReport`                        §4.2
+signatures         vendor :class:`VendorSignature` list        A.3
+attribution        attributions + vendor count tables          §4.3
+blocklist_context  :class:`BlocklistContext` (conditional)     §5.1
+serving_context    :class:`ServingContext`                     §5.2
+crawl.abp          Adblock Plus :class:`CrawlDataset`          Table 2
+crawl.ubo          uBlock Origin :class:`CrawlDataset`         Table 2
+adblock_rows       ``(AdblockImpact, ...)``                    Table 2
+cross_machine      bool consistency verdict (conditional)      §3.1
+=================  ==========================================  ==========
+
+Crawl stages run through :func:`~repro.crawler.shards.run_sharded_crawl`,
+so ``jobs`` in the :class:`StudyContext` parallelizes them — deliberately
+*outside* every cache key, because worker count cannot change the artifact.
+Analysis stages are pure functions of their inputs, so their cache keys
+chain off the crawl keys and a warm cache re-runs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.blocklists.matcher import RuleMatcher
+from repro.browser.extensions import AdBlockerExtension
+from repro.browser.profile import BrowserProfile
+from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
+from repro.core.attribution import VendorAttributor
+from repro.core.clustering import cluster_canvases
+from repro.core.context import analyze_blocklist_context
+from repro.core.detection import FingerprintDetector
+from repro.core.evasion import analyze_serving_context, compare_adblock_crawls
+from repro.core.prevalence import compute_prevalence
+from repro.core.reach import compute_reach
+from repro.core.stages.cache import StageCache
+from repro.core.stages.fingerprint import (
+    fingerprint_dns,
+    fingerprint_network,
+    fingerprint_policy,
+    fingerprint_profile,
+    fingerprint_targets,
+    fingerprint_text,
+    fingerprint_vendor_knowledge,
+    stable_hash,
+)
+from repro.core.stages.graph import StageGraph
+from repro.core.stages.stage import Stage
+from repro.crawler.crawl import CrawlTarget
+from repro.crawler.resilience import PageBudget, RetryPolicy
+from repro.crawler.shards import run_sharded_crawl
+
+__all__ = ["StudyContext", "build_study_graph", "STAGE_DOCS"]
+
+#: One-line description per stage name (used by ``--stage`` help and docs).
+STAGE_DOCS = {
+    "crawl.control": "control crawl of the top+tail target list (§3.1)",
+    "detect": "fingerprintability detection over successful pages (§3.2)",
+    "cluster": "canvas-equality clustering (§4.2)",
+    "prevalence": "prevalence per population (§4.1)",
+    "reach": "cluster reach / aggregation providers (§4.2)",
+    "signatures": "vendor ground-truth harvesting (A.3)",
+    "attribution": "vendor attribution + per-population counts (§4.3)",
+    "blocklist_context": "blocklist coverage of fingerprinting scripts (§5.1)",
+    "serving_context": "first/third-party serving context + evasions (§5.2)",
+    "crawl.abp": "recrawl under Adblock Plus (Table 2)",
+    "crawl.ubo": "recrawl under uBlock Origin (Table 2)",
+    "adblock_rows": "ad-blocker impact comparison (Table 2)",
+    "cross_machine": "cross-device consistency validation (§3.1)",
+}
+
+
+@dataclass
+class StudyContext:
+    """Everything ``run_study`` was parameterized by, plus execution knobs.
+
+    The execution knobs (``jobs``, ``checkpoint_dir``) shape *how* stages
+    run, never *what* they produce — they are excluded from every
+    ``config_fingerprint`` on purpose.
+    """
+
+    network: Any
+    targets: Sequence[CrawlTarget]
+    vendor_knowledge: Sequence[Any]
+    easylist_text: str = ""
+    easyprivacy_text: str = ""
+    disconnect: Any = None
+    ubo_extra_text: str = ""
+    dns: Any = None
+    include_adblock_crawls: bool = True
+    include_cross_machine: bool = False
+    cross_machine_sample: int = 200
+    retry_policy: Optional[RetryPolicy] = None
+    page_budget: Optional[PageBudget] = None
+    detector: FingerprintDetector = field(default_factory=FingerprintDetector)
+    cross_machine_devices: Tuple[DeviceProfile, ...] = (INTEL_UBUNTU, APPLE_M1)
+    # -- execution knobs (never fingerprinted) --------------------------------
+    jobs: int = 1
+    checkpoint_dir: Optional[Path] = None
+
+    _network_fp: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def network_fingerprint(self) -> str:
+        """Content hash of the synthetic network, computed once per run."""
+        if self._network_fp is None:
+            self._network_fp = fingerprint_network(self.network)
+        return self._network_fp
+
+    # -- browser profiles, built exactly as the monolithic pipeline did -------
+
+    def control_profile(self) -> BrowserProfile:
+        return BrowserProfile(device=INTEL_UBUNTU)
+
+    def abp_profile(self) -> BrowserProfile:
+        easylist = RuleMatcher.from_text(self.easylist_text, "easylist")
+        abp = AdBlockerExtension("Adblock Plus", [easylist])
+        return BrowserProfile(device=INTEL_UBUNTU, extensions=(abp,))
+
+    def ubo_profile(self) -> BrowserProfile:
+        easylist = RuleMatcher.from_text(self.easylist_text, "easylist")
+        extra = []
+        if self.ubo_extra_text:
+            extra.append(RuleMatcher.from_text(self.ubo_extra_text, "ubo-extra"))
+        ubo = AdBlockerExtension("UBlock Origin", [easylist], extra_matchers=extra)
+        return BrowserProfile(device=INTEL_UBUNTU, extensions=(ubo,))
+
+    # -- which optional stages apply (the monolith's conditionals verbatim) ---
+
+    @property
+    def wants_blocklist_context(self) -> bool:
+        return bool(
+            self.easylist_text and self.easyprivacy_text and self.disconnect is not None
+        )
+
+    @property
+    def wants_adblock_crawls(self) -> bool:
+        return bool(self.include_adblock_crawls and self.easylist_text)
+
+
+class CrawlStage(Stage):
+    """A sharded (optionally parallel, checkpointed) crawl of the target list."""
+
+    artifact = "dataset"
+
+    def __init__(self, name: str, profile_attr: str, label: str) -> None:
+        self.name = name
+        self._profile_attr = profile_attr
+        self.label = label
+
+    def _profile(self, ctx: StudyContext) -> BrowserProfile:
+        return getattr(ctx, self._profile_attr)()
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return {
+            "network": ctx.network_fingerprint(),
+            "targets": fingerprint_targets(ctx.targets),
+            "profile": fingerprint_profile(self._profile(ctx)),
+            "label": self.label,
+            "retry": fingerprint_policy(ctx.retry_policy),
+            "budget": fingerprint_policy(ctx.page_budget),
+        }
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        checkpoint_dir = None
+        if ctx.checkpoint_dir is not None:
+            # Namespace shard checkpoints by config so two crawls that share
+            # a label but differ in targets/profile/network never resume
+            # from each other's partials.
+            namespace = stable_hash(self.config_fingerprint(ctx))[:16]
+            checkpoint_dir = Path(ctx.checkpoint_dir) / namespace
+        return run_sharded_crawl(
+            ctx.network,
+            ctx.targets,
+            profile=self._profile(ctx),
+            label=self.label,
+            jobs=ctx.jobs,
+            checkpoint_dir=checkpoint_dir,
+            retry_policy=ctx.retry_policy,
+            page_budget=ctx.page_budget,
+        )
+
+
+class DetectStage(Stage):
+    """§3.2 detection over every successfully crawled page."""
+
+    name = "detect"
+    inputs = ("crawl.control",)
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return {"min_size": ctx.detector.min_size}
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        return ctx.detector.detect_all(control.successful())
+
+
+class ClusterStage(Stage):
+    """§4.2 canvas-equality clustering."""
+
+    name = "cluster"
+    inputs = ("crawl.control", "detect")
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        return cluster_canvases(inputs["detect"], control.populations())
+
+
+class PrevalenceStage(Stage):
+    """§4.1 prevalence per population."""
+
+    name = "prevalence"
+    inputs = ("crawl.control", "detect")
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        return compute_prevalence(inputs["crawl.control"], inputs["detect"])
+
+
+class ReachStage(Stage):
+    """§4.2 reach of each cluster across populations."""
+
+    name = "reach"
+    inputs = ("crawl.control", "detect", "cluster", "prevalence")
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        outcomes = inputs["detect"]
+        populations = control.populations()
+        fp_top = {
+            d
+            for d, o in outcomes.items()
+            if o.is_fingerprinting_site and populations[d] == "top"
+        }
+        fp_tail = {
+            d
+            for d, o in outcomes.items()
+            if o.is_fingerprinting_site and populations[d] == "tail"
+        }
+        return compute_reach(
+            inputs["cluster"], fp_top, fp_tail, inputs["prevalence"].top.sites_successful
+        )
+
+
+class SignaturesStage(Stage):
+    """A.3 vendor ground-truth harvesting (crawls demo and customer pages)."""
+
+    name = "signatures"
+    inputs = ("crawl.control",)
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return {
+            "network": ctx.network_fingerprint(),
+            "vendors": fingerprint_vendor_knowledge(ctx.vendor_knowledge),
+            "min_size": ctx.detector.min_size,
+        }
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        from repro.core.pipeline import harvest_vendor_signatures
+
+        return harvest_vendor_signatures(
+            ctx.network, ctx.vendor_knowledge, inputs["crawl.control"]
+        )
+
+
+class AttributionStage(Stage):
+    """§4.3 attribution plus the per-population vendor count tables."""
+
+    name = "attribution"
+    inputs = ("crawl.control", "detect", "signatures")
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        outcomes = inputs["detect"]
+        attributor = VendorAttributor(inputs["signatures"])
+        attributions = attributor.attribute_all(control.by_domain(), outcomes)
+        populations = control.populations()
+        return {
+            "attributions": attributions,
+            "vendor_counts": attributor.vendor_site_counts(attributions, populations),
+            "vendor_totals": attributor.attributed_site_totals(attributions, populations),
+        }
+
+
+class BlocklistContextStage(Stage):
+    """§5.1 blocklist coverage (only when all three lists are supplied)."""
+
+    name = "blocklist_context"
+    inputs = ("crawl.control", "detect")
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        disconnect = ctx.disconnect
+        return {
+            "easylist": fingerprint_text(ctx.easylist_text),
+            "easyprivacy": fingerprint_text(ctx.easyprivacy_text),
+            "disconnect": stable_hash(disconnect.to_json()) if disconnect is not None else None,
+        }
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        return analyze_blocklist_context(
+            inputs["detect"],
+            control.populations(),
+            RuleMatcher.from_text(ctx.easylist_text, "easylist"),
+            RuleMatcher.from_text(ctx.easyprivacy_text, "easyprivacy"),
+            ctx.disconnect,
+        )
+
+
+class ServingContextStage(Stage):
+    """§5.2 first/third-party serving context and evasive delivery."""
+
+    name = "serving_context"
+    inputs = ("crawl.control", "detect")
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return {"dns": fingerprint_dns(ctx.dns) if ctx.dns is not None else None}
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        control = inputs["crawl.control"]
+        return analyze_serving_context(
+            inputs["detect"], control.populations(), dns=ctx.dns
+        )
+
+
+class AdblockCompareStage(Stage):
+    """Table 2: canvas activity under each ad blocker vs the control crawl."""
+
+    name = "adblock_rows"
+    inputs = ("crawl.control", "crawl.abp", "crawl.ubo")
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return {"min_size": ctx.detector.min_size}
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        return compare_adblock_crawls(
+            inputs["crawl.control"],
+            {
+                "Adblock Plus": inputs["crawl.abp"],
+                "UBlock Origin": inputs["crawl.ubo"],
+            },
+            ctx.detector,
+        )
+
+
+class CrossMachineStage(Stage):
+    """§3.1 cross-device consistency over a sample of the target list."""
+
+    name = "cross_machine"
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        sample = ctx.targets[: ctx.cross_machine_sample]
+        return {
+            "network": ctx.network_fingerprint(),
+            "targets": fingerprint_targets(sample),
+            "devices": list(ctx.cross_machine_devices),
+            "min_size": ctx.detector.min_size,
+            "retry": fingerprint_policy(ctx.retry_policy),
+            "budget": fingerprint_policy(ctx.page_budget),
+        }
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        from repro.core.pipeline import validate_cross_machine
+
+        return validate_cross_machine(
+            ctx.network,
+            ctx.targets[: ctx.cross_machine_sample],
+            ctx.detector,
+            devices=ctx.cross_machine_devices,
+            retry_policy=ctx.retry_policy,
+            page_budget=ctx.page_budget,
+            jobs=ctx.jobs,
+        )
+
+
+def build_study_graph(
+    ctx: StudyContext, cache: Optional[StageCache] = None
+) -> StageGraph:
+    """Assemble the stage graph for a context.
+
+    Optional stages (blocklist context, ad-blocker recrawls, cross-machine
+    validation) are included exactly when the monolithic pipeline would have
+    run them, so the graph's artifact set mirrors the old control flow.
+    """
+    stages = [
+        CrawlStage("crawl.control", "control_profile", "control"),
+        DetectStage(),
+        ClusterStage(),
+        PrevalenceStage(),
+        ReachStage(),
+        SignaturesStage(),
+        AttributionStage(),
+        ServingContextStage(),
+    ]
+    if ctx.wants_blocklist_context:
+        stages.append(BlocklistContextStage())
+    if ctx.wants_adblock_crawls:
+        stages.append(CrawlStage("crawl.abp", "abp_profile", "abp"))
+        stages.append(CrawlStage("crawl.ubo", "ubo_profile", "ubo"))
+        stages.append(AdblockCompareStage())
+    if ctx.include_cross_machine:
+        stages.append(CrossMachineStage())
+    return StageGraph(stages, cache=cache)

@@ -16,6 +16,12 @@ from repro.crawler.resilience import (
     collect_with_retries,
     is_transient,
 )
+from repro.crawler.shards import (
+    merge_shard_datasets,
+    plan_shards,
+    run_sharded_crawl,
+    shard_checkpoint_path,
+)
 from repro.crawler.storage import (
     CheckpointWriter,
     DatasetError,
@@ -38,6 +44,10 @@ __all__ = [
     "RetryPolicy",
     "collect_with_retries",
     "is_transient",
+    "plan_shards",
+    "run_sharded_crawl",
+    "merge_shard_datasets",
+    "shard_checkpoint_path",
     "CheckpointWriter",
     "DatasetError",
     "checkpoint_path",

@@ -11,6 +11,16 @@ Usage::
     python -m repro.crawler --scale 0.05 --adblock abp --out crawl-abp.jsonl.gz
     python -m repro.crawler --scale 0.05 --out crawl.jsonl.gz --resume
     python -m repro.crawler --scale 0.05 --fault-rate 0.1 --out crawl.jsonl.gz
+    python -m repro.crawler --scale 0.05 --jobs 4 --out crawl.jsonl.gz
+    python -m repro.crawler --scale 0.05 --stage crawl.control --cache-dir .stage-cache \\
+        --out crawl.jsonl.gz
+
+``--jobs`` shards the target list over worker processes (each shard
+checkpoints independently under ``<out>.shards/``, so ``--resume`` works for
+parallel crawls too).  ``--stage`` runs one of the study pipeline's crawl
+stages through the stage graph instead; with ``--cache-dir``, an unchanged
+re-run loads the dataset from the content-addressed cache without a single
+page load.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.blocklists.matcher import RuleMatcher
 from repro.browser.extensions import AdBlockerExtension
@@ -26,8 +37,13 @@ from repro.canvas.device import DEVICE_PROFILES, INTEL_UBUNTU
 from repro.config import StudyScale
 from repro.crawler.crawl import resume_crawl
 from repro.crawler.resilience import PageBudget, RetryPolicy
+from repro.crawler.shards import run_sharded_crawl
+from repro.crawler.storage import save_dataset
 from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.webgen import build_world
+
+#: Crawl stages the ``--stage`` flag can run through the stage graph.
+CRAWL_STAGES = ("crawl.control", "crawl.abp", "crawl.ubo")
 
 
 def main(argv=None) -> int:
@@ -76,6 +92,24 @@ def main(argv=None) -> int:
         default=None,
         help="seed for the fault schedule (defaults to --seed)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 shards the crawl (checkpoints in <out>.shards/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage cache directory (implies running via the stage graph)",
+    )
+    parser.add_argument(
+        "--stage",
+        choices=CRAWL_STAGES,
+        default=None,
+        help="run this study crawl stage via the stage graph "
+        "(uses the stage's canonical profile; --device/--adblock are ignored)",
+    )
     args = parser.parse_args(argv)
 
     world = build_world(StudyScale(fraction=args.scale, seed=args.seed))
@@ -107,18 +141,64 @@ def main(argv=None) -> int:
             rate = done["n"] / (time.time() - started)
             print(f"  {done['n']} sites crawled ({rate:.0f}/s)", flush=True)
 
-    label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
-    dataset = resume_crawl(
-        network,
-        world.all_targets,
-        args.out,
-        profile=profile,
-        label=label,
-        progress=progress,
-        retry_policy=retry_policy,
-        page_budget=page_budget,
-        resume=args.resume,
-    )
+    if args.stage is not None or args.cache_dir is not None:
+        # Stage-graph path: the crawl is one cached stage of the study
+        # pipeline, using the stage's canonical profile.
+        from repro.core.stages import StageCache, StudyContext, build_study_graph
+
+        stage = args.stage or {
+            "none": "crawl.control", "abp": "crawl.abp", "ubo": "crawl.ubo"
+        }[args.adblock]
+        cache = StageCache(args.cache_dir) if args.cache_dir is not None else None
+        ctx = StudyContext(
+            network=network,
+            targets=world.all_targets,
+            vendor_knowledge=world.vendor_knowledge(),
+            easylist_text=world.easylist_text,
+            easyprivacy_text=world.easyprivacy_text,
+            disconnect=world.disconnect,
+            ubo_extra_text=world.ubo_extra_text,
+            dns=world.network.dns,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            jobs=args.jobs,
+            checkpoint_dir=Path(args.cache_dir) / "shards"
+            if args.cache_dir is not None
+            else Path(f"{args.out}.shards"),
+        )
+        graph = build_study_graph(ctx, cache=cache)
+        run = graph.execute(ctx, only=[stage])
+        dataset = run.artifacts[stage]
+        save_dataset(dataset, args.out)
+        timing = run.timings[-1]
+        print(f"stage {stage}: {timing.status} in {timing.seconds:.1f}s")
+    elif args.jobs > 1:
+        label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
+        dataset = run_sharded_crawl(
+            network,
+            world.all_targets,
+            profile=profile,
+            label=label,
+            jobs=args.jobs,
+            checkpoint_dir=f"{args.out}.shards",
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            resume=args.resume,
+        )
+        save_dataset(dataset, args.out)
+    else:
+        label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
+        dataset = resume_crawl(
+            network,
+            world.all_targets,
+            args.out,
+            profile=profile,
+            label=label,
+            progress=progress,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            resume=args.resume,
+        )
     health = dataset.health()
     print(f"crawled {health.total} sites ({health.successes} ok) in "
           f"{time.time() - started:.1f}s -> {args.out}")

@@ -1,0 +1,230 @@
+"""Shard planner and parallel crawl executor.
+
+The paper's crawl covers 40k homepages; a strictly serial visit loop leaves
+every core but one idle.  This module splits a target list into N
+deterministic shards and crawls them with ``multiprocessing`` workers, each
+with its own checkpoint file (reusing the resume machinery of
+:mod:`repro.crawler.crawl` / :mod:`repro.crawler.storage`), then merges the
+shard datasets back into one :class:`CrawlDataset` in the original target
+order — so a parallel crawl is observation-for-observation identical to a
+serial one.
+
+Why this is safe: every page load runs in a fresh JS realm against a
+stateless synthetic network, and fault injection
+(:class:`~repro.net.faults.FaultInjector`) is keyed by ``(seed, url)``
+rather than draw order.  Shard membership therefore cannot change what any
+site observes, only *when* it is visited.
+
+* :func:`plan_shards` — deterministic round-robin split (shard ``i`` takes
+  ``targets[i::n]``), so top/tail populations stay balanced across shards;
+* :func:`run_sharded_crawl` — the executor: serial in-process when
+  ``jobs <= 1`` (progress callbacks supported), worker processes otherwise;
+* :func:`merge_shard_datasets` — reassemble one dataset in target order;
+  merged :class:`~repro.crawler.crawl.CrawlHealth` comes from the merged
+  dataset's own ``health()``.
+
+Worker processes receive the (picklable) synthetic network and return
+observations as JSON records; a killed parallel crawl leaves per-shard
+``.partial`` checkpoints behind, and re-running with the same
+``checkpoint_dir`` resumes every shard without re-visiting persisted
+domains.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.browser.profile import BrowserProfile
+from repro.core.records import SiteObservation
+from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
+from repro.crawler.resilience import PageBudget, RetryPolicy
+
+__all__ = [
+    "plan_shards",
+    "shard_checkpoint_path",
+    "merge_shard_datasets",
+    "run_sharded_crawl",
+]
+
+
+def plan_shards(targets: Sequence[CrawlTarget], shards: int) -> List[List[CrawlTarget]]:
+    """Split ``targets`` into at most ``shards`` deterministic round-robin shards.
+
+    Shard ``i`` takes ``targets[i::shards]``: the split depends only on the
+    target order and the shard count, never on timing, and interleaves the
+    (rank-ordered) list so every shard sees a comparable top/tail mix.
+    Empty shards are dropped, so fewer targets than shards is fine.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    planned = [list(targets[i::shards]) for i in range(shards)]
+    return [shard for shard in planned if shard]
+
+
+def shard_checkpoint_path(
+    checkpoint_dir: Union[str, Path], label: str, index: int, total: int
+) -> Path:
+    """The checkpoint file for one shard of a sharded crawl."""
+    return Path(checkpoint_dir) / f"{label}.shard-{index:04d}-of-{total:04d}.jsonl"
+
+
+def merge_shard_datasets(
+    label: str,
+    targets: Sequence[CrawlTarget],
+    shard_datasets: Sequence[CrawlDataset],
+) -> CrawlDataset:
+    """Merge shard outputs into one dataset ordered like ``targets``.
+
+    The merged dataset is indistinguishable from a serial crawl of the same
+    list: observations appear in target order, and crawl health (success
+    counts, attempts histogram, failure table) is recomputed from the merged
+    observations via :meth:`CrawlDataset.health`.
+    """
+    by_domain = {}
+    for shard in shard_datasets:
+        for observation in shard.observations:
+            by_domain[observation.domain] = observation
+    merged = CrawlDataset(label=label)
+    for target in targets:
+        observation = by_domain.get(target.domain)
+        if observation is not None:
+            merged.observations.append(observation)
+    return merged
+
+
+def _crawl_shard_worker(payload) -> List[dict]:
+    """Worker entry point: crawl one shard, return observations as JSON.
+
+    Must stay a module-level function (pickled by name by multiprocessing).
+    Observations cross the process boundary as their JSON records — the same
+    schema the checkpoint files use — so the parent never depends on pickle
+    compatibility of in-flight collector objects.
+    """
+    (network, targets, profile, label, retry_policy, page_budget, inner_paths,
+     checkpoint, resume) = payload
+    dataset = _crawl_one_shard(
+        network, targets, profile, label, retry_policy, page_budget,
+        inner_paths, checkpoint, resume, progress=None,
+    )
+    return [observation.to_json() for observation in dataset.observations]
+
+
+def _crawl_one_shard(
+    network,
+    targets: Sequence[CrawlTarget],
+    profile: Optional[BrowserProfile],
+    label: str,
+    retry_policy: Optional[RetryPolicy],
+    page_budget: Optional[PageBudget],
+    inner_paths: tuple,
+    checkpoint: Optional[Path],
+    resume: bool,
+    progress: Optional[Callable[[int, SiteObservation], None]],
+) -> CrawlDataset:
+    if checkpoint is not None:
+        return resume_crawl(
+            network,
+            targets,
+            checkpoint,
+            profile=profile,
+            label=label,
+            progress=progress,
+            inner_paths=inner_paths,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            resume=resume,
+        )
+    return run_crawl(
+        network,
+        targets,
+        profile=profile,
+        label=label,
+        progress=progress,
+        inner_paths=inner_paths,
+        retry_policy=retry_policy,
+        page_budget=page_budget,
+    )
+
+
+def run_sharded_crawl(
+    network,
+    targets: Sequence[CrawlTarget],
+    profile: Optional[BrowserProfile] = None,
+    label: str = "control",
+    jobs: int = 1,
+    shards: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    page_budget: Optional[PageBudget] = None,
+    inner_paths: tuple = (),
+    resume: bool = True,
+    progress: Optional[Callable[[int, SiteObservation], None]] = None,
+) -> CrawlDataset:
+    """Crawl ``targets`` over ``jobs`` workers and merge the shard datasets.
+
+    * ``jobs <= 1`` with no ``checkpoint_dir`` and a single shard falls back
+      to a plain :func:`run_crawl` — byte-for-byte the serial path;
+    * ``shards`` defaults to ``jobs`` (more shards than jobs is allowed:
+      workers drain the shard queue);
+    * with a ``checkpoint_dir``, every shard checkpoints to its own file and
+      a killed run — serial or parallel — resumes from the per-shard
+      partials, re-visiting nothing that was persisted;
+    * ``progress`` is supported on the serial path only (callbacks cannot
+      cross the process boundary).
+
+    The merged dataset equals a serial crawl of the same targets: identical
+    observations in identical order (see ``tests/crawler/test_shards.py``).
+    """
+    jobs = max(1, jobs)
+    n_shards = shards if shards is not None else jobs
+    planned = plan_shards(targets, max(1, n_shards))
+
+    if len(planned) == 1 and jobs == 1 and checkpoint_dir is None:
+        return run_crawl(
+            network,
+            targets,
+            profile=profile,
+            label=label,
+            progress=progress,
+            inner_paths=inner_paths,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+        )
+
+    checkpoints: List[Optional[Path]] = [None] * len(planned)
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        checkpoints = [
+            shard_checkpoint_path(directory, label, index, len(planned))
+            for index in range(len(planned))
+        ]
+
+    shard_datasets: List[CrawlDataset]
+    if jobs == 1:
+        shard_datasets = [
+            _crawl_one_shard(
+                network, shard, profile, label, retry_policy, page_budget,
+                inner_paths, checkpoints[index], resume, progress,
+            )
+            for index, shard in enumerate(planned)
+        ]
+    else:
+        payloads = [
+            (network, shard, profile, label, retry_policy, page_budget,
+             inner_paths, checkpoints[index], resume)
+            for index, shard in enumerate(planned)
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(planned))) as pool:
+            results = list(pool.map(_crawl_shard_worker, payloads))
+        shard_datasets = []
+        for records in results:
+            dataset = CrawlDataset(label=label)
+            dataset.observations.extend(
+                SiteObservation.from_json(record) for record in records
+            )
+            shard_datasets.append(dataset)
+
+    return merge_shard_datasets(label, targets, shard_datasets)

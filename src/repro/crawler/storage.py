@@ -25,8 +25,9 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import pickle
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Any, Iterator, List, Optional, Union
 
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset
@@ -39,6 +40,9 @@ __all__ = [
     "CheckpointWriter",
     "checkpoint_path",
     "load_checkpoint",
+    "fsync_directory",
+    "save_artifact",
+    "load_artifact",
 ]
 
 FORMAT = "repro-crawl-v1"
@@ -64,6 +68,27 @@ def _header_line(label: str) -> str:
 
 def _obs_line(observation: SiteObservation) -> str:
     return json.dumps(observation.to_json(), separators=(",", ":")) + "\n"
+
+
+def fsync_directory(path: Path) -> None:
+    """fsync a directory so a just-completed ``os.replace`` survives a crash.
+
+    ``os.replace`` makes the rename atomic, but the *directory entry* itself
+    lives in the parent directory's data — until that is flushed, a power
+    loss can roll the rename back and the "atomically promoted" file is
+    silently gone.  Platforms whose directories cannot be opened or synced
+    (e.g. Windows) are a no-op.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _parse_header(line: str, path: Path) -> dict:
@@ -95,6 +120,9 @@ def save_dataset(dataset: CrawlDataset, path: Union[str, Path]) -> None:
             for obs in dataset.observations:
                 fh.write(_obs_line(obs))
         os.replace(tmp, path)
+        # Flushing the rename itself: without a directory fsync the replace
+        # can be rolled back by a crash even though the data blocks survived.
+        fsync_directory(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
@@ -272,6 +300,9 @@ class CheckpointWriter:
             self.partial_path.unlink(missing_ok=True)
         else:
             os.replace(self.partial_path, self.final_path)
+        # Make the promotion itself durable: the rename lives in the parent
+        # directory's data, which a crash can lose without this fsync.
+        fsync_directory(self.final_path.parent)
         return self.final_path
 
     def __enter__(self) -> "CheckpointWriter":
@@ -303,6 +334,54 @@ def load_checkpoint(path: Union[str, Path]) -> Optional[CrawlDataset]:
     if source == partial:
         return _load_tolerant(partial)
     return load_dataset(final)
+
+
+# -- stage artifacts ---------------------------------------------------------------
+
+
+def save_artifact(value: Any, path: Union[str, Path]) -> None:
+    """Persist one pipeline stage artifact atomically.
+
+    Crawl datasets keep their streaming JSONL format (``.jsonl`` /
+    ``.jsonl.gz`` paths — the same files ``python -m repro.analysis``
+    consumes); any other artifact is pickled.  Both paths go through a
+    same-directory temp file, ``os.replace`` and a directory fsync, so a
+    half-written cache entry can never be observed or survive a crash.
+    """
+    path = Path(path)
+    if isinstance(value, CrawlDataset):
+        if path.suffix not in (".jsonl", ".gz"):
+            raise ValueError(f"dataset artifacts need a .jsonl(.gz) path, got {path.name}")
+        save_dataset(value, path)
+        return
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        fsync_directory(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def load_artifact(path: Union[str, Path]) -> Any:
+    """Load an artifact written by :func:`save_artifact`.
+
+    Raises :class:`DatasetError` on a missing, truncated or corrupt file, so
+    a damaged cache entry surfaces as a clean miss upstream instead of a
+    bare unpickling error.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such artifact file")
+    if path.suffix in (".jsonl", ".gz"):
+        return load_dataset(path)
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+        raise DatasetError(f"{path}: corrupt artifact: {exc}") from exc
 
 
 def _load_tolerant(path: Path) -> CrawlDataset:

@@ -25,6 +25,14 @@ def main(argv=None) -> int:
     parser.add_argument("--only", nargs="*", default=None, help="experiment keys to run")
     parser.add_argument("--no-adblock", action="store_true", help="skip the two ad-blocker crawls")
     parser.add_argument("--artifacts", default=None, help="directory to also write artifacts into")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="crawl worker processes (sharded crawls)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage cache directory: re-runs skip every unchanged pipeline stage",
+    )
     args = parser.parse_args(argv)
 
     keys = args.only or list(EXPERIMENTS)
@@ -39,8 +47,15 @@ def main(argv=None) -> int:
     result = world.run_full_study(
         include_adblock_crawls=not args.no_adblock,
         include_cross_machine=needs_cross_machine,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(f"study finished in {time.time() - t0:.1f}s\n", flush=True)
+    cached = sum(1 for t in result.stage_timings if t.cached)
+    print(
+        f"study finished in {time.time() - t0:.1f}s "
+        f"({cached}/{len(result.stage_timings)} stages from cache)\n",
+        flush=True,
+    )
 
     artifacts_dir = None
     if args.artifacts:

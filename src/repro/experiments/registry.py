@@ -172,6 +172,15 @@ def _randomization(result: StudyResult) -> str:
     )
 
 
+def _pipeline(result: StudyResult) -> str:
+    from repro.analysis.report import stage_timing_table
+
+    table = stage_timing_table(result)
+    if not table:
+        return "(no stage timings recorded on this result)"
+    return table
+
+
 def _cross_machine(result: StudyResult) -> str:
     if result.cross_machine_consistent is None:
         return "(cross-machine validation not run)"
@@ -198,6 +207,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("evasion", "Serving-mode evasions", "§5.2", _evasion),
         Experiment("randomization", "Canvas randomization detection", "§5.3", _randomization),
         Experiment("cross_machine", "Cross-machine validation", "§3.1", _cross_machine),
+        Experiment("pipeline", "Pipeline stage timings", "infra", _pipeline),
     )
 }
 

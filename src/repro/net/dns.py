@@ -56,6 +56,10 @@ class DNSZone:
     def lookup(self, name: str) -> Optional[DNSRecord]:
         return self._records.get(name.lower())
 
+    def records(self) -> Tuple[DNSRecord, ...]:
+        """Every record in the zone, sorted by name (stable for hashing)."""
+        return tuple(sorted(self._records.values(), key=lambda r: r.name))
+
     def resolve(self, name: str) -> Tuple[str, List[str]]:
         """Resolve ``name`` following CNAMEs.
 

@@ -23,7 +23,7 @@ aliases) passes straight through.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.net.http import Request, Response, ResourceType
@@ -166,4 +166,8 @@ class FaultyNetwork:
         return response
 
     def __getattr__(self, name):
+        # During unpickling __dict__ is not populated yet; delegating would
+        # recurse on ``self.inner`` forever.
+        if name.startswith("__") or "inner" not in self.__dict__:
+            raise AttributeError(name)
         return getattr(self.inner, name)

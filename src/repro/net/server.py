@@ -50,6 +50,10 @@ class OriginServer:
     def paths(self):
         return self._routes.keys()
 
+    def resources(self):
+        """(path, resource) pairs sorted by path (stable for hashing)."""
+        return tuple(sorted(self._routes.items()))
+
     def handle(self, request: Request) -> Response:
         resource = self._routes.get(request.url.path)
         if resource is None:
@@ -97,6 +101,10 @@ class Network:
 
     def has_host(self, host: str) -> bool:
         return host.lower() in self.dns
+
+    def servers(self) -> Dict[str, OriginServer]:
+        """All origin servers by canonical host (read-only snapshot)."""
+        return dict(self._servers)
 
     # -- request handling --------------------------------------------------------
 

@@ -76,7 +76,14 @@ class World:
             )
         return out
 
-    def run_full_study(self, include_adblock_crawls: bool = True, include_cross_machine: bool = False):
+    def run_full_study(
+        self,
+        include_adblock_crawls: bool = True,
+        include_cross_machine: bool = False,
+        jobs: int = 1,
+        cache_dir=None,
+        stages=None,
+    ):
         """Convenience: run the paper's whole pipeline over this world."""
         from repro.core.pipeline import run_study
 
@@ -91,6 +98,9 @@ class World:
             dns=self.network.dns,
             include_adblock_crawls=include_adblock_crawls,
             include_cross_machine=include_cross_machine,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            stages=stages,
         )
 
     def ground_truth_fp_sites(self, population: str) -> List[str]:

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.blocklists.rules import FilterRule, ParseError, parse_list, parse_rule
+from repro.blocklists.rules import ParseError, parse_list, parse_rule
 
 
 def rule(text):

@@ -1,7 +1,5 @@
 """Edge-case tests for the JS canvas bindings."""
 
-import pytest
-
 from repro.browser import Browser
 from repro.net import Network
 

@@ -1,7 +1,6 @@
 """Unit tests for privacy filters, instrumentation, profiles and extensions."""
 
 import numpy as np
-import pytest
 
 from repro.browser.extensions import AdBlockerExtension
 from repro.browser.instrumentation import CanvasInstrument, VirtualClock

@@ -1,7 +1,5 @@
 """Tests for the WebGL parameter-probe surface."""
 
-import pytest
-
 from repro.browser import Browser, BrowserProfile
 from repro.canvas.device import APPLE_M1, INTEL_UBUNTU, device_fleet
 from repro.net import Network

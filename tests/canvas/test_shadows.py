@@ -1,7 +1,5 @@
 """Tests for shadow rendering."""
 
-import numpy as np
-
 from repro.canvas import HTMLCanvasElement, INTEL_UBUNTU
 
 

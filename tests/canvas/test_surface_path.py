@@ -4,7 +4,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.canvas.device import INTEL_UBUNTU
 from repro.canvas.geometry import Transform

@@ -1,7 +1,5 @@
 """Tests for the §4.3.1 FingerprintJS ecosystem breakdown."""
 
-import pytest
-
 from repro.core.detection import DetectionOutcome
 from repro.core.fpjs import fpjs_breakdown
 from repro.core.records import CanvasExtraction, SiteObservation

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.js import Interpreter, JSRuntimeError
+from repro.js import Interpreter
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.js import Interpreter, JSRuntimeError, JSSyntaxError, UNDEFINED
-from repro.js.values import JSArray, JSObject, NativeFunction
+from repro.js.values import JSObject, NativeFunction
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.faults import FaultConfig, FaultInjector, FaultKind, FaultyNetwork
+from repro.net.faults import FaultConfig, FaultInjector, FaultyNetwork
 from repro.net.http import Request, ResourceType
 from repro.net.server import Network
 from repro.net.url import URL
@@ -126,6 +126,21 @@ class TestFaultyNetwork:
         assert net.has_host("a.example")
         net.server_for("c.example").add_resource("/", "<html></html>")
         assert inner.has_host("c.example")
+
+    def test_pickle_roundtrip(self):
+        # Shard workers receive the network via multiprocessing pickling;
+        # __getattr__ delegation must not recurse while __dict__ is empty.
+        import pickle
+
+        net = FaultyNetwork(make_network(), FaultConfig(fault_rate=1.0), seed=7)
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone.has_host("a.example")
+        assert clone.injector.config.fault_rate == 1.0
+
+    def test_missing_attribute_raises_attribute_error(self):
+        net = FaultyNetwork(make_network(), FaultConfig(), seed=1)
+        with pytest.raises(AttributeError):
+            net.does_not_exist
 
 
 class TestConfigValidation:

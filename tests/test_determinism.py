@@ -5,8 +5,6 @@ canvases across sites, stable fingerprints across visits); the reproduction
 additionally promises identical *studies* across runs for a fixed seed.
 """
 
-import pytest
-
 from repro.config import StudyScale
 from repro.crawler import run_crawl
 from repro.webgen import build_world

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import StudyScale
 from repro.js.parser import parse
-from repro.net.http import Request, ResourceType
+from repro.net.http import ResourceType
 from repro.net.url import URL
 from repro.webgen import build_world
 from repro.webgen.vendors import VENDOR_SPECS, ServingMode
