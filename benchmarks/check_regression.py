@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark run regresses against its committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json [--max-regression 0.25]
+
+Only machine-independent metrics are compared — cache ``speedup`` ratios and
+per-layer ``hit_rate`` fractions — never raw wall seconds, which depend on
+the runner.  A metric regresses when::
+
+    current < baseline * (1 - max_regression)
+
+Improvements and new benchmarks never fail; a benchmark present in the
+baseline but missing from the current run does (it means the suite silently
+stopped measuring something).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+
+def comparable_metrics(payload: dict) -> Iterator[Tuple[str, float]]:
+    """Yield ("bench.metric", value) for every machine-independent metric."""
+    for bench, metrics in sorted(payload.get("results", {}).items()):
+        if "speedup" in metrics:
+            yield f"{bench}.speedup", float(metrics["speedup"])
+        for layer, row in sorted(metrics.get("hit_rates", {}).items()):
+            yield f"{bench}.hit_rate.{layer}", float(row.get("hit_rate", 0.0))
+
+
+def check(current: dict, baseline: dict, max_regression: float) -> int:
+    """Print a comparison table; return the number of failing metrics."""
+    current_metrics = dict(comparable_metrics(current))
+    failures = 0
+    print(f"{'metric':48s} {'baseline':>10s} {'current':>10s}  status")
+    for name, base_value in comparable_metrics(baseline):
+        value = current_metrics.get(name)
+        if value is None:
+            print(f"{name:48s} {base_value:10.3f} {'-':>10s}  MISSING")
+            failures += 1
+            continue
+        floor = base_value * (1.0 - max_regression)
+        status = "ok" if value >= floor else f"REGRESSED (floor {floor:.3f})"
+        failures += value < floor
+        print(f"{name:48s} {base_value:10.3f} {value:10.3f}  {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_*.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop vs baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, args.max_regression)
+    if failures:
+        print(f"\n{failures} metric(s) regressed more than {args.max_regression:.0%}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

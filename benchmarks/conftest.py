@@ -7,14 +7,26 @@ rows so the output can be compared against the paper.
 
 Scale is controlled by ``REPRO_BENCH_SCALE`` (fraction of the paper's
 20k + 20k crawl; default 0.05).
+
+Benchmarks that call the ``bench_json`` fixture additionally persist their
+headline numbers (op counts, wall times, cache hit rates) as machine-readable
+``BENCH_<suite>.json`` files — one per suite — written at session end to the
+directory named by ``REPRO_BENCH_OUT`` (default: current directory).  CI
+uploads these as artifacts and diffs them against committed baselines.
 """
 
+import json
 import os
+from pathlib import Path
+from typing import Any, Dict
 
 import pytest
 
 from repro.config import StudyScale
 from repro.webgen import build_world
+
+#: suite -> benchmark name -> metrics, accumulated across the session.
+_BENCH_RESULTS: Dict[str, Dict[str, Dict[str, Any]]] = {}
 
 
 def _scale() -> float:
@@ -29,3 +41,30 @@ def world():
 @pytest.fixture(scope="session")
 def study(world):
     return world.run_full_study(include_adblock_crawls=True, include_cross_machine=True)
+
+
+@pytest.fixture
+def bench_json():
+    """Record machine-readable benchmark results.
+
+    ``bench_json(suite, name, **metrics)`` files ``metrics`` under
+    ``results[name]`` of ``BENCH_<suite>.json``.  Metrics must be JSON
+    serializable (numbers, strings, lists, dicts).
+    """
+
+    def record(suite: str, name: str, **metrics: Any) -> None:
+        _BENCH_RESULTS.setdefault(suite, {})[name] = metrics
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RESULTS:
+        return
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for suite, results in sorted(_BENCH_RESULTS.items()):
+        payload = {"suite": suite, "scale": _scale(), "results": results}
+        path = out_dir / f"BENCH_{suite}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")

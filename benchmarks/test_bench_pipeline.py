@@ -21,7 +21,7 @@ def _fresh_world():
     return build_world(StudyScale(fraction=fraction))
 
 
-def test_bench_pipeline_cold_vs_warm(benchmark):
+def test_bench_pipeline_cold_vs_warm(benchmark, bench_json):
     cache_dir = Path(tempfile.mkdtemp()) / "stage-cache"
 
     import time
@@ -42,6 +42,19 @@ def test_bench_pipeline_cold_vs_warm(benchmark):
     speedup = cold_seconds / max(warm_seconds, 1e-9)
     assert speedup > 2, f"warm cache should be much faster (got {speedup:.1f}x)"
 
+    bench_json(
+        "pipeline",
+        "cold_vs_warm",
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        speedup=speedup,
+        stages={t.name: t.seconds for t in cold.stage_timings},
+        render_cache={
+            layer: {k: row.get(k, 0.0) for k in ("hits", "misses", "hit_rate", "saved_seconds")}
+            for layer, row in cold.perf_counters.items()
+        },
+    )
+
     print()
     print(f"cold end-to-end: {cold_seconds:.2f}s; warm stages: {warm_seconds:.3f}s "
           f"({speedup:.0f}x speedup)")
@@ -52,7 +65,7 @@ def test_bench_pipeline_cold_vs_warm(benchmark):
         print(f"{t.name:18s} {t.seconds:8.3f}s {w.seconds if w else 0.0:8.3f}s")
 
 
-def test_bench_pipeline_serial_vs_parallel(benchmark):
+def test_bench_pipeline_serial_vs_parallel(benchmark, bench_json):
     """End-to-end study wall time with sharded parallel crawls."""
     result = benchmark.pedantic(
         lambda: _fresh_world().run_full_study(jobs=4), rounds=1, iterations=1
@@ -61,6 +74,13 @@ def test_bench_pipeline_serial_vs_parallel(benchmark):
         t.seconds for t in result.stage_timings if t.name.startswith("crawl.")
     )
     total_seconds = sum(t.seconds for t in result.stage_timings)
+    bench_json(
+        "pipeline",
+        "parallel_crawl",
+        total_seconds=total_seconds,
+        crawl_seconds=crawl_seconds,
+        stages={t.name: t.seconds for t in result.stage_timings},
+    )
     print()
     print(f"stages total {total_seconds:.2f}s, crawls {crawl_seconds:.2f}s "
           f"({crawl_seconds / max(total_seconds, 1e-9):.0%} of pipeline)")

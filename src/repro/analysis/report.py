@@ -12,7 +12,13 @@ from repro.config import PAPER, PaperTargets
 from repro.core.detection import FingerprintDetector
 from repro.core.pipeline import StudyResult
 
-__all__ = ["Comparison", "stage_timing_table", "study_comparisons", "study_report"]
+__all__ = [
+    "Comparison",
+    "render_cache_table",
+    "stage_timing_table",
+    "study_comparisons",
+    "study_report",
+]
 
 
 @dataclass(frozen=True)
@@ -201,6 +207,41 @@ def stage_timing_table(result: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def render_cache_table(result: StudyResult) -> str:
+    """Per-layer render-acceleration counters for the study.
+
+    One row per cache layer (whole-canvas render cache, glyph atlas, text
+    runs, path coverage masks, encode memoization): hit rate, lookup
+    volume, and the rasterization/encode seconds the hits are estimated to
+    have saved.  Empty string when the run recorded no counters (caches
+    disabled, or a result deserialized from disk).
+    """
+    counters = result.perf_counters
+    cache_rows = {
+        name: row
+        for name, row in counters.items()
+        if (row.get("hits", 0) or row.get("misses", 0))
+    }
+    if not cache_rows:
+        return ""
+    lines = [f"{'cache layer':14s} {'hit rate':>9s} {'hits':>9s} {'misses':>9s} {'saved':>9s}"]
+    for name in sorted(cache_rows):
+        row = cache_rows[name]
+        lines.append(
+            f"{name:14s} {row.get('hit_rate', 0.0):8.1%} "
+            f"{int(row.get('hits', 0)):9d} {int(row.get('misses', 0)):9d} "
+            f"{row.get('saved_seconds', 0.0):8.2f}s"
+        )
+    timers = {
+        name: row.get("miss_seconds", 0.0)
+        for name, row in counters.items()
+        if name not in cache_rows and row.get("miss_seconds", 0.0)
+    }
+    for name in sorted(timers):
+        lines.append(f"{name:14s} {'-':>9s} {'-':>9s} {'-':>9s} {timers[name]:8.2f}s wall")
+    return "\n".join(lines)
+
+
 def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figures: bool = True) -> str:
     """Render the complete study: tables, figures, paper-vs-measured."""
     sections: List[str] = []
@@ -234,6 +275,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     timing = stage_timing_table(result)
     if timing:
         sections.append("== Pipeline stage timings ==\n" + timing)
+
+    acceleration = render_cache_table(result)
+    if acceleration:
+        sections.append("== Render-cache acceleration ==\n" + acceleration)
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

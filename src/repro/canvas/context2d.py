@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
+import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import perf
 from repro.canvas.color import ColorError, parse_color
 from repro.canvas.device import DeviceProfile
 from repro.canvas.font import TextRasterizer, parse_font
@@ -70,10 +73,32 @@ class _DrawState:
     shadow_offset_y: float = 0.0
     #: Full-surface clip mask in [0, 1], or None when unclipped.
     clip_mask: Optional[np.ndarray] = None
+    #: Content digest of ``clip_mask`` (render-cache key component).
+    clip_digest: Optional[bytes] = None
+
+
+#: Layer 1 of the render-acceleration subsystem: whole-canvas pixel
+#: snapshots keyed by (device, size, baseline, canonical draw-op log).
+#: Fingerprinting vendors serve the *same* script to thousands of sites, so
+#: the op log — and therefore the rendered pixels — repeat endlessly within
+#: one crawl process; the first canvas pays for rasterization, the rest
+#: restore the snapshot (see docs/performance.md).
+_RENDER_CACHE = perf.ByteBudgetLRU("render_cache", budget_attr="render_cache_bytes")
 
 
 class CanvasRenderingContext2D:
-    """Software 2D rendering context bound to one canvas element."""
+    """Software 2D rendering context bound to one canvas element.
+
+    Paint operations are *deferred*: each call captures its full inputs
+    (geometry, style, state snapshot) plus a canonical key, and the surface
+    is only materialized when pixels are read back (``toDataURL`` /
+    ``getImageData`` / being drawn onto another canvas).  At that point the
+    whole op log is looked up in the process-wide render cache — a hit
+    restores the cached pixel snapshot and skips rasterization entirely.
+    State mutations (styles, transforms, path building, clipping) stay
+    eager: they are cheap and must be visible to reads like ``measureText``
+    and ``isPointInPath``.
+    """
 
     def __init__(self, canvas, device: DeviceProfile) -> None:
         self.canvas = canvas
@@ -83,6 +108,15 @@ class CanvasRenderingContext2D:
         self._path = Path()
         self._text = TextRasterizer(device)
         self._noise_tag = 0
+        #: Deferred paint ops: (canonical key, zero-arg replay closure).
+        self._pending: List[Tuple[Tuple, Callable[[], None]]] = []
+        #: Token describing the surface content beneath the pending ops:
+        #: "blank" for a fresh canvas, else the previous flush's key digest.
+        self._baseline: object = "blank"
+        #: True once a paint bypassed the op log (caching disabled at the
+        #: time): the surface content can no longer be trusted to match any
+        #: key, so flushes replay without touching the cache.
+        self._tainted = False
 
     # -- surface plumbing ------------------------------------------------------------
 
@@ -96,6 +130,80 @@ class CanvasRenderingContext2D:
         # from geometry by callers that need that) while distinguishing ops.
         self._noise_tag += 1
         return self._noise_tag
+
+    # -- deferred rendering ------------------------------------------------------------
+
+    def _defer(self, key: Tuple, apply_fn: Callable[[], None]) -> None:
+        """Queue a paint op for replay at flush time (eager when disabled)."""
+        if perf.config().enabled:
+            self._pending.append((key, apply_fn))
+            return
+        # Caching was disabled (possibly mid-canvas): anything still queued
+        # must paint before this op to preserve draw order.
+        self._tainted = True
+        pending, self._pending = self._pending, []
+        for _, queued in pending:
+            queued()
+        apply_fn()
+
+    def flush(self) -> None:
+        """Materialize pending paint ops into the surface.
+
+        Hit: the identical (device, size, baseline, op-log) sequence was
+        rendered before — restore its pixel snapshot.  Miss: replay the
+        closures in order and store the result.  Either way the op log is
+        consumed and the baseline advances to this flush's key, so chained
+        draw/read/draw sequences keep hitting.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if self._tainted or not perf.config().enabled:
+            for _, apply_fn in pending:
+                apply_fn()
+            self._tainted = True
+            return
+        key = (
+            self.device,
+            self._surface.width,
+            self._surface.height,
+            self._baseline,
+            tuple(op_key for op_key, _ in pending),
+        )
+        cached = _RENDER_CACHE.get(key)
+        if cached is not None:
+            self._surface.set_pixels(cached)
+        else:
+            started = time.perf_counter()
+            for _, apply_fn in pending:
+                apply_fn()
+            snapshot = self._surface.snapshot()
+            _RENDER_CACHE.put(
+                key, snapshot, snapshot.nbytes, seconds=time.perf_counter() - started
+            )
+        # Chain the baseline as a digest: keys stay flat however many
+        # flushes a canvas goes through.
+        self._baseline = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).digest()
+
+    def _capture_state(self) -> Tuple[_DrawState, Tuple]:
+        """Snapshot the draw state for a deferred op, plus its key part."""
+        state = replace(self._state)
+        key = (
+            state.global_alpha,
+            state.composite_op,
+            state.shadow_blur,
+            state.shadow_color,
+            state.shadow_offset_x,
+            state.shadow_offset_y,
+            state.clip_digest,
+        )
+        return state, key
+
+    def _capture_style(self, style: FillStyle) -> Tuple[FillStyle, Tuple]:
+        """Freeze a fill/stroke style for deferred use, plus its key part."""
+        if isinstance(style, CanvasGradient):
+            return style.snapshot(), ("gradient",) + style.state_key
+        return style, ("color", style)
 
     # -- state attributes --------------------------------------------------------------
 
@@ -251,12 +359,10 @@ class CanvasRenderingContext2D:
     # -- rectangles ----------------------------------------------------------------------
 
     def fillRect(self, x: float, y: float, w: float, h: float) -> None:
-        path = self._rect_path(x, y, w, h)
-        self._fill_path(path, "nonzero", self._state.fill_style)
+        self._queue_fill(self._rect_path(x, y, w, h), "nonzero")
 
     def strokeRect(self, x: float, y: float, w: float, h: float) -> None:
-        path = self._rect_path(x, y, w, h)
-        self._stroke_path(path)
+        self._queue_stroke(self._rect_path(x, y, w, h))
 
     def clearRect(self, x: float, y: float, w: float, h: float) -> None:
         if w <= 0 or h <= 0:
@@ -265,15 +371,23 @@ class CanvasRenderingContext2D:
         if t.b == 0 and t.c == 0:
             (x0, y0) = t.apply(x, y)
             (x1, y1) = t.apply(x + w, y + h)
-            self._surface.clear_rect(
-                int(math.floor(min(x0, x1))),
-                int(math.floor(min(y0, y1))),
-                int(math.ceil(max(x0, x1))),
-                int(math.ceil(max(y0, y1))),
+            ix0 = int(math.floor(min(x0, x1)))
+            iy0 = int(math.floor(min(y0, y1)))
+            ix1 = int(math.ceil(max(x0, x1)))
+            iy1 = int(math.ceil(max(y0, y1)))
+            self._defer(
+                ("clear-rect", ix0, iy0, ix1, iy1),
+                lambda: self._surface.clear_rect(ix0, iy0, ix1, iy1),
             )
             return
         # Rotated clears: paint transparent with destination-out coverage.
         path = self._rect_path(x, y, w, h)
+        self._defer(
+            ("clear-path", path.canonical_digest()),
+            lambda: self._clear_path(path),
+        )
+
+    def _clear_path(self, path: Path) -> None:
         coverage, offset = rasterize_fill(path, self._surface.width, self._surface.height)
         if coverage.size:
             self._surface.paint(coverage, (0.0, 0.0, 0.0, 255.0), op="destination-out", offset=offset)
@@ -389,14 +503,30 @@ class CanvasRenderingContext2D:
     def fill(self, rule: str = "nonzero") -> None:
         if rule not in ("nonzero", "evenodd"):
             rule = "nonzero"
-        self._fill_path(self._path, rule, self._state.fill_style)
+        # Copy: the live path may keep growing after this draw.
+        self._queue_fill(self._path.copy(), rule)
 
     def stroke(self) -> None:
-        self._stroke_path(self._path)
+        self._queue_stroke(self._path.copy())
 
-    def _fill_path(self, path: Path, rule: str, style: FillStyle) -> None:
+    def _queue_fill(self, path: Path, rule: str) -> None:
         if path.is_empty():
             return
+        style, style_key = self._capture_style(self._state.fill_style)
+        state, state_key = self._capture_state()
+        key = ("fill", path.canonical_digest(), rule, style_key, state_key)
+        self._defer(key, lambda: self._fill_path(path, rule, style, state))
+
+    def _queue_stroke(self, path: Path) -> None:
+        if path.is_empty():
+            return
+        style, style_key = self._capture_style(self._state.stroke_style)
+        state, state_key = self._capture_state()
+        line_width = state.line_width * state.transform.scale_magnitude
+        key = ("stroke", path.canonical_digest(), line_width, style_key, state_key)
+        self._defer(key, lambda: self._stroke_path(path, line_width, style, state))
+
+    def _fill_path(self, path: Path, rule: str, style: FillStyle, state: _DrawState) -> None:
         coverage, offset = rasterize_fill(
             path,
             self._surface.width,
@@ -407,22 +537,20 @@ class CanvasRenderingContext2D:
         )
         if coverage.size == 0:
             return
-        self._paint_coverage(coverage, offset, style)
+        self._paint_coverage(coverage, offset, style, state)
 
-    def _stroke_path(self, path: Path) -> None:
-        if path.is_empty():
-            return
+    def _stroke_path(self, path: Path, line_width: float, style: FillStyle, state: _DrawState) -> None:
         coverage, offset = rasterize_stroke(
             path,
             self._surface.width,
             self._surface.height,
-            line_width=self._state.line_width * self._state.transform.scale_magnitude,
+            line_width=line_width,
             device=self.device,
             noise_tag=self._geometry_tag(path) ^ 0x5A5A,
         )
         if coverage.size == 0:
             return
-        self._paint_coverage(coverage, offset, self._state.stroke_style)
+        self._paint_coverage(coverage, offset, style, state)
 
     def _geometry_tag(self, path: Path) -> int:
         """Deterministic tag derived from geometry: identical shapes get
@@ -447,12 +575,21 @@ class CanvasRenderingContext2D:
             self._state.clip_mask = mask
         else:
             self._state.clip_mask = self._state.clip_mask * mask
+        self._state.clip_digest = hashlib.blake2b(
+            self._state.clip_mask.tobytes(), digest_size=16
+        ).digest()
 
-    def _paint_coverage(self, coverage: np.ndarray, offset: Tuple[int, int], style: FillStyle) -> None:
-        alpha = self._state.global_alpha
+    def _paint_coverage(
+        self,
+        coverage: np.ndarray,
+        offset: Tuple[int, int],
+        style: FillStyle,
+        state: _DrawState,
+    ) -> None:
+        alpha = state.global_alpha
         if alpha <= 0.0:
             return
-        if self._state.clip_mask is not None:
+        if state.clip_mask is not None:
             # Align the coverage mask (at surface offset) with the clip mask.
             x0, y0 = offset
             h, w = coverage.shape
@@ -463,24 +600,23 @@ class CanvasRenderingContext2D:
             if sx1 > sx0 and sy1 > sy0:
                 clipped[sy0 - y0 : sy1 - y0, sx0 - x0 : sx1 - x0] = (
                     coverage[sy0 - y0 : sy1 - y0, sx0 - x0 : sx1 - x0]
-                    * self._state.clip_mask[sy0:sy1, sx0:sx1]
+                    * state.clip_mask[sy0:sy1, sx0:sx1]
                 )
             coverage = clipped
-        self._paint_shadow(coverage, offset)
+        self._paint_shadow(coverage, offset, state)
         if isinstance(style, CanvasGradient):
             x0, y0 = offset
             rgba = style.sample(x0, y0, coverage.shape[1], coverage.shape[0])
             if alpha < 1.0:
                 rgba = rgba.copy()
                 rgba[..., 3] *= alpha
-            self._surface.paint(coverage, rgba, op=self._state.composite_op, offset=offset)
+            self._surface.paint(coverage, rgba, op=state.composite_op, offset=offset)
             return
         r, g, b, a = parse_color(style)
-        self._surface.paint(coverage, (r, g, b, a * alpha), op=self._state.composite_op, offset=offset)
+        self._surface.paint(coverage, (r, g, b, a * alpha), op=state.composite_op, offset=offset)
 
-    def _paint_shadow(self, coverage: np.ndarray, offset: Tuple[int, int]) -> None:
+    def _paint_shadow(self, coverage: np.ndarray, offset: Tuple[int, int], state: _DrawState) -> None:
         """Draw the shape's shadow (blurred, offset copy) under it."""
-        state = self._state
         if state.shadow_blur <= 0 and state.shadow_offset_x == 0 and state.shadow_offset_y == 0:
             return
         try:
@@ -536,8 +672,35 @@ class CanvasRenderingContext2D:
         text = str(text)
         if not text:
             return
-        spec = parse_font(self._state.font)
-        coverage, emoji_colors, baseline_off = self._text.render(text, spec, self._state.text_baseline)
+        style, style_key = self._capture_style(style)
+        state, state_key = self._capture_state()
+        t = state.transform
+        key = (
+            "text",
+            text,
+            state.font,
+            state.text_baseline,
+            state.text_align,
+            x,
+            y,
+            max_width,
+            (t.a, t.b, t.c, t.d, t.e, t.f),
+            style_key,
+            state_key,
+        )
+        self._defer(key, lambda: self._render_text(text, x, y, style, max_width, state))
+
+    def _render_text(
+        self,
+        text: str,
+        x: float,
+        y: float,
+        style: FillStyle,
+        max_width: Optional[float],
+        state: _DrawState,
+    ) -> None:
+        spec = parse_font(state.font)
+        coverage, emoji_colors, baseline_off = self._text.render(text, spec, state.text_baseline)
         if coverage.size == 0:
             return
 
@@ -553,28 +716,28 @@ class CanvasRenderingContext2D:
             width = max_width
 
         ax = x
-        if self._state.text_align in ("center",):
+        if state.text_align in ("center",):
             ax -= width / 2.0
-        elif self._state.text_align in ("right", "end"):
+        elif state.text_align in ("right", "end"):
             ax -= width
 
-        baseline_shift = self._text.baseline_shift(self._state.text_baseline, spec)
+        baseline_shift = self._text.baseline_shift(state.text_baseline, spec)
         top_y = y + baseline_shift - baseline_off
 
-        t = self._state.transform
+        t = state.transform
         coverage, emoji_colors, offset = _place_mask(coverage, emoji_colors, t, ax, top_y)
 
         if emoji_colors is not None:
             rgba = np.zeros(coverage.shape + (4,), dtype=np.float64)
             base = parse_color(style) if isinstance(style, str) else (0.0, 0.0, 0.0, 255.0)
             rgba[..., 0], rgba[..., 1], rgba[..., 2] = base[0], base[1], base[2]
-            rgba[..., 3] = base[3] * self._state.global_alpha
+            rgba[..., 3] = base[3] * state.global_alpha
             tinted = emoji_colors.sum(axis=2) > 0
             rgba[tinted, :3] = emoji_colors[tinted]
-            self._surface.paint(coverage, rgba, op=self._state.composite_op, offset=offset)
+            self._surface.paint(coverage, rgba, op=state.composite_op, offset=offset)
             return
 
-        self._paint_coverage(coverage, offset, style)
+        self._paint_coverage(coverage, offset, style, state)
 
     # -- pixel access -----------------------------------------------------------------------
 
@@ -591,7 +754,15 @@ class CanvasRenderingContext2D:
         return ImageData(width=w, height=h, pixels=out)
 
     def putImageData(self, image_data: ImageData, x: float, y: float) -> None:
-        self._surface.put_uint8(image_data.pixels, int(x), int(y))
+        # Copy: the caller may mutate the ImageData after this call.  The op
+        # key carries a content digest, so a putImageData of different
+        # pixels can never collide with a cached render.
+        pixels = np.ascontiguousarray(image_data.pixels).copy()
+        digest = hashlib.blake2b(pixels.tobytes(), digest_size=16).digest()
+        self._defer(
+            ("put-image", digest, pixels.shape, int(x), int(y)),
+            lambda: self._surface.put_uint8(pixels, int(x), int(y)),
+        )
 
     def createImageData(self, w: float, h: float) -> ImageData:
         w, h = int(w), int(h)
@@ -600,16 +771,28 @@ class CanvasRenderingContext2D:
         return ImageData(width=w, height=h, pixels=np.zeros((h, w, 4), dtype=np.uint8))
 
     def drawImage(self, source, dx: float, dy: float, dw: Optional[float] = None, dh: Optional[float] = None) -> None:
-        """Draw another canvas element onto this one."""
+        """Draw another canvas element onto this one.
+
+        Reading the source flushes *its* pending ops (and runs its privacy
+        filter), exactly as an eager implementation would; the captured
+        pixels are keyed by content digest so the op log stays canonical.
+        """
         pixels = source.read_pixels() if hasattr(source, "read_pixels") else None
         if pixels is None:
             return
         if dw is not None and dh is not None and (dw != pixels.shape[1] or dh != pixels.shape[0]):
             pixels = _nearest_resize(pixels, int(dh), int(dw))
-        rgba = pixels.astype(np.float64)
-        coverage = np.ones(rgba.shape[:2], dtype=np.float64)
         tx, ty = self._state.transform.apply(dx, dy)
-        self._surface.paint(coverage, rgba, op=self._state.composite_op, offset=(int(round(tx)), int(round(ty))))
+        offset = (int(round(tx)), int(round(ty)))
+        op = self._state.composite_op
+        digest = hashlib.blake2b(np.ascontiguousarray(pixels).tobytes(), digest_size=16).digest()
+
+        def apply() -> None:
+            rgba = pixels.astype(np.float64)
+            coverage = np.ones(rgba.shape[:2], dtype=np.float64)
+            self._surface.paint(coverage, rgba, op=op, offset=offset)
+
+        self._defer(("draw-image", digest, pixels.shape, offset, op), apply)
 
     # -- hit testing -------------------------------------------------------------------------
 

@@ -84,7 +84,14 @@ class HTMLCanvasElement:
     # -- extraction -----------------------------------------------------------------------
 
     def read_pixels(self) -> np.ndarray:
-        """Snapshot pixels through the privacy filter (if installed)."""
+        """Snapshot pixels through the privacy filter (if installed).
+
+        Materializes deferred draw ops first (the render-cache flush point),
+        then applies the privacy filter — randomization defenses act on the
+        rendered pixels, so caching below this line cannot mask them.
+        """
+        if self._context is not None:
+            self._context.flush()
         pixels = self.surface.to_uint8()
         if self.extraction_filter is not None:
             pixels = self.extraction_filter(pixels)

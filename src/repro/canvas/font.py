@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import math
 import re
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.canvas.device import DeviceProfile
 from repro.canvas.font_data import DESCENDER_ROW, GLYPHS, GLYPH_HEIGHT
 
@@ -79,11 +81,16 @@ def parse_font(font: str) -> FontSpec:
     return FontSpec(size_px=size_px, family=family, bold=bold, italic=italic)
 
 
-#: Process-wide glyph cache: glyph rasterization is pure in
+#: Process-wide glyph atlas: glyph rasterization is pure in
 #: (device, char, spec, cell height), and thousands of page loads share the
 #: same vendor scripts, so a shared cache is a large crawl-speed win.
-_GLOBAL_GLYPH_CACHE: Dict[Tuple, Tuple[np.ndarray, Optional[Tuple[int, int, int]]]] = {}
-_GLYPH_CACHE_LIMIT = 4096
+#: Byte-budgeted LRU, instrumented through :mod:`repro.perf`.
+_GLYPH_ATLAS = perf.ByteBudgetLRU("glyph_atlas", budget_attr="glyph_cache_bytes")
+
+#: Shaped text-run cache: whole (text, font, device) coverage masks, one
+#: level above the glyph atlas — ``fillText`` is the hottest op in
+#: fingerprinting canvases and most runs repeat verbatim across sites.
+_RUN_CACHE = perf.ByteBudgetLRU("text_run", budget_attr="glyph_cache_bytes")
 
 
 class TextRasterizer:
@@ -91,7 +98,6 @@ class TextRasterizer:
 
     def __init__(self, device: DeviceProfile) -> None:
         self.device = device
-        self._glyph_cache = _GLOBAL_GLYPH_CACHE
 
     # -- metrics --------------------------------------------------------------------
 
@@ -131,10 +137,13 @@ class TextRasterizer:
         their own colors), and ``baseline_offset`` is the distance from the
         mask's top row to the alphabetic baseline.
         """
-        run_key = ("run", self.device.name, text, spec.key)
-        cached_run = _GLOBAL_GLYPH_CACHE.get(run_key)
-        if cached_run is not None:
-            return cached_run
+        caching = perf.config().enabled
+        run_key = (self.device, text, spec.key)
+        if caching:
+            cached_run = _RUN_CACHE.get(run_key)
+            if cached_run is not None:
+                return cached_run
+        started = time.perf_counter()
 
         scale = spec.size_px / GLYPH_HEIGHT
         fam = self.family_scale(spec.family)
@@ -174,9 +183,9 @@ class TextRasterizer:
 
         self._perturb(coverage, text, spec)
         result = (coverage, colors, cell_h * _BASELINE_RATIO)
-        if len(_GLOBAL_GLYPH_CACHE) > _GLYPH_CACHE_LIMIT:
-            _GLOBAL_GLYPH_CACHE.clear()
-        _GLOBAL_GLYPH_CACHE[run_key] = result
+        if caching:
+            nbytes = coverage.nbytes + (colors.nbytes if colors is not None else 0)
+            _RUN_CACHE.put(run_key, result, nbytes, seconds=time.perf_counter() - started)
         return result
 
     def baseline_shift(self, baseline: str, spec: FontSpec) -> float:
@@ -197,13 +206,14 @@ class TextRasterizer:
     def _glyph_mask(
         self, ch: str, spec: FontSpec, cell_h: int
     ) -> Tuple[np.ndarray, Optional[Tuple[int, int, int]]]:
-        key = (self.device.name, ch, spec.key, cell_h)
-        cached = self._glyph_cache.get(key)
-        if cached is not None:
-            mask, tint = cached
-            return mask, tint
-        if len(self._glyph_cache) > _GLYPH_CACHE_LIMIT:
-            self._glyph_cache.clear()
+        caching = perf.config().enabled
+        key = (self.device, ch, spec.key, cell_h)
+        if caching:
+            cached = _GLYPH_ATLAS.get(key)
+            if cached is not None:
+                mask, tint = cached
+                return mask, tint
+        started = time.perf_counter()
 
         rows = GLYPHS.get(ch)
         if rows is None:
@@ -220,7 +230,8 @@ class TextRasterizer:
                 mask = _shear(mask)
             tint = None
 
-        self._glyph_cache[key] = (mask, tint)
+        if caching:
+            _GLYPH_ATLAS.put(key, (mask, tint), mask.nbytes, seconds=time.perf_counter() - started)
         return mask, tint
 
     def _fallback_glyph(self, ch: str, cell_h: int) -> Tuple[np.ndarray, Optional[Tuple[int, int, int]]]:

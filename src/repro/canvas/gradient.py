@@ -32,6 +32,21 @@ class CanvasGradient:
         self._stops.append((float(offset), parse_color(color)))
         self._stops.sort(key=lambda s: s[0])
 
+    def snapshot(self) -> "CanvasGradient":
+        """Copy frozen at the current stop list.
+
+        Gradients are mutable (``addColorStop`` after a draw must not change
+        the already-issued draw), so deferred paint ops capture a snapshot.
+        """
+        out = CanvasGradient(self.kind, self.geometry)
+        out._stops = list(self._stops)
+        return out
+
+    @property
+    def state_key(self) -> Tuple:
+        """Hashable identity of the gradient's current paint behavior."""
+        return (self.kind, self.geometry, tuple(self._stops))
+
     def sample(self, x0: int, y0: int, width: int, height: int) -> np.ndarray:
         """Sample the gradient over a pixel box, returning an RGBA array."""
         if not self._stops:

@@ -9,11 +9,15 @@ profile's deterministic perturbation — the core fingerprintable signal.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.canvas.device import DeviceProfile
 from repro.canvas.geometry import Transform
 
@@ -64,6 +68,27 @@ class Path:
 
     def is_empty(self) -> bool:
         return not any(len(sp) >= 2 for sp in self.subpaths)
+
+    def copy(self) -> "Path":
+        """Independent copy (deferred paint ops capture the path as drawn,
+        unaffected by later ``lineTo``/``closePath`` on the live path)."""
+        out = Path()
+        out.subpaths = [list(sp) for sp in self.subpaths]
+        out._closed = list(self._closed)
+        return out
+
+    def canonical_digest(self) -> bytes:
+        """Content digest over subpath structure and device-space points.
+
+        Used as the geometry component of render-cache keys: two paths with
+        the same digest fill and stroke identically (points, subpath
+        boundaries and closed flags are all folded in).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for pts, closed in zip(self.subpaths, self._closed):
+            h.update(struct.pack("<I?", len(pts), closed))
+            h.update(np.asarray(pts, dtype=np.float64).tobytes())
+        return h.digest()
 
     # -- geometry helpers ----------------------------------------------------------
 
@@ -299,24 +324,24 @@ def _disk_edges(cx: float, cy: float, r: float, n: int = 16) -> np.ndarray:
 #: Pure-function cache for winding-rule coverage: identical fingerprinting
 #: scripts rasterize identical geometry on thousands of sites, so the first
 #: site pays for the supersampled winding test and the rest hit the cache.
-_COVERAGE_CACHE: dict = {}
-_COVERAGE_CACHE_LIMIT = 2048
+#: Keyed by the exact edge bytes plus the pixel box and rule; bounded by a
+#: byte budget with LRU eviction (see docs/performance.md).
+_COVERAGE_CACHE = perf.ByteBudgetLRU("path_mask", budget_attr="path_cache_bytes")
 
 
 def _coverage_from_edges(
     edges: np.ndarray, x0: int, y0: int, x1: int, y1: int, rule: str
 ) -> np.ndarray:
     """Supersampled winding-rule coverage over the [x0,x1)x[y0,y1) pixel box."""
-    import hashlib
-
-    key = (hashlib.blake2b(edges.tobytes(), digest_size=16).digest(), x0, y0, x1, y1, rule)
+    if not perf.config().enabled:
+        return _coverage_uncached(edges, x0, y0, x1, y1, rule)
+    key = (edges.tobytes(), x0, y0, x1, y1, rule)
     cached = _COVERAGE_CACHE.get(key)
     if cached is not None:
         return cached.copy()  # callers mutate (noise, union) — protect the cache
-    if len(_COVERAGE_CACHE) > _COVERAGE_CACHE_LIMIT:
-        _COVERAGE_CACHE.clear()
+    started = time.perf_counter()
     coverage = _coverage_uncached(edges, x0, y0, x1, y1, rule)
-    _COVERAGE_CACHE[key] = coverage
+    _COVERAGE_CACHE.put(key, coverage, coverage.nbytes, seconds=time.perf_counter() - started)
     return coverage.copy()
 
 

@@ -46,6 +46,22 @@ class Surface:
         """Return an independent ``uint8`` copy of the pixels."""
         return np.clip(np.rint(self._px), 0, 255).astype(np.uint8)
 
+    def snapshot(self) -> np.ndarray:
+        """Full-precision copy of the raster (render-cache values).
+
+        ``float64`` rather than ``uint8``: a restored canvas must continue
+        compositing bit-identically to one that was rasterized in place.
+        """
+        return self._px.copy()
+
+    def set_pixels(self, pixels: np.ndarray) -> None:
+        """Restore a :meth:`snapshot` (copies — the source stays pristine)."""
+        if pixels.shape != self._px.shape:
+            raise ValueError(
+                f"snapshot shape {pixels.shape} does not match surface {self._px.shape}"
+            )
+        self._px[...] = pixels
+
     def put_uint8(self, pixels: np.ndarray, x: int = 0, y: int = 0) -> None:
         """Overwrite a region with raw RGBA pixels (putImageData semantics)."""
         h, w = pixels.shape[:2]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import perf
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
 from repro.core.attribution import (
@@ -158,6 +159,13 @@ class StudyResult:
     #: Excluded from equality: a cached run must compare equal to an
     #: uncached one when the science is the same.
     stage_timings: Tuple[StageTiming, ...] = field(default=(), compare=False, repr=False)
+    #: Render-acceleration counters accumulated over this study (per cache
+    #: layer: hits, misses, hit_rate, evictions, miss/saved seconds).
+    #: Excluded from equality for the same reason as ``stage_timings``: the
+    #: caches are exactly transparent, so hit counts are not science.
+    perf_counters: Dict[str, Dict[str, float]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def fp_sites(self) -> Dict[str, Set[str]]:
@@ -185,6 +193,7 @@ def run_study(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     stages: Optional[Sequence[str]] = None,
+    render_cache: Optional[perf.RenderCacheConfig] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -201,7 +210,16 @@ def run_study(
     named stages plus their dependencies (see
     :data:`repro.core.stages.study.STAGE_DOCS`); the result then only
     carries the artifacts that were produced.
+
+    ``render_cache`` overrides the render-acceleration configuration for
+    this run (and, via the shard payloads, for every crawl worker).  The
+    caches are exactly transparent — enabled, disabled, cold or warm, the
+    study result is byte-identical; only ``StudyResult.perf_counters`` and
+    the timing section change.
     """
+    if render_cache is not None:
+        perf.configure(render_cache)
+    perf_before = perf.PERF.snapshot()
     cache = StageCache(cache_dir) if cache_dir is not None else None
     ctx = StudyContext(
         network=network,
@@ -222,7 +240,9 @@ def run_study(
     )
     graph = build_study_graph(ctx, cache=cache)
     run = graph.execute(ctx, only=stages)
-    return _assemble_result(ctx, run)
+    result = _assemble_result(ctx, run)
+    result.perf_counters = perf.diff_snapshots(perf_before, perf.PERF.snapshot())
+    return result
 
 
 def _assemble_result(ctx: StudyContext, run) -> StudyResult:

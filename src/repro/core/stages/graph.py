@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from repro import perf
 from repro.core.stages.cache import StageCache
 from repro.core.stages.stage import Stage, StageTiming
 
@@ -105,6 +106,7 @@ class StageGraph:
             if stage.name not in selected:
                 continue
             started = time.perf_counter()
+            perf_before = perf.PERF.snapshot()
             key = stage.cache_key(ctx, run.keys)
             run.keys[stage.name] = key
             cached = False
@@ -117,12 +119,17 @@ class StageGraph:
                 if self.cache is not None:
                     self.cache.put(stage.name, key, value, stage.artifact)
             run.artifacts[stage.name] = value
+            # Render-cache activity attributable to this stage (sharded
+            # crawls merge worker snapshots before this point, so parallel
+            # stages are covered too).
+            perf_delta = perf.diff_snapshots(perf_before, perf.PERF.snapshot())
             run.timings.append(
                 StageTiming(
                     name=stage.name,
                     seconds=time.perf_counter() - started,
                     cached=cached,
                     key=key,
+                    details={"perf": perf_delta} if perf_delta else {},
                 )
             )
         return run

@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro import perf
 from repro.browser.profile import BrowserProfile
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
@@ -94,21 +95,26 @@ def merge_shard_datasets(
     return merged
 
 
-def _crawl_shard_worker(payload) -> List[dict]:
+def _crawl_shard_worker(payload):
     """Worker entry point: crawl one shard, return observations as JSON.
 
     Must stay a module-level function (pickled by name by multiprocessing).
     Observations cross the process boundary as their JSON records — the same
     schema the checkpoint files use — so the parent never depends on pickle
-    compatibility of in-flight collector objects.
+    compatibility of in-flight collector objects.  Each worker installs the
+    parent's render-cache config before crawling and ships its perf-counter
+    snapshot back alongside the records, so per-worker cache wins aggregate
+    into the study's counters.
     """
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume) = payload
+     checkpoint, resume, perf_config) = payload
+    perf.configure(perf_config)
     dataset = _crawl_one_shard(
         network, targets, profile, label, retry_policy, page_budget,
         inner_paths, checkpoint, resume, progress=None,
     )
-    return [observation.to_json() for observation in dataset.observations]
+    records = [observation.to_json() for observation in dataset.observations]
+    return records, perf.PERF.snapshot()
 
 
 def _crawl_one_shard(
@@ -214,13 +220,14 @@ def run_sharded_crawl(
     else:
         payloads = [
             (network, shard, profile, label, retry_policy, page_budget,
-             inner_paths, checkpoints[index], resume)
+             inner_paths, checkpoints[index], resume, perf.current_config())
             for index, shard in enumerate(planned)
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(planned))) as pool:
             results = list(pool.map(_crawl_shard_worker, payloads))
         shard_datasets = []
-        for records in results:
+        for records, perf_snapshot in results:
+            perf.PERF.merge(perf_snapshot)
             dataset = CrawlDataset(label=label)
             dataset.observations.extend(
                 SiteObservation.from_json(record) for record in records

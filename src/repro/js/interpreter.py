@@ -9,6 +9,7 @@ synthetic script cannot hang a crawl.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Any, Dict, List, Optional
 
@@ -126,7 +127,15 @@ class Interpreter:
 
     def run(self, source: str, script_url: str = "<inline>", cache_key: Any = None) -> Any:
         """Parse and execute ``source`` attributed to ``script_url``."""
-        key = cache_key if cache_key is not None else (script_url, hash(source))
+        # Content-digest key: builtin hash() is randomized per process
+        # (PYTHONHASHSEED) and collision-prone, which would make AST-cache
+        # keys unstable across shard workers and allow two different sources
+        # served under one URL to collide.
+        if cache_key is not None:
+            key = cache_key
+        else:
+            digest = hashlib.sha256(source.encode("utf-8", "surrogatepass")).hexdigest()
+            key = (script_url, digest)
         program = self._ast_cache.get(key)
         if program is None:
             program = parse(source, script_url)

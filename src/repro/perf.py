@@ -1,0 +1,313 @@
+"""Perf counters and bounded caches for the render hot path.
+
+The render-acceleration subsystem (whole-canvas render cache, glyph atlas,
+path coverage-mask cache, encode memoization) shares three pieces of
+machinery that live here so every layer reports wins the same way:
+
+* :class:`PerfCounters` — cheap per-layer hit/miss/eviction counters and
+  timers.  A process-global instance (:data:`PERF`) accumulates across every
+  canvas in the process; shard workers snapshot it and the parent merges the
+  snapshots, so counters survive the multiprocessing boundary.
+* :class:`RenderCacheConfig` — the tuning knobs (per-layer byte budgets and
+  a global enable switch), picklable so shard workers inherit the parent's
+  configuration.
+* :class:`ByteBudgetLRU` — an exact-key LRU bounded by a byte budget rather
+  than an entry count, instrumented against :data:`PERF`.
+
+Caches register themselves at import time so :func:`configure` can resize
+them and tests can :func:`reset_caches` for a cold start.  All caches are
+*exactly transparent*: keys are full tuples of the inputs (no lossy
+digests of semantic state), so a hit can only ever return what a cold
+render would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+__all__ = [
+    "PerfCounters",
+    "RenderCacheConfig",
+    "ByteBudgetLRU",
+    "PERF",
+    "config",
+    "configure",
+    "current_config",
+    "reset_caches",
+    "reset_all",
+    "diff_snapshots",
+]
+
+_MB = 1024 * 1024
+
+#: Counter field names tracked per layer, in snapshot order.
+_FIELDS = ("hits", "misses", "evictions", "hit_seconds", "miss_seconds", "entries", "bytes")
+
+
+@dataclass(frozen=True)
+class RenderCacheConfig:
+    """Tuning knobs for the render-acceleration caches.
+
+    ``enabled`` gates every layer at once (the transparency tests compare
+    enabled vs disabled runs byte-for-byte).  Budgets are per cache, in
+    bytes; a cache evicts least-recently-used entries once its resident
+    values exceed the budget.
+    """
+
+    enabled: bool = True
+    #: Whole-canvas pixel snapshots (float64 RGBA — the costliest values).
+    render_cache_bytes: int = 256 * _MB
+    #: Glyph masks and shaped text-run masks.
+    glyph_cache_bytes: int = 64 * _MB
+    #: Winding-rule coverage masks for filled/stroked paths.
+    path_cache_bytes: int = 64 * _MB
+    #: Encoded PNG/JPEG/WebP payloads keyed by pixel digest.
+    encode_cache_bytes: int = 64 * _MB
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "RenderCacheConfig":
+        """Build a config from ``REPRO_RENDER_CACHE*`` environment variables.
+
+        ``REPRO_RENDER_CACHE=0`` disables every layer;
+        ``REPRO_RENDER_CACHE_<LAYER>_MB`` overrides a budget (e.g.
+        ``REPRO_RENDER_CACHE_RENDER_MB=512``).
+        """
+        env = os.environ if env is None else env
+        kwargs: Dict[str, Any] = {}
+        toggle = env.get("REPRO_RENDER_CACHE")
+        if toggle is not None:
+            kwargs["enabled"] = toggle.strip().lower() not in ("0", "false", "off", "no")
+        for name in ("render", "glyph", "path", "encode"):
+            raw = env.get(f"REPRO_RENDER_CACHE_{name.upper()}_MB")
+            if raw is not None:
+                try:
+                    kwargs[f"{name}_cache_bytes"] = max(0, int(float(raw) * _MB))
+                except ValueError:
+                    pass
+        return cls(**kwargs)
+
+    def budget(self, attr: str) -> int:
+        return int(getattr(self, attr))
+
+
+class PerfCounters:
+    """Per-layer hit/miss/eviction counters and timers.
+
+    Layers are created lazily; recording a hit or miss is a couple of dict
+    operations, cheap enough for the per-draw-op hot path.
+    """
+
+    def __init__(self) -> None:
+        self._layers: Dict[str, Dict[str, float]] = {}
+
+    def layer(self, name: str) -> Dict[str, float]:
+        bucket = self._layers.get(name)
+        if bucket is None:
+            bucket = {f: 0.0 for f in _FIELDS}
+            self._layers[name] = bucket
+        return bucket
+
+    def hit(self, name: str, seconds: float = 0.0) -> None:
+        bucket = self.layer(name)
+        bucket["hits"] += 1
+        bucket["hit_seconds"] += seconds
+
+    def miss(self, name: str, seconds: float = 0.0) -> None:
+        bucket = self.layer(name)
+        bucket["misses"] += 1
+        bucket["miss_seconds"] += seconds
+
+    def evict(self, name: str, n: int = 1) -> None:
+        self.layer(name)["evictions"] += n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate wall time for a pure timer layer (no hit/miss)."""
+        self.layer(name)["miss_seconds"] += seconds
+
+    def set_residency(self, name: str, entries: int, nbytes: int) -> None:
+        bucket = self.layer(name)
+        bucket["entries"] = float(entries)
+        bucket["bytes"] = float(nbytes)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Picklable copy of every layer, with derived rates included.
+
+        ``hit_rate`` is hits over lookups; ``saved_seconds`` estimates the
+        rasterization time hits avoided (hits x mean observed miss cost,
+        minus the time the hits themselves took).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, bucket in self._layers.items():
+            row = dict(bucket)
+            lookups = row["hits"] + row["misses"]
+            row["hit_rate"] = row["hits"] / lookups if lookups else 0.0
+            mean_miss = row["miss_seconds"] / row["misses"] if row["misses"] else 0.0
+            row["saved_seconds"] = max(0.0, row["hits"] * mean_miss - row["hit_seconds"])
+            out[name] = row
+        return out
+
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold a snapshot (e.g. from a shard worker) into this instance."""
+        for name, row in snapshot.items():
+            bucket = self.layer(name)
+            for field in _FIELDS:
+                if field in ("entries", "bytes"):
+                    # Residency is a gauge, not a counter: workers each hold
+                    # their own cache, so take the max as "largest resident".
+                    bucket[field] = max(bucket[field], row.get(field, 0.0))
+                else:
+                    bucket[field] += row.get(field, 0.0)
+
+    def reset(self) -> None:
+        self._layers.clear()
+
+
+def diff_snapshots(
+    before: Dict[str, Dict[str, float]], after: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-layer delta between two snapshots (monotonic counters only).
+
+    Layers with no activity in the window are dropped, so the diff of a
+    stage that never touched a canvas is ``{}``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name, row in after.items():
+        base = before.get(name, {})
+        delta = {}
+        for field in ("hits", "misses", "evictions", "hit_seconds", "miss_seconds"):
+            delta[field] = row.get(field, 0.0) - base.get(field, 0.0)
+        if not any(delta[f] for f in ("hits", "misses", "evictions", "miss_seconds")):
+            continue
+        lookups = delta["hits"] + delta["misses"]
+        delta["hit_rate"] = delta["hits"] / lookups if lookups else 0.0
+        mean_miss = delta["miss_seconds"] / delta["misses"] if delta["misses"] else 0.0
+        delta["saved_seconds"] = max(0.0, delta["hits"] * mean_miss - delta["hit_seconds"])
+        out[name] = delta
+    return out
+
+
+#: Process-global counters every cache layer reports into.
+PERF = PerfCounters()
+
+_CONFIG = RenderCacheConfig.from_env()
+_CACHES: List["ByteBudgetLRU"] = []
+
+
+def config() -> RenderCacheConfig:
+    """The active render-cache configuration."""
+    return _CONFIG
+
+
+def current_config() -> RenderCacheConfig:
+    return _CONFIG
+
+
+def configure(cfg: RenderCacheConfig) -> None:
+    """Install ``cfg`` and resize every registered cache to its budget.
+
+    Disabling drops all cached state so a later re-enable starts cold.
+    """
+    global _CONFIG
+    _CONFIG = cfg
+    for cache in _CACHES:
+        cache.set_max_bytes(cfg.budget(cache.budget_attr))
+        if not cfg.enabled:
+            cache.clear()
+
+
+def reset_caches() -> None:
+    """Drop every cached value (counters are left alone)."""
+    for cache in _CACHES:
+        cache.clear()
+
+
+def reset_all() -> None:
+    """Cold start: drop caches and zero counters (test isolation)."""
+    reset_caches()
+    PERF.reset()
+
+
+class ByteBudgetLRU:
+    """Exact-key LRU bounded by the total byte size of its values.
+
+    Keys are plain hashable tuples of the complete inputs — equality, not a
+    digest, decides hits, so a hit is always byte-correct.  Each entry
+    carries its resident size; inserting past the budget evicts from the
+    least-recently-used end.  Lookups and inserts report to :data:`PERF`
+    under the cache's layer name.
+    """
+
+    def __init__(self, layer: str, budget_attr: str, counters: PerfCounters = PERF) -> None:
+        self.layer = layer
+        self.budget_attr = budget_attr
+        self._counters = counters
+        self._max_bytes = _CONFIG.budget(budget_attr)
+        self._bytes = 0
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        _CACHES.append(self)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def set_max_bytes(self, max_bytes: int) -> None:
+        self._max_bytes = int(max_bytes)
+        self._evict_to_budget()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self._counters.set_residency(self.layer, 0, 0)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (counted as a hit) or None (not counted).
+
+        The miss is counted by the matching :meth:`put` so its recorded
+        seconds cover the recompute the miss actually cost.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        self._counters.hit(self.layer)
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int, seconds: float = 0.0) -> None:
+        """Insert a freshly computed value, recording the miss that built it."""
+        self._counters.miss(self.layer, seconds)
+        nbytes = int(nbytes)
+        if nbytes > self._max_bytes:
+            return  # larger than the whole budget: never resident
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        self._evict_to_budget()
+        self._counters.set_residency(self.layer, len(self._entries), self._bytes)
+
+    def _evict_to_budget(self) -> None:
+        evicted = 0
+        while self._bytes > self._max_bytes and self._entries:
+            _, (_, nbytes) = self._entries.popitem(last=False)
+            self._bytes -= nbytes
+            evicted += 1
+        if evicted:
+            self._counters.evict(self.layer, evicted)
+            self._counters.set_residency(self.layer, len(self._entries), self._bytes)
+
+
+def timed(layer: str, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` and charge its wall time to ``layer``."""
+    started = time.perf_counter()
+    try:
+        return fn()
+    finally:
+        PERF.add_time(layer, time.perf_counter() - started)

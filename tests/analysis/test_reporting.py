@@ -104,6 +104,22 @@ class TestFigures:
         assert "Paper vs measured" in text
         assert "prevalence (top)" in text
 
+    def test_report_render_cache_section(self, result):
+        """The timing section surfaces per-layer cache counters."""
+        from repro.analysis.report import render_cache_table, study_report
+
+        text = study_report(result)
+        assert "Render-cache acceleration" in text
+        table = render_cache_table(result)
+        assert "hit rate" in table and "saved" in table
+        assert "render_cache" in table
+        assert result.perf_counters["render_cache"]["hits"] > 0
+
+    def test_stage_timings_carry_perf_details(self, result):
+        crawl_stages = [t for t in result.stage_timings if t.name.startswith("crawl.")]
+        assert crawl_stages
+        assert any("perf" in t.details for t in crawl_stages)
+
 
 class TestExperiments:
     def test_all_experiments_render(self, result):
