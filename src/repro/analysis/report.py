@@ -15,6 +15,7 @@ from repro.core.pipeline import StudyResult
 __all__ = [
     "Comparison",
     "render_cache_table",
+    "run_observability_table",
     "stage_timing_table",
     "study_comparisons",
     "study_report",
@@ -242,6 +243,58 @@ def render_cache_table(result: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def run_observability_table(result: StudyResult) -> str:
+    """Operational telemetry of the run, from ``StudyResult.metrics``.
+
+    One-line rollups of the unified metrics delta: page loads and retries,
+    network traffic and injected faults, stage-cache outcomes.  Empty string
+    when the result carries no metrics (deserialized from disk, or built
+    before the observability layer).
+    """
+    counters = dict(result.metrics.get("counters", {}))
+    if not counters:
+        return ""
+
+    def total(base: str) -> int:
+        return int(
+            sum(v for name, v in counters.items() if name.startswith(f"{base}["))
+        )
+
+    lines = [
+        f"page loads: {total('crawler.attempts_total')} attempts over "
+        f"{total('crawler.pages')} sites "
+        f"({total('crawler.retries')} retries, {total('crawler.recovered')} recovered)",
+    ]
+    watchdog = total("crawler.watchdog")
+    if watchdog:
+        lines.append(f"watchdog fires: {watchdog}")
+    requests = int(counters.get("net.requests", 0))
+    if requests:
+        lines.append(
+            f"network: {requests} requests, "
+            f"{int(counters.get('net.bytes_fetched', 0)):,} bytes, "
+            f"{int(counters.get('net.requests_failed', 0))} failed"
+        )
+    faults = {
+        name.split(".", 2)[2]: int(v)
+        for name, v in counters.items()
+        if name.startswith("net.faults.")
+    }
+    if faults:
+        lines.append(
+            "injected faults: "
+            + ", ".join(f"{kind}={n}" for kind, n in sorted(faults.items()))
+        )
+    hits = int(counters.get("stage.cache.hits", 0))
+    misses = int(counters.get("stage.cache.misses", 0))
+    if hits + misses:
+        lines.append(f"stage cache: {hits} hit(s), {misses} miss(es)")
+    checkpoints = int(counters.get("crawler.checkpoint_writes", 0))
+    if checkpoints:
+        lines.append(f"checkpoint writes: {checkpoints}")
+    return "\n".join(lines)
+
+
 def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figures: bool = True) -> str:
     """Render the complete study: tables, figures, paper-vs-measured."""
     sections: List[str] = []
@@ -279,6 +332,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     acceleration = render_cache_table(result)
     if acceleration:
         sections.append("== Render-cache acceleration ==\n" + acceleration)
+
+    observability = run_observability_table(result)
+    if observability:
+        sections.append("== Run observability ==\n" + observability)
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

@@ -10,7 +10,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.canvas.color import ColorError, parse_color
 from repro.canvas.device import DeviceProfile
 from repro.canvas.font import TextRasterizer, parse_font
@@ -181,6 +181,10 @@ class CanvasRenderingContext2D:
             _RENDER_CACHE.put(
                 key, snapshot, snapshot.nbytes, seconds=time.perf_counter() - started
             )
+        if obs.TRACE.enabled:
+            # Guarded: flush runs per drawn canvas, so even building the
+            # attrs dict is too costly for the tracing-off hot path.
+            obs.event("render.flush", ops=len(pending), hit=cached is not None)
         # Chain the baseline as a digest: keys stay flat however many
         # flushes a canvas goes through.
         self._baseline = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).digest()

@@ -24,10 +24,13 @@ worker count or cache temperature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs as obs_layer
 from repro import perf
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
@@ -49,9 +52,10 @@ from repro.core.stages.study import StudyContext, build_study_graph
 from repro.crawler.collector import CanvasCollector
 from repro.crawler.crawl import CrawlDataset, CrawlTarget
 from repro.crawler.resilience import PageBudget, RetryPolicy
-from repro.crawler.shards import run_sharded_crawl
+from repro.crawler.shards import plan_shards, run_sharded_crawl
 from repro.net.server import Network
 from repro.net.url import URL
+from repro.obs.recorder import RunRecorder, resolve_run_dir
 
 __all__ = ["VendorKnowledge", "StudyResult", "run_study", "harvest_vendor_signatures"]
 
@@ -166,6 +170,11 @@ class StudyResult:
     perf_counters: Dict[str, Dict[str, float]] = field(
         default_factory=dict, compare=False, repr=False
     )
+    #: Unified observability metrics delta for this study (the same
+    #: counters/gauges/histograms the run's ``trace.jsonl`` summary line
+    #: carries — ``repro.obs summary`` totals come from these).  Excluded
+    #: from equality: operational telemetry, not science.
+    metrics: Dict[str, Any] = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def fp_sites(self) -> Dict[str, Set[str]]:
@@ -194,6 +203,7 @@ def run_study(
     cache_dir: Optional[Union[str, Path]] = None,
     stages: Optional[Sequence[str]] = None,
     render_cache: Optional[perf.RenderCacheConfig] = None,
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -216,10 +226,18 @@ def run_study(
     caches are exactly transparent — enabled, disabled, cold or warm, the
     study result is byte-identical; only ``StudyResult.perf_counters`` and
     the timing section change.
+
+    ``obs_dir`` names the directory that receives this run's observability
+    artifacts (``manifest.json`` + ``trace.jsonl``, inspectable with
+    ``python -m repro.obs``).  Falls back to ``REPRO_OBS_DIR``, then — when
+    tracing is on (``REPRO_OBS_TRACE=1``) and a ``cache_dir`` is given — to
+    ``<cache_dir>/obs``.  ``StudyResult.metrics`` always carries the same
+    metrics delta the trace summary line records, artifacts or not.
     """
     if render_cache is not None:
         perf.configure(render_cache)
     perf_before = perf.PERF.snapshot()
+    metrics_before = obs_layer.METRICS.snapshot()
     cache = StageCache(cache_dir) if cache_dir is not None else None
     ctx = StudyContext(
         network=network,
@@ -239,9 +257,41 @@ def run_study(
         checkpoint_dir=Path(cache_dir) / "shards" if cache_dir is not None else None,
     )
     graph = build_study_graph(ctx, cache=cache)
-    run = graph.execute(ctx, only=stages)
+
+    run_dir = resolve_run_dir(
+        obs_dir, Path(cache_dir) / "obs" if cache_dir is not None else None
+    )
+    recorder: Optional[RunRecorder] = None
+    if run_dir is not None:
+        planned = plan_shards(targets, max(1, jobs))
+        recorder = RunRecorder(
+            run_dir,
+            label="study",
+            shard_plan={
+                "shards": len(planned),
+                "jobs": jobs,
+                "sizes": [len(shard) for shard in planned],
+            },
+        ).start(metrics_before)
+
+    with obs_layer.span("study.run", targets=len(targets), jobs=jobs):
+        run = graph.execute(ctx, only=stages)
     result = _assemble_result(ctx, run)
     result.perf_counters = perf.diff_snapshots(perf_before, perf.PERF.snapshot())
+    # Fold render-cache wins into the unified metrics, then window them:
+    # StudyResult.metrics is the same delta the trace summary line carries.
+    obs_layer.absorb_perf(obs_layer.METRICS, result.perf_counters)
+    result.metrics = obs_layer.diff_metric_snapshots(
+        metrics_before, obs_layer.METRICS.snapshot()
+    )
+    if recorder is not None:
+        digest = hashlib.sha256(
+            json.dumps(run.keys, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:16]
+        recorder.finish(
+            manifest_update={"config_digest": digest, "stage_keys": run.keys},
+            health=asdict(result.control.health()),
+        )
     return result
 
 

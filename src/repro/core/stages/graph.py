@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
-from repro import perf
+from repro import obs, perf
 from repro.core.stages.cache import StageCache
 from repro.core.stages.stage import Stage, StageTiming
 
@@ -111,14 +111,25 @@ class StageGraph:
             run.keys[stage.name] = key
             cached = False
             value: Any = None
-            if self.cache is not None:
-                cached, value = self.cache.get(stage.name, key, stage.artifact)
-            if not cached:
-                inputs = {name: run.artifacts[name] for name in stage.inputs}
-                value = stage.run(ctx, inputs)
+            with obs.span(f"stage.{stage.name}", key=key) as stage_span:
                 if self.cache is not None:
-                    self.cache.put(stage.name, key, value, stage.artifact)
+                    cached, value = self.cache.get(stage.name, key, stage.artifact)
+                if not cached:
+                    inputs = {name: run.artifacts[name] for name in stage.inputs}
+                    value = stage.run(ctx, inputs)
+                    if self.cache is not None:
+                        self.cache.put(stage.name, key, value, stage.artifact)
+                stage_span.set_attr("cached", cached)
             run.artifacts[stage.name] = value
+            seconds = time.perf_counter() - started
+            # The gauge carries the same float as StageTiming.seconds, so
+            # `repro.obs summary` and StudyResult agree exactly per stage.
+            obs.gauge(f"stage.seconds[{stage.name}]", seconds)
+            if cached:
+                obs.inc(f"stage.cached[{stage.name}]")
+                obs.inc("stage.cache.hits")
+            elif self.cache is not None:
+                obs.inc("stage.cache.misses")
             # Render-cache activity attributable to this stage (sharded
             # crawls merge worker snapshots before this point, so parallel
             # stages are covered too).
@@ -126,7 +137,7 @@ class StageGraph:
             run.timings.append(
                 StageTiming(
                     name=stage.name,
-                    seconds=time.perf_counter() - started,
+                    seconds=seconds,
                     cached=cached,
                     key=key,
                     details={"perf": perf_delta} if perf_delta else {},

@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 
 from repro.blocklists.matcher import RuleMatcher
+from repro import obs
 from repro.browser.extensions import AdBlockerExtension
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import DEVICE_PROFILES, INTEL_UBUNTU
@@ -40,6 +41,7 @@ from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.crawler.shards import run_sharded_crawl
 from repro.crawler.storage import save_dataset
 from repro.net.faults import FaultConfig, FaultyNetwork
+from repro.obs.recorder import RunRecorder, resolve_run_dir
 from repro.webgen import build_world
 
 #: Crawl stages the ``--stage`` flag can run through the stage graph.
@@ -110,6 +112,12 @@ def main(argv=None) -> int:
         help="run this study crawl stage via the stage graph "
         "(uses the stage's canonical profile; --device/--adblock are ignored)",
     )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="write run observability artifacts (manifest.json + trace.jsonl) "
+        "here; defaults to <out>.obs when REPRO_OBS_TRACE=1",
+    )
     args = parser.parse_args(argv)
 
     world = build_world(StudyScale(fraction=args.scale, seed=args.seed))
@@ -140,6 +148,17 @@ def main(argv=None) -> int:
         if done["n"] % 500 == 0:
             rate = done["n"] / (time.time() - started)
             print(f"  {done['n']} sites crawled ({rate:.0f}/s)", flush=True)
+
+    run_dir = resolve_run_dir(args.obs_dir, default=f"{args.out}.obs")
+    recorder = None
+    if run_dir is not None:
+        recorder = RunRecorder(
+            run_dir,
+            label="crawl",
+            seed=args.seed,
+            shard_plan={"shards": max(1, args.jobs), "jobs": args.jobs},
+            extra={"out": str(args.out), "scale": args.scale},
+        ).start()
 
     if args.stage is not None or args.cache_dir is not None:
         # Stage-graph path: the crawl is one cached stage of the study
@@ -200,6 +219,11 @@ def main(argv=None) -> int:
             resume=args.resume,
         )
     health = dataset.health()
+    if recorder is not None:
+        from dataclasses import asdict
+
+        trace_path = recorder.finish(health=asdict(health))
+        print(f"observability artifacts -> {trace_path.parent}")
     print(f"crawled {health.total} sites ({health.successes} ok) in "
           f"{time.time() - started:.1f}s -> {args.out}")
     print(health.summary())

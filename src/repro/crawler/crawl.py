@@ -203,7 +203,7 @@ def run_crawl(
         if target.domain in done:
             continue
         observation = collect_with_retries(
-            collector, target, policy=retry_policy, clock=backoff_clock
+            collector, target, policy=retry_policy, clock=backoff_clock, label=label
         )
         dataset.observations.append(observation)
         if checkpoint is not None:

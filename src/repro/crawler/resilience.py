@@ -24,9 +24,11 @@ uncaught exception into a failed observation with reason
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.browser.instrumentation import VirtualClock
 from repro.core.records import SiteObservation
 
@@ -126,6 +128,7 @@ def collect_with_retries(
     target,
     policy: Optional[RetryPolicy] = None,
     clock: Optional[VirtualClock] = None,
+    label: str = "",
 ) -> SiteObservation:
     """Visit one target, retrying transient failures per ``policy``.
 
@@ -133,19 +136,74 @@ def collect_with_retries(
     returning a :class:`SiteObservation` (crash isolation is the collector's
     job).  ``clock`` — a crawl-level virtual clock — advances by each backoff
     delay, keeping the whole retry dance wall-clock free.
+
+    ``label`` names the crawl configuration in the observability layer: the
+    whole visit (retries included) is one ``crawl.page`` span, each backoff
+    a ``crawl.retry`` event, and the settled outcome lands in the
+    ``crawler.*`` metrics that ``repro.obs summary`` folds back into
+    :class:`~repro.crawler.crawl.CrawlHealth`-equivalent totals.
     """
-    attempts = 0
-    while True:
-        attempts += 1
-        observation = collector.collect(target.domain, target.rank, target.population)
-        observation.attempts = attempts
-        if observation.success:
-            return observation
-        if (
-            policy is None
-            or attempts >= policy.max_attempts
-            or not policy.is_retryable(observation.failure_reason)
-        ):
-            return observation
-        if clock is not None:
-            clock.advance(policy.delay_ms(attempts, key=target.domain))
+    started = time.perf_counter()
+    with obs.span(
+        "crawl.page", domain=target.domain, population=target.population
+    ) as page_span:
+        attempts = 0
+        while True:
+            attempts += 1
+            observation = collector.collect(target.domain, target.rank, target.population)
+            observation.attempts = attempts
+            if observation.success:
+                break
+            if (
+                policy is None
+                or attempts >= policy.max_attempts
+                or not policy.is_retryable(observation.failure_reason)
+            ):
+                break
+            obs.event(
+                "crawl.retry",
+                sample_key=target.domain,
+                domain=target.domain,
+                attempt=attempts,
+                reason=observation.failure_reason,
+            )
+            if clock is not None:
+                clock.advance(policy.delay_ms(attempts, key=target.domain))
+        page_span.set_attr("attempts", attempts)
+        page_span.set_attr("success", observation.success)
+        if not observation.success:
+            page_span.set_attr("failure_reason", observation.failure_reason)
+            page_span.set_status("error")
+    _record_page_metrics(observation, label, time.perf_counter() - started)
+    return observation
+
+
+def _record_page_metrics(observation: SiteObservation, label: str, seconds: float) -> None:
+    """Fold one settled visit into the crawler metrics, per crawl label.
+
+    The bracketed names (``crawler.pages[control]``,
+    ``crawler.attempts[control|2]``…) are what
+    :func:`repro.obs.inspect.crawl_totals` parses back into health totals —
+    the two must stay in lockstep.
+    """
+    attempts = observation.attempts
+    obs.inc(obs._labeled("crawler.pages", label))
+    obs.inc(obs._labeled("crawler.attempts_total", label), attempts)
+    obs.inc(f"crawler.attempts[{label}|{attempts}]")
+    if attempts > 1:
+        obs.inc(obs._labeled("crawler.retries", label), attempts - 1)
+    if observation.success:
+        obs.inc(obs._labeled("crawler.pages_ok", label))
+        if observation.recovered:
+            obs.inc(obs._labeled("crawler.recovered", label))
+    elif observation.failure_reason:
+        obs.inc(f"crawler.failures[{label}|{observation.failure_reason}]")
+        if observation.failure_reason.startswith("timeout"):
+            obs.inc(obs._labeled("crawler.watchdog", label))
+            obs.event("crawl.watchdog", sample_key=observation.domain, domain=observation.domain)
+    if observation.inner_page_failures:
+        obs.inc(
+            obs._labeled("crawler.inner_page_failures", label),
+            observation.inner_page_failures,
+        )
+    obs.observe("crawl.page.seconds", seconds)

@@ -36,7 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro import perf
+from repro import obs, perf
 from repro.browser.profile import BrowserProfile
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
@@ -102,19 +102,30 @@ def _crawl_shard_worker(payload):
     Observations cross the process boundary as their JSON records — the same
     schema the checkpoint files use — so the parent never depends on pickle
     compatibility of in-flight collector objects.  Each worker installs the
-    parent's render-cache config before crawling and ships its perf-counter
-    snapshot back alongside the records, so per-worker cache wins aggregate
-    into the study's counters.
+    parent's render-cache and observability configs before crawling.
+
+    Perf counters and obs metrics ship back as *deltas from the task start*,
+    not cumulative snapshots: a pooled worker process runs several shard
+    tasks back to back, and cumulative snapshots would re-count every
+    earlier task when the parent merges them (exactly-once is what
+    ``tests/obs`` asserts under ``jobs=4``).  Trace records are drained by
+    :func:`repro.obs.worker_payload` for the same reason.
     """
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume, perf_config) = payload
+     checkpoint, resume, perf_config, obs_config, shard_tid) = payload
     perf.configure(perf_config)
-    dataset = _crawl_one_shard(
-        network, targets, profile, label, retry_policy, page_budget,
-        inner_paths, checkpoint, resume, progress=None,
-    )
+    obs.configure(obs_config)
+    obs.set_worker_label(shard_tid)
+    perf_before = perf.PERF.snapshot()
+    metrics_before = obs.METRICS.snapshot()
+    with obs.span("crawl.shard", shard=shard_tid, label=label, size=len(targets)):
+        dataset = _crawl_one_shard(
+            network, targets, profile, label, retry_policy, page_budget,
+            inner_paths, checkpoint, resume, progress=None,
+        )
     records = [observation.to_json() for observation in dataset.observations]
-    return records, perf.PERF.snapshot()
+    perf_delta = perf.diff_snapshots(perf_before, perf.PERF.snapshot())
+    return records, perf_delta, obs.worker_payload(metrics_before)
 
 
 def _crawl_one_shard(
@@ -210,24 +221,30 @@ def run_sharded_crawl(
 
     shard_datasets: List[CrawlDataset]
     if jobs == 1:
-        shard_datasets = [
-            _crawl_one_shard(
-                network, shard, profile, label, retry_policy, page_budget,
-                inner_paths, checkpoints[index], resume, progress,
-            )
-            for index, shard in enumerate(planned)
-        ]
+        shard_datasets = []
+        for index, shard in enumerate(planned):
+            with obs.span(
+                "crawl.shard", shard=f"shard-{index}", label=label, size=len(shard)
+            ):
+                shard_datasets.append(
+                    _crawl_one_shard(
+                        network, shard, profile, label, retry_policy, page_budget,
+                        inner_paths, checkpoints[index], resume, progress,
+                    )
+                )
     else:
         payloads = [
             (network, shard, profile, label, retry_policy, page_budget,
-             inner_paths, checkpoints[index], resume, perf.current_config())
+             inner_paths, checkpoints[index], resume, perf.current_config(),
+             obs.config(), f"shard-{index}")
             for index, shard in enumerate(planned)
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(planned))) as pool:
             results = list(pool.map(_crawl_shard_worker, payloads))
         shard_datasets = []
-        for records, perf_snapshot in results:
-            perf.PERF.merge(perf_snapshot)
+        for records, perf_delta, obs_payload in results:
+            perf.PERF.merge(perf_delta)
+            obs.ingest_worker(obs_payload)
             dataset = CrawlDataset(label=label)
             dataset.observations.extend(
                 SiteObservation.from_json(record) for record in records

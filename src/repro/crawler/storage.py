@@ -29,6 +29,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Union
 
+from repro import obs
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset
 
@@ -117,8 +118,8 @@ def save_dataset(dataset: CrawlDataset, path: Union[str, Path]) -> None:
     try:
         with fh:
             fh.write(_header_line(dataset.label))
-            for obs in dataset.observations:
-                fh.write(_obs_line(obs))
+            for observation in dataset.observations:
+                fh.write(_obs_line(observation))
         os.replace(tmp, path)
         # Flushing the rename itself: without a directory fsync the replace
         # can be rolled back by a crash even though the data blocks survived.
@@ -276,6 +277,7 @@ class CheckpointWriter:
         self._fh.write(_obs_line(observation))
         self._fh.flush()
         self.written += 1
+        obs.inc("crawler.checkpoint_writes")
 
     def close(self) -> None:
         """Close without promoting; the partial file stays for a resume."""
@@ -303,6 +305,8 @@ class CheckpointWriter:
         # Make the promotion itself durable: the rename lives in the parent
         # directory's data, which a crash can lose without this fsync.
         fsync_directory(self.final_path.parent)
+        obs.inc("crawler.checkpoint_finalized")
+        obs.event("checkpoint.finalize", path=str(self.final_path), records=self.written)
         return self.final_path
 
     def __enter__(self) -> "CheckpointWriter":

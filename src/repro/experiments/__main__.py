@@ -33,6 +33,12 @@ def main(argv=None) -> int:
         default=None,
         help="stage cache directory: re-runs skip every unchanged pipeline stage",
     )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="write run observability artifacts (manifest.json + trace.jsonl) here; "
+        "inspect with python -m repro.obs summary <dir>",
+    )
     args = parser.parse_args(argv)
 
     keys = args.only or list(EXPERIMENTS)
@@ -49,6 +55,7 @@ def main(argv=None) -> int:
         include_cross_machine=needs_cross_machine,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        obs_dir=args.obs_dir,
     )
     cached = sum(1 for t in result.stage_timings if t.cached)
     print(

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import obs
 from repro.net.http import Request, Response, ResourceType
 
 __all__ = ["FaultKind", "FaultConfig", "FaultSchedule", "FaultInjector", "FaultyNetwork"]
@@ -120,6 +121,8 @@ class FaultInjector:
         if schedule is None or attempt > schedule.fail_attempts:
             return None
         self.injected[schedule.kind] = self.injected.get(schedule.kind, 0) + 1
+        obs.inc(f"net.faults.{schedule.kind}")
+        obs.event("net.fault", sample_key=url, url=url, kind=schedule.kind, attempt=attempt)
         return schedule.kind
 
     def total_injected(self) -> int:

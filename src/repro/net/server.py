@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro import obs
 from repro.net.dns import DNSError, DNSZone
 from repro.net.http import Request, Response
 from repro.net.url import URL
@@ -110,20 +111,25 @@ class Network:
 
     def fetch(self, request: Request) -> Response:
         """Resolve, route and serve a request."""
+        obs.inc("net.requests")
         try:
             canonical, _chain = self.dns.resolve(request.url.host)
         except DNSError:
             self.requests_failed += 1
+            obs.inc("net.requests_failed")
             return Response(url=request.url, status=0, content_type="", body="", error="dns")
         server = self._servers.get(canonical)
         if server is None:
             self.requests_failed += 1
+            obs.inc("net.requests_failed")
             return Response.not_found(request.url)
         response = server.handle(request)
         if response.ok:
             self.requests_served += 1
+            obs.inc("net.bytes_fetched", len(response.body))
         else:
             self.requests_failed += 1
+            obs.inc("net.requests_failed")
         return response
 
     def get(self, url: "URL | str", **kwargs) -> Response:

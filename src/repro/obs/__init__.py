@@ -1,0 +1,149 @@
+"""Study-wide observability: structured tracing, unified metrics, run artifacts.
+
+Three pillars, one import (``from repro import obs``):
+
+* **Tracing** — ``obs.span("crawl.page", domain=...)`` opens a nestable
+  span; ``obs.event("crawl.retry", ...)`` records a point event.  Off by
+  default (``REPRO_OBS_TRACE=1`` enables): a disabled call is one branch
+  and a shared no-op object, so instrumentation lives permanently in the
+  crawler, stage graph and storage layers at no measurable cost.
+* **Metrics** — ``obs.METRICS`` is the process-global
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms).  Always on.  Shard workers ship *deltas* back
+  to the parent (:func:`worker_payload` / :func:`ingest_worker`), so a
+  sharded crawl's numbers aggregate with no loss and no double-count, the
+  same way :mod:`repro.perf` snapshots merge.
+* **Run artifacts** — :class:`~repro.obs.recorder.RunRecorder` writes a
+  ``manifest.json`` + ``trace.jsonl`` per run; ``python -m repro.obs``
+  inspects them (``summary``, ``slow``, ``export-trace``).
+
+Span taxonomy and metric names are catalogued in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry, absorb_perf
+from repro.obs.metrics import diff_snapshots as diff_metric_snapshots
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+__all__ = [
+    "ObsConfig",
+    "MetricsRegistry",
+    "Tracer",
+    "NOOP_SPAN",
+    "METRICS",
+    "TRACE",
+    "absorb_perf",
+    "diff_metric_snapshots",
+    "config",
+    "configure",
+    "enabled",
+    "span",
+    "event",
+    "inc",
+    "gauge",
+    "observe",
+    "set_worker_label",
+    "worker_payload",
+    "ingest_worker",
+    "reset",
+]
+
+_CONFIG = ObsConfig.from_env()
+
+#: Process-global tracer and metrics registry (workers get their own copies
+#: of these module globals and ship deltas back to the parent).
+TRACE = Tracer(_CONFIG)
+METRICS = MetricsRegistry()
+
+
+def config() -> ObsConfig:
+    """The active observability configuration."""
+    return _CONFIG
+
+
+def configure(cfg: ObsConfig) -> None:
+    """Install ``cfg`` (e.g. a shard worker adopting its parent's knobs)."""
+    global _CONFIG
+    _CONFIG = cfg
+    TRACE.configure(cfg)
+
+
+def enabled() -> bool:
+    """Whether span/event recording is on (metrics are always on)."""
+    return TRACE.enabled
+
+
+# -- thin hot-path wrappers ---------------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """Open a span (a context manager; no-op when tracing is off)."""
+    if not TRACE.enabled:
+        return NOOP_SPAN
+    return TRACE.span(name, **attrs)
+
+
+def event(name: str, sample_key: str = "", **attrs: Any) -> None:
+    """Record a point event (no-op when tracing is off)."""
+    if TRACE.enabled:
+        TRACE.event(name, sample_key=sample_key, **attrs)
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    METRICS.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    METRICS.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    METRICS.observe(name, value)
+
+
+# -- cross-process propagation ------------------------------------------------
+
+
+def set_worker_label(tid: str) -> None:
+    """Stamp this process's records with a logical worker label."""
+    TRACE.tid = tid
+
+
+def worker_payload(metrics_before: Dict[str, Any]) -> Dict[str, Any]:
+    """Everything a worker ships back for one task: span records + metric delta.
+
+    ``metrics_before`` must be the ``METRICS.snapshot()`` taken when the
+    task *started*: pooled worker processes run several tasks back to back,
+    and shipping cumulative snapshots would double-count every earlier task
+    on merge.  Spans are drained (handed off exactly once) for the same
+    reason.
+    """
+    return {
+        "spans": TRACE.drain(),
+        "metrics": diff_metric_snapshots(metrics_before, METRICS.snapshot()),
+        "dropped": TRACE.dropped,
+    }
+
+
+def ingest_worker(payload: Optional[Dict[str, Any]]) -> None:
+    """Fold one worker task's payload into this process exactly once."""
+    if not payload:
+        return
+    TRACE.ingest(payload.get("spans", ()))
+    METRICS.merge(payload.get("metrics", {}))
+    TRACE.dropped += int(payload.get("dropped", 0))
+
+
+def reset() -> None:
+    """Test isolation: clear buffered records and zero every metric."""
+    TRACE.reset()
+    METRICS.reset()
+
+
+def _labeled(name: str, label: str) -> str:
+    """Per-crawl variant of a metric name (``crawler.pages[control]``)."""
+    return f"{name}[{label}]" if label else name

@@ -1,0 +1,72 @@
+"""Inspect run artifacts written by the observability layer.
+
+Usage::
+
+    python -m repro.obs summary RUN_DIR            # totals, stages, hot spots
+    python -m repro.obs slow RUN_DIR --top 20      # slowest pages
+    python -m repro.obs export-trace RUN_DIR -o trace.json   # Perfetto/about:tracing
+
+``RUN_DIR`` is the directory holding ``manifest.json`` + ``trace.jsonl``
+(e.g. ``crawl.jsonl.gz.obs/`` next to a crawled dataset), or a path to the
+trace file itself.  ``export-trace`` output loads directly in
+https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.inspect import load_run, slow_text, summary_text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="run totals, stage timings, hot spots")
+    p_summary.add_argument("run", help="run directory (or trace.jsonl path)")
+    p_summary.add_argument("--top", type=int, default=5, help="rows per hot-spot table")
+
+    p_slow = sub.add_parser("slow", help="slowest pages of the run")
+    p_slow.add_argument("run", help="run directory (or trace.jsonl path)")
+    p_slow.add_argument("--top", type=int, default=10, help="number of pages to list")
+
+    p_export = sub.add_parser(
+        "export-trace", help="write Chrome trace_event JSON (Perfetto/about:tracing)"
+    )
+    p_export.add_argument("run", help="run directory (or trace.jsonl path)")
+    p_export.add_argument("-o", "--out", default=None, help="output path (default: <run>/trace.json)")
+
+    args = parser.parse_args(argv)
+    try:
+        log = load_run(args.run)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        print(summary_text(log, top=args.top))
+    elif args.command == "slow":
+        print(slow_text(log, top=args.top))
+    else:  # export-trace
+        payload = to_chrome_trace(log.records)
+        count = validate_chrome_trace(payload)
+        out = Path(args.out) if args.out else log.path / "trace.json"
+        out.write_text(json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8")
+        print(f"wrote {out} ({count} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... summary RUN | head`
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

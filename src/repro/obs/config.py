@@ -1,0 +1,75 @@
+"""Observability knobs, sourced from ``REPRO_OBS_*`` environment variables.
+
+The whole obs layer is tuned by one picklable :class:`ObsConfig` so shard
+worker processes inherit the parent's settings exactly (the same pattern
+:class:`repro.perf.RenderCacheConfig` uses):
+
+* ``REPRO_OBS_TRACE=1``    — enable structured tracing (spans + events).
+  Off by default: with tracing off every ``span()``/``event()`` call is a
+  shared no-op, so instrumented code costs nothing measurable (the obs
+  benchmark gates this at <5% on the pipeline bench).
+* ``REPRO_OBS_SAMPLE=0.1`` — fraction of *page-granularity* span/event
+  records kept in the trace log.  Sampling is deterministic (keyed by the
+  record's sample key, typically the domain), never random, so two runs of
+  the same crawl keep the same records.  Metrics are never sampled — the
+  run summary stays exact at any sample rate.
+* ``REPRO_OBS_MAX_EVENTS=250000`` — hard cap on buffered trace records per
+  process; past it, records are dropped (and counted) rather than growing
+  memory or the log without bound.
+* ``REPRO_OBS_DIR=path``   — default directory for run artifacts (manifest
+  + trace log) when the caller does not pass one explicitly.
+
+Metrics (counters, gauges, histograms) are *always* on — they are a couple
+of dict operations at page/request granularity, far below measurement
+noise — only span/event recording is gated by ``trace``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["ObsConfig"]
+
+
+def _truthy(raw: str) -> bool:
+    return raw.strip().lower() not in ("", "0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tuning knobs for tracing and the run event log (picklable)."""
+
+    #: Master switch for span/event recording (metrics are always on).
+    trace: bool = False
+    #: Deterministic keep-fraction for page-granularity trace records.
+    sample: float = 1.0
+    #: Per-process cap on buffered trace records (drops are counted).
+    max_events: int = 250_000
+    #: Default run-artifact directory when no explicit one is given.
+    run_dir: Optional[str] = None
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "ObsConfig":
+        env = os.environ if env is None else env
+        kwargs: Dict[str, object] = {}
+        raw = env.get("REPRO_OBS_TRACE")
+        if raw is not None:
+            kwargs["trace"] = _truthy(raw)
+        raw = env.get("REPRO_OBS_SAMPLE")
+        if raw is not None:
+            try:
+                kwargs["sample"] = min(1.0, max(0.0, float(raw)))
+            except ValueError:
+                pass
+        raw = env.get("REPRO_OBS_MAX_EVENTS")
+        if raw is not None:
+            try:
+                kwargs["max_events"] = max(0, int(raw))
+            except ValueError:
+                pass
+        raw = env.get("REPRO_OBS_DIR")
+        if raw:
+            kwargs["run_dir"] = raw
+        return cls(**kwargs)

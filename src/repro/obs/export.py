@@ -1,0 +1,113 @@
+"""Chrome ``trace_event`` exporter: open shard timelines in Perfetto.
+
+Converts the run log's span/event records into the Trace Event Format
+(the ``{"traceEvents": [...]}`` JSON that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly).  Spans become complete events
+(``ph: "X"``) with microsecond timestamps and durations; point events
+become instant events (``ph: "i"``); each distinct ``(pid, tid-label)``
+pair gets a ``thread_name`` metadata event, so a sharded crawl renders as
+one labelled lane per worker.
+
+:func:`validate_chrome_trace` is the exporter's own acceptance check — the
+tests and the CLI run every export through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace"]
+
+
+def _thread_ids(records: Iterable[Dict[str, Any]]) -> Dict[Tuple[int, str], int]:
+    """Stable small integer ids for each (pid, tid-label) lane."""
+    lanes: Dict[Tuple[int, str], int] = {}
+    for record in records:
+        key = (int(record.get("pid", 0)), str(record.get("tid", "main")))
+        if key not in lanes:
+            lanes[key] = len(lanes) + 1
+    return lanes
+
+
+def to_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Render span/event records as a Chrome trace_event JSON object."""
+    spans = [r for r in records if r.get("t") == "span"]
+    events = [r for r in records if r.get("t") == "event"]
+    lanes = _thread_ids(spans + events)
+
+    trace_events: List[Dict[str, Any]] = []
+    for (pid, label), tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    for record in spans:
+        pid = int(record.get("pid", 0))
+        tid = lanes[(pid, str(record.get("tid", "main")))]
+        args = dict(record.get("attrs", {}))
+        if record.get("status") and record["status"] != "ok":
+            args["status"] = record["status"]
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": str(record.get("name", "span")),
+                "cat": str(record.get("name", "span")).split(".", 1)[0],
+                "ts": float(record.get("ts", 0.0)) * 1e6,
+                "dur": max(0.0, float(record.get("dur", 0.0))) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for record in events:
+        pid = int(record.get("pid", 0))
+        tid = lanes[(pid, str(record.get("tid", "main")))]
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": str(record.get("name", "event")),
+                "cat": str(record.get("name", "event")).split(".", 1)[0],
+                "ts": float(record.get("ts", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(record.get("attrs", {})),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> int:
+    """Check trace_event structural invariants; returns the event count.
+
+    Raises :class:`ValueError` naming the first offending event — used by
+    the test suite and by ``export-trace`` before writing anything.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("trace must be an object with a 'traceEvents' list")
+    for index, ev in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"{where}: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValueError(f"{where}: missing numeric ts")
+        if ph == "X" and (not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0):
+            raise ValueError(f"{where}: complete event needs dur >= 0")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"{where}: instant event needs scope s in t/p/g")
+    return len(payload["traceEvents"])

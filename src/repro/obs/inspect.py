@@ -1,0 +1,323 @@
+"""Run-log loading and the analyses behind ``python -m repro.obs``.
+
+A *run* is a directory holding ``manifest.json`` + ``trace.jsonl`` (written
+by :class:`~repro.obs.recorder.RunRecorder`).  :func:`load_run` accepts the
+directory or the trace file itself and returns a :class:`RunLog`; the
+``summary`` / ``slow`` renderers turn it into the operator views the ISSUE
+describes: totals that agree with :class:`~repro.crawler.crawl.CrawlHealth`
+exactly (they come from the never-sampled metrics delta), retry hot spots,
+top slow pages, stage timings and cache hit rates.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.manifest import MANIFEST_NAME
+from repro.obs.recorder import TRACE_NAME
+
+__all__ = ["RunLog", "load_run", "crawl_totals", "summary_text", "slow_text"]
+
+#: ``crawler.failures[label|reason]`` / ``crawler.attempts[label|n]`` parser.
+_BRACKET = re.compile(r"^(?P<base>[^\[]+)\[(?P<inner>[^\]]*)\]$")
+
+
+@dataclass
+class RunLog:
+    """One parsed run: manifest, span/event records, final summary line."""
+
+    path: Path
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    header: Dict[str, Any] = field(default_factory=dict)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self.summary.get("metrics", {}).get("counters", {}))
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self.summary.get("metrics", {}).get("gauges", {}))
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("t") == "span" and (name is None or r.get("name") == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("t") == "event" and (name is None or r.get("name") == name)
+        ]
+
+
+def load_run(path: Union[str, Path]) -> RunLog:
+    """Load a run directory (or a bare ``trace.jsonl``) into a :class:`RunLog`."""
+    path = Path(path)
+    trace_path = path / TRACE_NAME if path.is_dir() else path
+    run_dir = trace_path.parent
+    if not trace_path.exists():
+        raise FileNotFoundError(f"{trace_path}: no trace log (expected {TRACE_NAME})")
+
+    log = RunLog(path=run_dir)
+    manifest_path = run_dir / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            log.manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            log.manifest = {}
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed run: keep what parses
+            kind = record.get("t")
+            if kind == "run":
+                log.header = record
+            elif kind == "summary":
+                log.summary = record
+            else:
+                log.records.append(record)
+    return log
+
+
+# -- analyses -----------------------------------------------------------------
+
+
+def _bracketed(counters: Dict[str, float], base: str) -> Dict[str, float]:
+    """All ``base[inner]`` counters, keyed by the bracket contents."""
+    out: Dict[str, float] = {}
+    for name, value in counters.items():
+        match = _BRACKET.match(name)
+        if match and match.group("base") == base:
+            out[match.group("inner")] = value
+    return out
+
+
+def crawl_totals(log: RunLog, label: str) -> Dict[str, Any]:
+    """Health-equivalent totals for one crawl label, from the metrics delta.
+
+    The returned dict mirrors :class:`~repro.crawler.crawl.CrawlHealth`
+    field for field (total/successes/recovered/attempts histogram/failure
+    rows/inner-page failures), computed purely from the run log — the
+    agreement the tests assert observation-for-observation.
+    """
+    from repro.crawler.resilience import is_transient
+
+    counters = log.counters
+    attempts_histogram = {
+        int(inner.split("|", 1)[1]): int(count)
+        for inner, count in _bracketed(counters, "crawler.attempts").items()
+        if inner.startswith(f"{label}|")
+    }
+    failures: Dict[str, int] = {
+        inner.split("|", 1)[1]: int(count)
+        for inner, count in _bracketed(counters, "crawler.failures").items()
+        if inner.startswith(f"{label}|")
+    }
+    failure_rows: Tuple[Tuple[str, int, bool], ...] = tuple(
+        (reason, count, is_transient(reason))
+        for reason, count in sorted(failures.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+    return {
+        "label": label,
+        "total": int(counters.get(f"crawler.pages[{label}]", 0)),
+        "successes": int(counters.get(f"crawler.pages_ok[{label}]", 0)),
+        "recovered": int(counters.get(f"crawler.recovered[{label}]", 0)),
+        "attempts_histogram": attempts_histogram,
+        "failure_rows": failure_rows,
+        "inner_page_failures": int(counters.get(f"crawler.inner_page_failures[{label}]", 0)),
+        "total_attempts": int(counters.get(f"crawler.attempts_total[{label}]", 0)),
+        "retries": int(counters.get(f"crawler.retries[{label}]", 0)),
+    }
+
+
+def crawl_labels(log: RunLog) -> List[str]:
+    """Every crawl label the run's metrics saw, stable order."""
+    return sorted(_bracketed(log.counters, "crawler.pages"))
+
+
+def _stage_rows(log: RunLog) -> List[Tuple[str, float, bool]]:
+    """(stage, seconds, cached) rows from the stage gauges/counters."""
+    seconds = _bracketed(log.gauges, "stage.seconds")
+    cached = _bracketed(log.counters, "stage.cached")
+    return [(name, seconds[name], bool(cached.get(name))) for name in seconds]
+
+
+def _cache_rows(log: RunLog) -> List[Tuple[str, float, float, float]]:
+    """(layer, hits, misses, hit_rate) for every render-cache layer seen."""
+    counters = log.counters
+    layers = sorted(
+        {
+            name.split(".")[1]
+            for name in counters
+            if name.startswith("render_cache.") and name.count(".") >= 2
+        }
+    )
+    rows = []
+    for layer in layers:
+        hits = counters.get(f"render_cache.{layer}.hits", 0.0)
+        misses = counters.get(f"render_cache.{layer}.misses", 0.0)
+        lookups = hits + misses
+        if lookups:
+            rows.append((layer, hits, misses, hits / lookups))
+    return rows
+
+
+def page_spans(log: RunLog) -> List[Dict[str, Any]]:
+    return log.spans("crawl.page")
+
+
+def slow_pages(log: RunLog, top: int = 10) -> List[Dict[str, Any]]:
+    """The ``top`` slowest page spans (by recorded wall duration)."""
+    pages = sorted(page_spans(log), key=lambda r: -float(r.get("dur", 0.0)))
+    return pages[:top]
+
+
+def retry_hot_spots(log: RunLog, top: int = 10) -> List[Tuple[str, int]]:
+    """Domains by retry volume — from span attempts, falling back to events."""
+    by_domain: Dict[str, int] = {}
+    for record in page_spans(log):
+        attempts = int(record.get("attrs", {}).get("attempts", 1))
+        if attempts > 1:
+            domain = str(record.get("attrs", {}).get("domain", "?"))
+            by_domain[domain] = by_domain.get(domain, 0) + attempts - 1
+    if not by_domain:
+        for record in log.events("crawl.retry"):
+            domain = str(record.get("attrs", {}).get("domain", "?"))
+            by_domain[domain] = by_domain.get(domain, 0) + 1
+    return sorted(by_domain.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def summary_text(log: RunLog, top: int = 5) -> str:
+    """The ``repro.obs summary`` view."""
+    manifest = log.manifest
+    counters = log.counters
+    lines = [
+        f"run '{log.header.get('label', manifest.get('label', '?'))}'"
+        f"  created {manifest.get('created', '?')}"
+        f"  git {manifest.get('git') or '?'}",
+    ]
+    if manifest.get("config_digest"):
+        lines.append(f"config digest: {manifest['config_digest']}")
+    if manifest.get("seed") is not None:
+        lines.append(f"seed: {manifest['seed']}")
+    if manifest.get("shard_plan"):
+        plan = manifest["shard_plan"]
+        lines.append(
+            f"shard plan: {plan.get('shards')} shard(s) x jobs={plan.get('jobs')} "
+            f"sizes={plan.get('sizes')}"
+        )
+
+    for label in crawl_labels(log):
+        totals = crawl_totals(log, label)
+        lines.append(
+            f"crawl '{label}': {totals['successes']}/{totals['total']} sites ok, "
+            f"{totals['recovered']} recovered by retry, "
+            f"{totals['total_attempts']} page-load attempts "
+            f"({totals['retries']} retries)"
+        )
+        if totals["inner_page_failures"]:
+            lines.append(f"  inner-page load failures: {totals['inner_page_failures']}")
+        for reason, count, transient in totals["failure_rows"]:
+            kind = "transient" if transient else "permanent"
+            lines.append(f"  failure {reason:28s} {count:6d}  ({kind})")
+
+    watchdog = sum(_bracketed(counters, "crawler.watchdog").values())
+    if watchdog:
+        lines.append(f"watchdog fires: {int(watchdog)}")
+    checkpoint_writes = counters.get("crawler.checkpoint_writes", 0)
+    if checkpoint_writes:
+        lines.append(
+            f"checkpoint: {int(checkpoint_writes)} writes, "
+            f"{int(counters.get('crawler.checkpoint_finalized', 0))} finalized"
+        )
+    requests = counters.get("net.requests", 0)
+    if requests:
+        lines.append(
+            f"network: {int(requests)} requests, "
+            f"{int(counters.get('net.bytes_fetched', 0)):,} bytes, "
+            f"{int(counters.get('net.requests_failed', 0))} failed"
+        )
+    faults = {
+        name.split(".", 2)[2]: value
+        for name, value in counters.items()
+        if name.startswith("net.faults.")
+    }
+    if faults:
+        lines.append(
+            "injected faults: "
+            + ", ".join(f"{kind}={int(n)}" for kind, n in sorted(faults.items()))
+        )
+
+    stage_rows = _stage_rows(log)
+    if stage_rows:
+        lines.append(f"{'stage':18s} {'wall':>9s}  outcome")
+        for name, seconds, cached in stage_rows:
+            lines.append(
+                f"{name:18s} {seconds:8.2f}s  {'cache-hit' if cached else 'ran'}"
+            )
+        hits = int(counters.get("stage.cache.hits", 0))
+        misses = int(counters.get("stage.cache.misses", 0))
+        if hits + misses:
+            lines.append(f"stage cache: {hits} hit(s), {misses} miss(es)")
+
+    cache_rows = _cache_rows(log)
+    if cache_rows:
+        lines.append(f"{'render cache':14s} {'hit rate':>9s} {'hits':>9s} {'misses':>9s}")
+        for layer, hits, misses, rate in cache_rows:
+            lines.append(f"{layer:14s} {rate:8.1%} {int(hits):9d} {int(misses):9d}")
+
+    hot = retry_hot_spots(log, top)
+    if hot:
+        lines.append("retry hot spots:")
+        for domain, retries in hot:
+            lines.append(f"  {domain:32s} {retries:4d} retr{'y' if retries == 1 else 'ies'}")
+
+    slow = slow_pages(log, top)
+    if slow:
+        lines.append(f"top {len(slow)} slow pages:")
+        for record in slow:
+            attrs = record.get("attrs", {})
+            lines.append(
+                f"  {str(attrs.get('domain', '?')):32s} {float(record.get('dur', 0)) * 1000:8.1f}ms"
+                f"  attempts={attrs.get('attempts', 1)}"
+                f"  {'ok' if attrs.get('success', True) else attrs.get('failure_reason', 'failed')}"
+            )
+
+    dropped = int(log.summary.get("dropped", 0))
+    lines.append(
+        f"trace: {len(log.records)} record(s)"
+        + (f", {dropped} dropped at the event cap" if dropped else "")
+    )
+    return "\n".join(lines)
+
+
+def slow_text(log: RunLog, top: int = 10) -> str:
+    """The ``repro.obs slow --top N`` view."""
+    rows = slow_pages(log, top)
+    if not rows:
+        return "(no page spans in this run log — was tracing enabled?)"
+    lines = [f"{'domain':32s} {'wall':>10s} {'attempts':>8s}  outcome"]
+    for record in rows:
+        attrs = record.get("attrs", {})
+        outcome = "ok" if attrs.get("success", True) else str(attrs.get("failure_reason", "failed"))
+        lines.append(
+            f"{str(attrs.get('domain', '?')):32s} {float(record.get('dur', 0)) * 1000:8.1f}ms"
+            f" {int(attrs.get('attempts', 1)):8d}  {outcome}"
+        )
+    return "\n".join(lines)

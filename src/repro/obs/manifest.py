@@ -1,0 +1,96 @@
+"""Run manifests: what exactly produced this dataset.
+
+Every traced ``run_crawl``/``run_study`` writes a ``manifest.json`` next to
+its trace log answering the questions a post-mortem always starts with:
+which code (git describe), which configuration (stable config digest, stage
+cache keys), which seed/scale, which shard plan, which environment knobs.
+Collection is best-effort and dependency-free — a missing git binary or a
+non-repo checkout degrades to ``null``, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["collect_manifest", "write_manifest", "load_manifest"]
+
+MANIFEST_NAME = "manifest.json"
+FORMAT = "repro-obs-manifest-v1"
+
+
+def _git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of this checkout, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def _repro_env() -> Dict[str, str]:
+    """Every ``REPRO_*`` environment knob in effect for this run."""
+    return {k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")}
+
+
+def collect_manifest(
+    label: str,
+    config_digest: Optional[str] = None,
+    seed: Optional[int] = None,
+    shard_plan: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest dict for one run (JSON-able, best-effort)."""
+    from repro.obs.config import ObsConfig
+
+    manifest: Dict[str, Any] = {
+        "format": FORMAT,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "argv": list(sys.argv),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "pid": os.getpid(),
+        "git": _git_describe(),
+        "config_digest": config_digest,
+        "seed": seed,
+        "shard_plan": shard_plan,
+        "env": _repro_env(),
+        "obs": ObsConfig.from_env().__dict__,
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(run_dir: Path, manifest: Dict[str, Any]) -> Path:
+    """Write (or atomically rewrite) the run's ``manifest.json``."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / MANIFEST_NAME
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(run_dir: Path) -> Optional[Dict[str, Any]]:
+    path = Path(run_dir) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,134 @@
+"""Run-artifact recorder: one manifest + one JSONL trace log per run.
+
+A :class:`RunRecorder` brackets one ``run_crawl``/``run_study``:
+
+* :meth:`start` writes ``manifest.json`` into the run directory and marks
+  the metrics baseline (so the run's summary is a *delta*, immune to other
+  runs sharing the process — the same windowing trick
+  :func:`repro.perf.diff_snapshots` uses for stages);
+* :meth:`finish` drains the tracer's buffered records into ``trace.jsonl``
+  — a ``run`` header line, one line per span/event, and a final ``summary``
+  line carrying the exact metrics delta (plus drop counts) — and rewrites
+  the manifest with anything learned during the run (config digest, stage
+  cache keys, crawl health).
+
+The summary line is what makes sampling safe: ``repro.obs summary`` totals
+come from the (never-sampled) metrics delta, so they match
+``CrawlDataset.health`` exactly even when only 1% of page spans survive
+into the log.  Span/event lines feed the timeline views (``slow``,
+``export-trace``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro import obs
+from repro.obs import manifest as manifest_mod
+from repro.obs.metrics import diff_snapshots
+
+__all__ = ["RunRecorder", "TRACE_NAME"]
+
+TRACE_NAME = "trace.jsonl"
+
+
+class RunRecorder:
+    """Write one run's manifest and trace log under ``run_dir``."""
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        label: str,
+        seed: Optional[int] = None,
+        shard_plan: Optional[Dict[str, Any]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.label = label
+        self.manifest = manifest_mod.collect_manifest(
+            label, seed=seed, shard_plan=shard_plan, extra=extra
+        )
+        self._metrics_before: Dict[str, Any] = {}
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, metrics_before: Optional[Dict[str, Any]] = None) -> "RunRecorder":
+        """Write the manifest and mark the metrics baseline.
+
+        Callers that also compute their own metrics delta (``run_study``
+        fills ``StudyResult.metrics``) pass the snapshot they took, so the
+        summary line and the in-process result use the *same* baseline.
+        """
+        manifest_mod.write_manifest(self.run_dir, self.manifest)
+        self._metrics_before = (
+            obs.METRICS.snapshot() if metrics_before is None else metrics_before
+        )
+        self._started = True
+        return self
+
+    def finish(
+        self,
+        manifest_update: Optional[Dict[str, Any]] = None,
+        health: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Flush records + summary to ``trace.jsonl``; returns its path."""
+        if not self._started:
+            self.start()
+        metrics_delta = diff_snapshots(self._metrics_before, obs.METRICS.snapshot())
+        if manifest_update:
+            self.manifest.update(manifest_update)
+            manifest_mod.write_manifest(self.run_dir, self.manifest)
+
+        records = obs.TRACE.drain()
+        path = self.run_dir / TRACE_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"t": "run", "label": self.label, "manifest": manifest_mod.MANIFEST_NAME}
+                )
+                + "\n"
+            )
+            for record in records:
+                fh.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "t": "summary",
+                        "label": self.label,
+                        "metrics": metrics_delta,
+                        "health": health,
+                        "records": len(records),
+                        "dropped": obs.TRACE.dropped,
+                    },
+                    separators=(",", ":"),
+                    default=str,
+                )
+                + "\n"
+            )
+        os.replace(tmp, path)
+        return path
+
+    def __enter__(self) -> "RunRecorder":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+
+def resolve_run_dir(
+    explicit: Optional[Union[str, Path]], default: Optional[Union[str, Path]] = None
+) -> Optional[Path]:
+    """Where run artifacts should go: explicit arg > ``REPRO_OBS_DIR`` > default."""
+    if explicit is not None:
+        return Path(explicit)
+    configured = obs.config().run_dir
+    if configured:
+        return Path(configured)
+    if default is not None and obs.config().trace:
+        return Path(default)
+    return None

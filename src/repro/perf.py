@@ -172,16 +172,24 @@ def diff_snapshots(
     """Per-layer delta between two snapshots (monotonic counters only).
 
     Layers with no activity in the window are dropped, so the diff of a
-    stage that never touched a canvas is ``{}``.
+    stage that never touched a canvas is ``{}``.  A layer present only in
+    ``after`` — its first activity happened inside the window — is kept
+    whole, and counter deltas clamp at zero so a mid-window ``reset()``
+    (which makes ``after`` smaller than ``before``) can never produce
+    negative activity.  Residency fields (``entries``/``bytes``) are
+    gauges, not flows: the ``after`` level is reported as-is.
     """
     out: Dict[str, Dict[str, float]] = {}
     for name, row in after.items():
         base = before.get(name, {})
         delta = {}
         for field in ("hits", "misses", "evictions", "hit_seconds", "miss_seconds"):
-            delta[field] = row.get(field, 0.0) - base.get(field, 0.0)
+            delta[field] = max(0.0, row.get(field, 0.0) - base.get(field, 0.0))
         if not any(delta[f] for f in ("hits", "misses", "evictions", "miss_seconds")):
             continue
+        for field in ("entries", "bytes"):
+            if field in row:
+                delta[field] = row[field]
         lookups = delta["hits"] + delta["misses"]
         delta["hit_rate"] = delta["hits"] / lookups if lookups else 0.0
         mean_miss = delta["miss_seconds"] / delta["misses"] if delta["misses"] else 0.0

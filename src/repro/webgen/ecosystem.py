@@ -83,6 +83,7 @@ class World:
         jobs: int = 1,
         cache_dir=None,
         stages=None,
+        obs_dir=None,
     ):
         """Convenience: run the paper's whole pipeline over this world."""
         from repro.core.pipeline import run_study
@@ -101,6 +102,7 @@ class World:
             jobs=jobs,
             cache_dir=cache_dir,
             stages=stages,
+            obs_dir=obs_dir,
         )
 
     def ground_truth_fp_sites(self, population: str) -> List[str]:

@@ -1,0 +1,32 @@
+"""Shared fixtures for the observability tests.
+
+The obs layer keeps process-global state (the tracer's record buffer, the
+metrics registry).  ``traced`` gives each test a clean, tracing-enabled
+window and restores the ambient configuration afterwards, so these tests
+neither see nor leak records across the suite.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.config import ObsConfig
+
+
+@pytest.fixture
+def traced():
+    previous = obs.config()
+    obs.configure(ObsConfig(trace=True))
+    obs.reset()
+    yield obs
+    obs.reset()
+    obs.configure(previous)
+
+
+@pytest.fixture
+def untraced():
+    previous = obs.config()
+    obs.configure(ObsConfig(trace=False))
+    obs.reset()
+    yield obs
+    obs.reset()
+    obs.configure(previous)

@@ -1,0 +1,243 @@
+"""Unit tests for the unified metrics registry and the perf-counter bridge.
+
+Includes the regression tests the ISSUE calls out for
+:func:`repro.perf.diff_snapshots`: layers present only in the newer
+snapshot must survive the diff, and a mid-window ``reset()`` must clamp
+deltas at zero instead of going negative.
+"""
+
+import pickle
+
+from repro import perf
+from repro.obs.metrics import (
+    DEFAULT_BOUNDARIES,
+    Histogram,
+    MetricsRegistry,
+    absorb_perf,
+    diff_snapshots,
+)
+
+
+class TestHistogram:
+    def test_buckets_and_sidecars(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 0.2):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=1, <=2, overflow
+        assert hist.count == 4
+        assert hist.total == 5.2
+        assert hist.min == 0.2
+        assert hist.max == 3.0
+        assert abs(hist.mean - 1.3) < 1e-12
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_json_round_trip(self):
+        hist = Histogram()
+        for value in (0.003, 0.7, 12.0):
+            hist.observe(value)
+        clone = Histogram.from_json(hist.to_json())
+        assert clone.boundaries == DEFAULT_BOUNDARIES
+        assert clone.counts == hist.counts
+        assert clone.total == hist.total
+        assert (clone.min, clone.max) == (hist.min, hist.max)
+
+    def test_empty_histogram_serializes_zero_extremes(self):
+        data = Histogram().to_json()
+        assert data["min"] == 0.0 and data["max"] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2)
+        reg.gauge("g", 5.0)
+        reg.gauge("g", 3.0)
+        assert reg.counter("a") == 3
+        assert reg.snapshot()["gauges"]["g"] == 3.0  # last write wins in-process
+
+    def test_counters_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("crawler.pages[control]")
+        reg.inc("net.requests")
+        assert set(reg.counters("crawler.")) == {"crawler.pages[control]"}
+
+    def test_snapshot_is_picklable_and_detached(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 0.5)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        reg.inc("c", 10)
+        assert snap["counters"]["c"] == 2
+
+    def test_merge_sums_counters_and_maxes_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        a.gauge("g", 10.0)
+        b.inc("c", 3)
+        b.inc("only_b")
+        b.gauge("g", 7.0)
+        a.merge(b.snapshot())
+        assert a.counter("c") == 5
+        assert a.counter("only_b") == 1
+        assert a.snapshot()["gauges"]["g"] == 10.0  # max across merges
+
+    def test_merge_sums_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 0.3)
+        b.observe("h", 40.0)
+        b.observe("h", 0.004)
+        a.merge(b.snapshot())
+        hist = a.histogram("h")
+        assert hist.count == 3
+        assert hist.min == 0.004
+        assert hist.max == 40.0
+        assert sum(hist.counts) == 3
+
+    def test_merge_adopts_unknown_histogram(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("h", 1.0)
+        a.merge(b.snapshot())
+        assert a.histogram("h").count == 1
+
+    def test_merge_boundary_mismatch_keeps_totals_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, boundaries=(1.0,))
+        b.observe("h", 2.0, boundaries=(5.0,))
+        a.merge(b.snapshot())
+        hist = a.histogram("h")
+        assert hist.count == 2
+        assert hist.total == 3.0
+
+
+class TestDiffSnapshots:
+    def test_counters_diff_and_drop_idle(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 5)
+        reg.inc("idle", 2)
+        before = reg.snapshot()
+        reg.inc("a", 3)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"] == {"a": 3}
+
+    def test_new_names_survive(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.inc("fresh", 4)
+        reg.observe("h", 0.1)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"]["fresh"] == 4
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_mid_window_reset_clamps_to_zero(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 10)
+        reg.observe("h", 1.0)
+        before = reg.snapshot()
+        reg.reset()
+        reg.inc("a", 2)
+        delta = diff_snapshots(before, reg.snapshot())
+        # 2 - 10 would be negative; the window reports no activity instead.
+        assert "a" not in delta["counters"]
+        assert "h" not in delta["histograms"]
+
+    def test_gauges_carry_after_level(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 100.0)
+        before = reg.snapshot()
+        reg.gauge("g", 40.0)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["gauges"]["g"] == 40.0
+
+    def test_delta_merges_back_exactly(self):
+        """worker pattern: parent.merge(diff(before, after)) == exactly-once."""
+        worker = MetricsRegistry()
+        worker.inc("c", 7)  # residue of an earlier task on this worker
+        before = worker.snapshot()
+        worker.inc("c", 5)
+        worker.observe("h", 0.2)
+        parent = MetricsRegistry()
+        parent.inc("c", 1)
+        parent.merge(diff_snapshots(before, worker.snapshot()))
+        assert parent.counter("c") == 6  # 1 + 5, never the residue
+
+
+class TestPerfDiffRegressions:
+    """ISSUE satellite: repro.perf.diff_snapshots edge cases."""
+
+    def test_layer_only_in_newer_snapshot_is_kept(self):
+        counters = perf.PerfCounters()
+        before = counters.snapshot()
+        counters.hit("glyph_atlas")
+        counters.miss("glyph_atlas", 0.5)
+        delta = perf.diff_snapshots(before, counters.snapshot())
+        assert "glyph_atlas" in delta
+        assert delta["glyph_atlas"]["hits"] == 1
+        assert delta["glyph_atlas"]["misses"] == 1
+
+    def test_mid_window_reset_clamps_to_zero(self):
+        counters = perf.PerfCounters()
+        counters.hit("render_cache")
+        counters.hit("render_cache")
+        counters.miss("render_cache", 1.0)
+        before = counters.snapshot()
+        counters.reset()
+        counters.miss("render_cache", 0.25)
+        counters.miss("render_cache", 0.25)
+        delta = perf.diff_snapshots(before, counters.snapshot())
+        row = delta["render_cache"]
+        assert row["hits"] == 0.0  # clamped, not -2
+        assert row["misses"] == 1.0  # 2 - 1, post-reset activity above baseline
+        assert row["hit_seconds"] == 0.0
+        assert all(v >= 0.0 for v in row.values())
+
+    def test_mid_window_reset_below_baseline_drops_layer(self):
+        """Clamping can hide a whole layer; it must never go negative."""
+        counters = perf.PerfCounters()
+        counters.hit("render_cache")
+        counters.miss("render_cache", 1.0)
+        before = counters.snapshot()
+        counters.reset()
+        counters.miss("render_cache", 0.1)  # still below the old cumulative
+        delta = perf.diff_snapshots(before, counters.snapshot())
+        assert delta == {}
+
+    def test_idle_layers_dropped(self):
+        counters = perf.PerfCounters()
+        counters.hit("encode")
+        snap = counters.snapshot()
+        assert perf.diff_snapshots(snap, snap) == {}
+
+    def test_residency_reports_after_level(self):
+        counters = perf.PerfCounters()
+        counters.set_residency("encode", 5, 1000)
+        before = counters.snapshot()
+        counters.miss("encode", 0.1)
+        counters.set_residency("encode", 9, 4096)
+        delta = perf.diff_snapshots(before, counters.snapshot())
+        assert delta["encode"]["entries"] == 9.0
+        assert delta["encode"]["bytes"] == 4096.0
+
+
+class TestAbsorbPerf:
+    def test_layers_become_counters_and_gauges(self):
+        counters = perf.PerfCounters()
+        counters.hit("glyph_atlas", 0.01)
+        counters.miss("glyph_atlas", 0.2)
+        counters.set_residency("glyph_atlas", 3, 512)
+        reg = MetricsRegistry()
+        absorb_perf(reg, counters.snapshot())
+        assert reg.counter("render_cache.glyph_atlas.hits") == 1
+        assert reg.counter("render_cache.glyph_atlas.misses") == 1
+        assert reg.snapshot()["gauges"]["render_cache.glyph_atlas.bytes"] == 512.0
+
+    def test_zero_fields_are_skipped(self):
+        counters = perf.PerfCounters()
+        counters.hit("encode")
+        reg = MetricsRegistry()
+        absorb_perf(reg, counters.snapshot())
+        assert "render_cache.encode.misses" not in reg.counters()

@@ -1,0 +1,166 @@
+"""Unit tests for the tracer: spans, events, sampling, caps, propagation."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.config import ObsConfig
+from repro.obs.trace import NOOP_SPAN, SAMPLED_NAMES, Tracer, _keep
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self, traced):
+        with obs.span("stage.detect", key="abc") as span:
+            span.set_attr("cached", False)
+        records = obs.TRACE.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["t"] == "span"
+        assert record["name"] == "stage.detect"
+        assert record["attrs"] == {"key": "abc", "cached": False}
+        assert record["status"] == "ok"
+        assert record["dur"] >= 0.0
+        assert record["pid"] == os.getpid()
+        assert record["tid"] == "main"
+
+    def test_nesting_links_parents(self, traced):
+        with obs.span("study.run") as outer:
+            with obs.span("stage.crawl") as inner:
+                assert inner.parent_id == outer.span_id
+        records = {r["name"]: r for r in obs.TRACE.records()}
+        assert records["stage.crawl"]["parent"] == records["study.run"]["id"]
+        assert records["study.run"]["parent"] is None
+
+    def test_exception_marks_error_status(self, traced):
+        with pytest.raises(ValueError):
+            with obs.span("stage.detect"):
+                raise ValueError("boom")
+        record = obs.TRACE.records()[0]
+        assert record["status"] == "error"
+        assert "ValueError" in record["attrs"]["status_detail"]
+        # The stack unwound: the next span is a root again.
+        with obs.span("next") as span:
+            assert span.parent_id is None
+
+    def test_events_attach_to_enclosing_span(self, traced):
+        with obs.span("crawl.shard") as span:
+            obs.event("checkpoint.finalize", path="x")
+        event = obs.TRACE.records()[0]
+        assert event["t"] == "event"
+        assert event["parent"] == span.span_id
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self, untraced):
+        span = obs.span("crawl.page", domain="a.example")
+        assert span is NOOP_SPAN
+        assert not span.recording
+        with span as ctx:
+            ctx.set_attr("ignored", 1)
+            ctx.set_status("error")
+        assert obs.TRACE.records() == []
+
+    def test_event_is_dropped(self, untraced):
+        obs.event("crawl.retry", sample_key="a.example", attempt=1)
+        assert obs.TRACE.records() == []
+
+    def test_metrics_stay_on(self, untraced):
+        obs.inc("crawler.pages[control]")
+        assert obs.METRICS.counter("crawler.pages[control]") == 1
+
+
+class TestSampling:
+    def test_keep_is_deterministic_and_roughly_uniform(self):
+        kept = [_keep(0.25, f"site{i}.example") for i in range(4000)]
+        assert kept == [_keep(0.25, f"site{i}.example") for i in range(4000)]
+        fraction = sum(kept) / len(kept)
+        assert 0.2 < fraction < 0.3
+
+    def test_page_spans_sampled_by_domain(self):
+        tracer = Tracer(ObsConfig(trace=True, sample=0.5))
+        for i in range(200):
+            with tracer.span("crawl.page", domain=f"s{i}.example"):
+                pass
+        kept = len(tracer.records())
+        assert 0 < kept < 200
+        expected = sum(_keep(0.5, f"s{i}.example") for i in range(200))
+        assert kept == expected
+
+    def test_structural_spans_never_sampled(self):
+        tracer = Tracer(ObsConfig(trace=True, sample=0.0))
+        with tracer.span("study.run"):
+            with tracer.span("stage.crawl"):
+                pass
+        assert len(tracer.records()) == 2
+        assert "study.run" not in SAMPLED_NAMES
+
+    def test_sampled_event_names(self):
+        tracer = Tracer(ObsConfig(trace=True, sample=0.0))
+        tracer.event("crawl.retry", sample_key="x.example")
+        tracer.event("checkpoint.finalize", path="y")
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["checkpoint.finalize"]
+
+
+class TestEventCap:
+    def test_cap_counts_drops(self):
+        tracer = Tracer(ObsConfig(trace=True, max_events=3))
+        for i in range(10):
+            tracer.event("checkpoint.finalize", n=i)
+        assert len(tracer.records()) == 3
+        assert tracer.dropped == 7
+
+
+class TestPropagation:
+    def test_drain_then_ingest_is_exactly_once(self):
+        worker = Tracer(ObsConfig(trace=True))
+        worker.tid = "shard-3"
+        with worker.span("crawl.shard", shard="shard-3"):
+            pass
+        shipped = worker.drain()
+        assert worker.records() == []  # drained, not copied
+
+        parent = Tracer(ObsConfig(trace=True))
+        parent.ingest(shipped)
+        parent.ingest([])  # idempotent on empty
+        records = parent.records()
+        assert len(records) == 1
+        assert records[0]["tid"] == "shard-3"
+
+    def test_worker_payload_ships_metric_deltas(self, traced):
+        obs.inc("crawler.pages[control]", 7)  # earlier-task residue
+        before = obs.METRICS.snapshot()
+        obs.inc("crawler.pages[control]", 2)
+        with obs.span("crawl.shard"):
+            pass
+        payload = obs.worker_payload(before)
+        assert payload["metrics"]["counters"] == {"crawler.pages[control]": 2}
+        assert len(payload["spans"]) == 1
+        assert obs.TRACE.records() == []  # drained into the payload
+
+        obs.reset()
+        obs.ingest_worker(payload)
+        assert obs.METRICS.counter("crawler.pages[control]") == 2
+        assert len(obs.TRACE.records()) == 1
+
+
+class TestConfig:
+    def test_from_env_knobs(self):
+        env = {
+            "REPRO_OBS_TRACE": "1",
+            "REPRO_OBS_SAMPLE": "0.25",
+            "REPRO_OBS_MAX_EVENTS": "123",
+            "REPRO_OBS_DIR": "/tmp/run",
+        }
+        cfg = ObsConfig.from_env(env)
+        assert cfg.trace is True
+        assert cfg.sample == 0.25
+        assert cfg.max_events == 123
+        assert cfg.run_dir == "/tmp/run"
+
+    def test_defaults_are_off(self):
+        cfg = ObsConfig.from_env({})
+        assert cfg.trace is False
+        assert cfg.sample == 1.0
+        assert cfg.run_dir is None
