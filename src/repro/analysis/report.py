@@ -14,6 +14,7 @@ from repro.core.pipeline import StudyResult
 
 __all__ = [
     "Comparison",
+    "quarantine_table",
     "render_cache_table",
     "run_observability_table",
     "stage_timing_table",
@@ -292,6 +293,52 @@ def run_observability_table(result: StudyResult) -> str:
     checkpoints = int(counters.get("crawler.checkpoint_writes", 0))
     if checkpoints:
         lines.append(f"checkpoint writes: {checkpoints}")
+    respawns = int(counters.get("supervisor.respawns", 0))
+    spawned = int(counters.get("supervisor.workers_spawned", 0))
+    if respawns or spawned:
+        deaths = {
+            name.split("[", 1)[1].rstrip("]"): int(v)
+            for name, v in counters.items()
+            if name.startswith("supervisor.deaths[")
+        }
+        death_mix = (
+            " (" + ", ".join(f"{sig}={n}" for sig, n in sorted(deaths.items())) + ")"
+            if deaths
+            else ""
+        )
+        lines.append(
+            f"supervisor: {spawned} worker(s) spawned, {respawns} respawn(s)"
+            f"{death_mix}, {int(counters.get('supervisor.splits', 0))} bisection(s), "
+            f"{int(counters.get('supervisor.quarantined', 0))} quarantined"
+        )
+    return "\n".join(lines)
+
+
+def quarantine_table(result: StudyResult) -> str:
+    """Supervisor quarantine accounting: which sites were skipped and why.
+
+    Empty string for unsupervised or fault-free runs.  The coverage-loss
+    line makes the degraded-mode cost explicit: prevalence and reach were
+    computed over ``planned - quarantined`` sites, and each quarantined row
+    names the site so the loss is auditable, never silent.
+    """
+    quarantined = result.quarantined
+    if not quarantined:
+        return ""
+    by_domain = result.control.by_domain()
+    planned = len(result.control.observations)
+    lines = [
+        f"coverage loss: {len(quarantined)}/{planned} planned site(s) "
+        f"({len(quarantined) / max(1, planned):.2%}) quarantined by the shard "
+        f"supervisor; all analyses computed over the remaining sites",
+    ]
+    for domain in sorted(quarantined):
+        observation = by_domain.get(domain)
+        rank = observation.rank if observation is not None else "?"
+        population = observation.population if observation is not None else "?"
+        lines.append(
+            f"  {domain:32s} rank {rank!s:>6s} ({population:4s})  {quarantined[domain]}"
+        )
     return "\n".join(lines)
 
 
@@ -336,6 +383,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     observability = run_observability_table(result)
     if observability:
         sections.append("== Run observability ==\n" + observability)
+
+    quarantine = quarantine_table(result)
+    if quarantine:
+        sections.append("== Quarantined sites ==\n" + quarantine)
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

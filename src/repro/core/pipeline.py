@@ -53,6 +53,7 @@ from repro.crawler.collector import CanvasCollector
 from repro.crawler.crawl import CrawlDataset, CrawlTarget
 from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.crawler.shards import plan_shards, run_sharded_crawl
+from repro.crawler.supervisor import SupervisorConfig
 from repro.net.server import Network
 from repro.net.url import URL
 from repro.obs.recorder import RunRecorder, resolve_run_dir
@@ -184,6 +185,16 @@ class StudyResult:
                 out[self.populations.get(domain, "top")].add(domain)
         return out
 
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """domain -> ``quarantined:<signal>`` for supervisor-quarantined sites.
+
+        Non-empty only for supervised runs that hit poison sites; quarantined
+        rows live inside ``control`` as failed observations, so every
+        prevalence/reach denominator already accounts for them.
+        """
+        return self.control.quarantined_sites()
+
 
 def run_study(
     network: Network,
@@ -204,6 +215,7 @@ def run_study(
     stages: Optional[Sequence[str]] = None,
     render_cache: Optional[perf.RenderCacheConfig] = None,
     obs_dir: Optional[Union[str, Path]] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -226,6 +238,14 @@ def run_study(
     caches are exactly transparent — enabled, disabled, cold or warm, the
     study result is byte-identical; only ``StudyResult.perf_counters`` and
     the timing section change.
+
+    ``supervisor`` opts every crawl into the shard supervisor of
+    :mod:`repro.crawler.supervisor`: heartbeat-monitored workers, crash
+    re-dispatch from the per-shard checkpoints, and bisecting poison-site
+    quarantine, so a run whose workers die completes in degraded mode with
+    every skipped site accounted as a ``quarantined:*`` failure row (see
+    ``StudyResult.quarantined``).  Like ``jobs`` it is an execution knob:
+    a no-fault supervised run returns an identical result.
 
     ``obs_dir`` names the directory that receives this run's observability
     artifacts (``manifest.json`` + ``trace.jsonl``, inspectable with
@@ -255,6 +275,7 @@ def run_study(
         page_budget=page_budget,
         jobs=jobs,
         checkpoint_dir=Path(cache_dir) / "shards" if cache_dir is not None else None,
+        supervisor=supervisor,
     )
     graph = build_study_graph(ctx, cache=cache)
 
@@ -332,6 +353,7 @@ def validate_cross_machine(
     retry_policy: Optional[RetryPolicy] = None,
     page_budget: Optional[PageBudget] = None,
     jobs: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> bool:
     """§3.1's validation, generalized to any device fleet.
 
@@ -350,6 +372,7 @@ def validate_cross_machine(
             jobs=jobs,
             retry_policy=retry_policy,
             page_budget=page_budget,
+            supervisor=supervisor,
         )
         outcomes = detector.detect_all(dataset.successful())
         clusters = cluster_canvases(outcomes, dataset.populations())

@@ -60,6 +60,7 @@ from repro.core.stages.stage import Stage
 from repro.crawler.crawl import CrawlTarget
 from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.crawler.shards import run_sharded_crawl
+from repro.crawler.supervisor import SupervisorConfig
 
 __all__ = ["StudyContext", "build_study_graph", "STAGE_DOCS"]
 
@@ -108,6 +109,11 @@ class StudyContext:
     # -- execution knobs (never fingerprinted) --------------------------------
     jobs: int = 1
     checkpoint_dir: Optional[Path] = None
+    #: Opt-in shard supervision (heartbeats, crash re-dispatch, quarantine).
+    #: An execution knob like ``jobs``: a no-fault supervised crawl produces
+    #: the identical artifact, and a faulted one degrades the *data* (visible
+    #: as ``quarantined:*`` rows), not the cache key.
+    supervisor: Optional[SupervisorConfig] = None
 
     _network_fp: Optional[str] = field(default=None, repr=False, compare=False)
 
@@ -188,6 +194,7 @@ class CrawlStage(Stage):
             checkpoint_dir=checkpoint_dir,
             retry_policy=ctx.retry_policy,
             page_budget=ctx.page_budget,
+            supervisor=ctx.supervisor,
         )
 
 
@@ -379,6 +386,7 @@ class CrossMachineStage(Stage):
             retry_policy=ctx.retry_policy,
             page_budget=ctx.page_budget,
             jobs=ctx.jobs,
+            supervisor=ctx.supervisor,
         )
 
 

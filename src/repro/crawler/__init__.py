@@ -30,6 +30,14 @@ from repro.crawler.storage import (
     load_dataset,
     save_dataset,
 )
+from repro.crawler.supervisor import (
+    QuarantineLedger,
+    QuarantineRecord,
+    SupervisorConfig,
+    SupervisorError,
+    quarantine_ledger_path,
+    run_supervised_crawl,
+)
 
 __all__ = [
     "Autoconsent",
@@ -48,6 +56,12 @@ __all__ = [
     "run_sharded_crawl",
     "merge_shard_datasets",
     "shard_checkpoint_path",
+    "SupervisorConfig",
+    "SupervisorError",
+    "QuarantineLedger",
+    "QuarantineRecord",
+    "quarantine_ledger_path",
+    "run_supervised_crawl",
     "CheckpointWriter",
     "DatasetError",
     "checkpoint_path",

@@ -17,7 +17,11 @@ Usage::
 
 ``--jobs`` shards the target list over worker processes (each shard
 checkpoints independently under ``<out>.shards/``, so ``--resume`` works for
-parallel crawls too).  ``--stage`` runs one of the study pipeline's crawl
+parallel crawls too).  ``--supervised`` runs the shards under the crawl
+supervisor (heartbeats, crash re-dispatch, poison-site quarantine): a crawl
+whose workers are OOM-killed or hang completes in degraded mode, with the
+skipped sites recorded in ``<out>.shards/quarantine.jsonl`` and counted in
+the crawl health output.  ``--stage`` runs one of the study pipeline's crawl
 stages through the stage graph instead; with ``--cache-dir``, an unchanged
 re-run loads the dataset from the content-addressed cache without a single
 page load.
@@ -40,6 +44,7 @@ from repro.crawler.crawl import resume_crawl
 from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.crawler.shards import run_sharded_crawl
 from repro.crawler.storage import save_dataset
+from repro.crawler.supervisor import SupervisorConfig
 from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.obs.recorder import RunRecorder, resolve_run_dir
 from repro.webgen import build_world
@@ -101,6 +106,20 @@ def main(argv=None) -> int:
         help="worker processes; >1 shards the crawl (checkpoints in <out>.shards/)",
     )
     parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run shards under the crawl supervisor: heartbeat-monitored "
+        "workers, crash re-dispatch, poison-site quarantine "
+        "(quarantine.jsonl lands next to the shard checkpoints)",
+    )
+    parser.add_argument(
+        "--liveness-deadline",
+        type=float,
+        default=60.0,
+        help="supervised: max heartbeat silence (s) before a worker is "
+        "presumed hung and killed",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="stage cache directory (implies running via the stage graph)",
@@ -139,6 +158,11 @@ def main(argv=None) -> int:
 
     retry_policy = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts > 1 else None
     page_budget = PageBudget(max_page_ms=args.page_budget_ms)
+    supervisor = (
+        SupervisorConfig(liveness_deadline_s=args.liveness_deadline)
+        if args.supervised
+        else None
+    )
 
     started = time.time()
     done = {"n": 0}
@@ -184,6 +208,7 @@ def main(argv=None) -> int:
             checkpoint_dir=Path(args.cache_dir) / "shards"
             if args.cache_dir is not None
             else Path(f"{args.out}.shards"),
+            supervisor=supervisor,
         )
         graph = build_study_graph(ctx, cache=cache)
         run = graph.execute(ctx, only=[stage])
@@ -191,7 +216,7 @@ def main(argv=None) -> int:
         save_dataset(dataset, args.out)
         timing = run.timings[-1]
         print(f"stage {stage}: {timing.status} in {timing.seconds:.1f}s")
-    elif args.jobs > 1:
+    elif args.jobs > 1 or args.supervised:
         label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
         dataset = run_sharded_crawl(
             network,
@@ -203,6 +228,7 @@ def main(argv=None) -> int:
             retry_policy=retry_policy,
             page_budget=page_budget,
             resume=args.resume,
+            supervisor=supervisor,
         )
         save_dataset(dataset, args.out)
     else:

@@ -18,7 +18,20 @@ from repro.crawler.resilience import (
 )
 from repro.net.server import Network
 
-__all__ = ["CrawlTarget", "CrawlDataset", "CrawlHealth", "run_crawl", "resume_crawl"]
+__all__ = [
+    "QUARANTINE_PREFIX",
+    "CrawlTarget",
+    "CrawlDataset",
+    "CrawlHealth",
+    "run_crawl",
+    "resume_crawl",
+]
+
+#: Failure-reason prefix for sites the shard supervisor quarantined instead
+#: of crawling (``quarantined:<last death signal>``).  Quarantined rows keep
+#: the dataset self-accounting: every planned site appears as crawled,
+#: failed, or quarantined — never silently missing.
+QUARANTINE_PREFIX = "quarantined:"
 
 
 @dataclass(frozen=True)
@@ -50,6 +63,9 @@ class CrawlHealth:
     #: (reason, count, transient?) rows, most common first.
     failure_rows: Tuple[Tuple[str, int, bool], ...]
     inner_page_failures: int = 0
+    #: Sites the shard supervisor quarantined (poison sites that kept killing
+    #: their worker); counted inside the failure rows as ``quarantined:*``.
+    quarantined: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -72,6 +88,11 @@ class CrawlHealth:
         lines.append(f"attempts histogram: {histogram or 'none'}")
         if self.inner_page_failures:
             lines.append(f"inner-page load failures: {self.inner_page_failures}")
+        if self.quarantined:
+            lines.append(
+                f"quarantined by supervisor: {self.quarantined} site(s) "
+                f"(degraded-mode completion; see quarantine.jsonl)"
+            )
         if self.failure_rows:
             lines.append("failures by reason:")
             for reason, count, transient in self.failure_rows:
@@ -110,6 +131,14 @@ class CrawlDataset:
                 out[o.failure_reason] = out.get(o.failure_reason, 0) + 1
         return out
 
+    def quarantined_sites(self) -> Dict[str, str]:
+        """domain -> full ``quarantined:<signal>`` reason for supervisor skips."""
+        return {
+            o.domain: o.failure_reason
+            for o in self.observations
+            if o.failure_reason and o.failure_reason.startswith(QUARANTINE_PREFIX)
+        }
+
     # -- crawl health ---------------------------------------------------------
 
     def attempts_histogram(self) -> Dict[int, int]:
@@ -140,6 +169,7 @@ class CrawlDataset:
             attempts_histogram=self.attempts_histogram(),
             failure_rows=self.failure_table(),
             inner_page_failures=sum(o.inner_page_failures for o in self.observations),
+            quarantined=len(self.quarantined_sites()),
         )
 
 

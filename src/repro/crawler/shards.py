@@ -19,6 +19,9 @@ site observes, only *when* it is visited.
   ``targets[i::n]``), so top/tail populations stay balanced across shards;
 * :func:`run_sharded_crawl` — the executor: serial in-process when
   ``jobs <= 1`` (progress callbacks supported), worker processes otherwise;
+  with a ``supervisor`` config, the bare pool is replaced by the supervised
+  executor of :mod:`repro.crawler.supervisor` (heartbeats, crash
+  re-dispatch, poison-site quarantine, degraded-mode completion);
 * :func:`merge_shard_datasets` — reassemble one dataset in target order;
   merged :class:`~repro.crawler.crawl.CrawlHealth` comes from the merged
   dataset's own ``health()``.
@@ -34,13 +37,16 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 from repro import obs, perf
 from repro.browser.profile import BrowserProfile
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
 from repro.crawler.resilience import PageBudget, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (supervisor imports us)
+    from repro.crawler.supervisor import SupervisorConfig
 
 __all__ = [
     "plan_shards",
@@ -82,11 +88,22 @@ def merge_shard_datasets(
     list: observations appear in target order, and crawl health (success
     counts, attempts histogram, failure table) is recomputed from the merged
     observations via :meth:`CrawlDataset.health`.
+
+    Degenerate shards are first-class: an empty shard dataset contributes
+    nothing but cannot perturb the global ordering, and an all-failed
+    shard's failure rows are carried into the merge like any observation —
+    they are the crawl-health accounting.  When the same domain appears in
+    several shard datasets (a supervised re-dispatch overlapping a salvaged
+    checkpoint), the successful observation wins regardless of shard order;
+    among observations of equal success the later shard wins — so a
+    salvaged failure row can never shadow a completed re-crawl.
     """
     by_domain = {}
     for shard in shard_datasets:
         for observation in shard.observations:
-            by_domain[observation.domain] = observation
+            current = by_domain.get(observation.domain)
+            if current is None or observation.success or not current.success:
+                by_domain[observation.domain] = observation
     merged = CrawlDataset(label=label)
     for target in targets:
         observation = by_domain.get(target.domain)
@@ -178,6 +195,7 @@ def run_sharded_crawl(
     inner_paths: tuple = (),
     resume: bool = True,
     progress: Optional[Callable[[int, SiteObservation], None]] = None,
+    supervisor: Optional["SupervisorConfig"] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` over ``jobs`` workers and merge the shard datasets.
 
@@ -189,11 +207,34 @@ def run_sharded_crawl(
       a killed run — serial or parallel — resumes from the per-shard
       partials, re-visiting nothing that was persisted;
     * ``progress`` is supported on the serial path only (callbacks cannot
-      cross the process boundary).
+      cross the process boundary);
+    * with a ``supervisor`` config, execution is delegated to
+      :func:`repro.crawler.supervisor.run_supervised_crawl`: heartbeat-
+      monitored workers, crash re-dispatch from the per-shard checkpoints,
+      and bisecting poison-site quarantine.  A no-fault supervised run
+      produces a dataset identical to this unsupervised path.
 
     The merged dataset equals a serial crawl of the same targets: identical
     observations in identical order (see ``tests/crawler/test_shards.py``).
     """
+    if supervisor is not None:
+        # Local import: supervisor builds on this module's planner/merger.
+        from repro.crawler.supervisor import run_supervised_crawl
+
+        return run_supervised_crawl(
+            network,
+            targets,
+            profile=profile,
+            label=label,
+            jobs=jobs,
+            shards=shards,
+            checkpoint_dir=checkpoint_dir,
+            retry_policy=retry_policy,
+            page_budget=page_budget,
+            inner_paths=inner_paths,
+            resume=resume,
+            config=supervisor,
+        )
     jobs = max(1, jobs)
     n_shards = shards if shards is not None else jobs
     planned = plan_shards(targets, max(1, n_shards))
@@ -239,8 +280,17 @@ def run_sharded_crawl(
              obs.config(), f"shard-{index}")
             for index, shard in enumerate(planned)
         ]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(planned))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(planned)))
+        try:
             results = list(pool.map(_crawl_shard_worker, payloads))
+        except BaseException:
+            # Ctrl-C (or any abort) must not leak live workers: cancel the
+            # queued shards, skip the blocking result wait, and re-raise.
+            # Per-shard .partial checkpoints survive for a later resume.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown()
         shard_datasets = []
         for records, perf_delta, obs_payload in results:
             perf.PERF.merge(perf_delta)

@@ -22,9 +22,11 @@ aliases) passes straight through.
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import obs
 from repro.net.http import Request, Response, ResourceType
@@ -39,11 +41,18 @@ class FaultKind:
     HTTP_FLAP = "http-flap"                 # 5xx that clears on a later attempt
     SLOW_RESPONSE = "slow-response"         # served, but with huge virtual latency
     TRUNCATED_SCRIPT = "truncated-script"   # script body cut short mid-transfer
+    WORKER_CRASH = "worker-crash"           # the fetching *process* dies (OOM/segfault)
+    WORKER_HANG = "worker-hang"             # the fetching process wedges (real sleep)
 
     ALL = (CONNECTION_ERROR, HTTP_FLAP, SLOW_RESPONSE, TRUNCATED_SCRIPT)
     #: Kinds applicable to non-script resources (a document cannot be a
     #: truncated *script*).
     DOCUMENT = (CONNECTION_ERROR, HTTP_FLAP, SLOW_RESPONSE)
+    #: Process-level fault kinds.  These never enter the per-URL transient
+    #: mix: they model *poison sites* that take down whichever crawl worker
+    #: visits them, every time — the class only a shard supervisor
+    #: (:mod:`repro.crawler.supervisor`) can recover from.
+    PROCESS = (WORKER_CRASH, WORKER_HANG)
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,23 @@ class FaultConfig:
     slow_ms: float = 120_000.0
     #: Status served while an HTTP flap lasts.
     flap_status: int = 503
+    #: Poison sites whose *document* fetch kills the fetching process outright
+    #: (``os._exit``), modelling an OOM-killed or segfaulted crawl worker.
+    #: Deterministic and permanent: the same domain kills every process that
+    #: visits it, which is what lets the supervisor's bisecting quarantine
+    #: converge on the culprit.
+    worker_crash_domains: Tuple[str, ...] = ()
+    #: Poison sites whose document fetch wedges the fetching process in a
+    #: real ``time.sleep`` — the heartbeat-starving hang a supervisor must
+    #: detect by liveness deadline rather than process exit.
+    worker_hang_domains: Tuple[str, ...] = ()
+    #: Exit status a worker-crash poison site dies with (137 = 128+SIGKILL,
+    #: the signature of the kernel OOM killer).
+    worker_crash_exit_code: int = 137
+    #: How long a worker-hang poison site sleeps per document fetch.  Pick it
+    #: far above the supervisor's liveness deadline; an unsupervised crawl
+    #: hitting a hang site simply stalls for this long.
+    worker_hang_seconds: float = 300.0
 
     def weight_for(self, kind: str) -> float:
         return {
@@ -128,6 +154,20 @@ class FaultInjector:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def process_fault(self, host: str) -> Optional[str]:
+        """The process-level fault (if any) visiting ``host`` triggers.
+
+        Unlike the transient schedule this is pure config, not seeded draw:
+        poison sites are deterministic by domain so a respawned worker that
+        re-visits the site dies again — the property the supervisor's
+        bisection relies on to isolate the culprit.
+        """
+        if host in self.config.worker_crash_domains:
+            return FaultKind.WORKER_CRASH
+        if host in self.config.worker_hang_domains:
+            return FaultKind.WORKER_HANG
+        return None
+
 
 class FaultyNetwork:
     """A :class:`Network` wrapper that injects the configured transient faults.
@@ -143,6 +183,8 @@ class FaultyNetwork:
 
     def fetch(self, request: Request) -> Response:
         config = self.injector.config
+        if request.resource_type == ResourceType.DOCUMENT:
+            self._apply_process_fault(request)
         kind = self.injector.next_fault(str(request.url), request.resource_type)
         if kind is None:
             return self.inner.fetch(request)
@@ -167,6 +209,27 @@ class FaultyNetwork:
         response.headers.setdefault("content-length", str(len(response.body)))
         response.body = response.body[: len(response.body) // 2]
         return response
+
+    def _apply_process_fault(self, request: Request) -> None:
+        """Kill or wedge *this process* if the document's host is poisoned.
+
+        ``worker-crash`` exits via ``os._exit`` — no cleanup, no exception
+        propagation, exactly like an OOM kill: the checkpoint keeps whatever
+        was flushed, the heartbeat file simply stops updating, and the parent
+        observes a dead process.  ``worker-hang`` sleeps wall-clock time so
+        only a liveness deadline (not an exit code) can surface it.
+        """
+        host = getattr(request.url, "host", "") or ""
+        kind = self.injector.process_fault(host)
+        if kind is None:
+            return
+        config = self.injector.config
+        self.injector.injected[kind] = self.injector.injected.get(kind, 0) + 1
+        obs.inc(f"net.faults.{kind}")
+        obs.event("net.fault", sample_key=host, url=str(request.url), kind=kind)
+        if kind == FaultKind.WORKER_CRASH:
+            os._exit(config.worker_crash_exit_code)
+        time.sleep(config.worker_hang_seconds)
 
     def __getattr__(self, name):
         # During unpickling __dict__ is not populated yet; delegating would

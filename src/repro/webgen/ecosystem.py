@@ -84,6 +84,7 @@ class World:
         cache_dir=None,
         stages=None,
         obs_dir=None,
+        supervisor=None,
     ):
         """Convenience: run the paper's whole pipeline over this world."""
         from repro.core.pipeline import run_study
@@ -103,6 +104,7 @@ class World:
             cache_dir=cache_dir,
             stages=stages,
             obs_dir=obs_dir,
+            supervisor=supervisor,
         )
 
     def ground_truth_fp_sites(self, population: str) -> List[str]:

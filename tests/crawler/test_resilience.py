@@ -94,6 +94,45 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
 
 
+def _schedule_in_subprocess(key):
+    """Top-level worker (pickled by name): one jittered schedule for ``key``."""
+    policy = RetryPolicy(max_attempts=5, base_delay_ms=1000, jitter_fraction=0.25)
+    return policy.backoff_schedule(key=key)
+
+
+class TestBackoffDeterminismAcrossProcesses:
+    """Supervised re-dispatch replays retries in a *different* process; the
+    jittered schedule must be a pure function of the key, not of interpreter
+    state (hash randomization, import order, prior draws)."""
+
+    KEYS = ["site-a.example", "site-b.example", "site-a.example/inner"]
+
+    def test_same_key_same_schedule_in_fresh_interpreters(self):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")  # fresh interpreter state
+        local = {key: _schedule_in_subprocess(key) for key in self.KEYS}
+        with ctx.Pool(2) as pool:
+            remote_1 = pool.map(_schedule_in_subprocess, self.KEYS)
+        with ctx.Pool(2) as pool:
+            remote_2 = pool.map(_schedule_in_subprocess, self.KEYS)
+        for key, first, second in zip(self.KEYS, remote_1, remote_2):
+            assert first == local[key]
+            assert second == local[key]
+
+    def test_different_keys_decorrelate(self):
+        schedules = [_schedule_in_subprocess(key) for key in self.KEYS]
+        assert len({tuple(s) for s in schedules}) == len(schedules)
+
+    def test_schedule_is_independent_of_prior_draws(self):
+        """Interleaving other keys' draws must not shift a key's schedule."""
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=1000, jitter_fraction=0.25)
+        clean = policy.backoff_schedule(key="site-a.example")
+        policy.backoff_schedule(key="noise-1")
+        policy.backoff_schedule(key="noise-2")
+        assert policy.backoff_schedule(key="site-a.example") == clean
+
+
 class FlakyCollector:
     """Stub collector failing a fixed number of times before succeeding."""
 

@@ -91,6 +91,106 @@ class TestMerge:
         assert merged.health() == serial.health()
 
 
+class TestMergeDegenerateShards:
+    """Regression: empty / all-failed shards must not corrupt the merge."""
+
+    def _failed(self, target, reason="dns"):
+        from repro.core.records import SiteObservation
+
+        return SiteObservation(
+            domain=target.domain, rank=target.rank, population=target.population,
+            success=False, failure_reason=reason,
+        )
+
+    def test_empty_shard_preserves_global_ordering(self):
+        targets = make_targets(6)
+        network = make_network(6)
+        planned = plan_shards(targets, 3)
+        shard_datasets = [
+            run_crawl(network, shard, label="control") for shard in planned
+        ]
+        shard_datasets.insert(1, CrawlDataset(label="control"))  # empty shard
+        merged = merge_shard_datasets("control", targets, shard_datasets)
+        assert [o.domain for o in merged.observations] == [t.domain for t in targets]
+
+    def test_all_failed_shard_keeps_its_failure_rows(self):
+        targets = make_targets(6)
+        network = make_network(6)
+        planned = plan_shards(targets, 3)
+        shard_datasets = [run_crawl(network, planned[0], label="control")]
+        failed = CrawlDataset(label="control")
+        failed.observations.extend(self._failed(t) for t in planned[1])
+        shard_datasets.append(failed)
+        shard_datasets.append(run_crawl(network, planned[2], label="control"))
+        merged = merge_shard_datasets("control", targets, shard_datasets)
+        assert [o.domain for o in merged.observations] == [t.domain for t in targets]
+        health = merged.health()
+        assert health.successes == len(planned[0]) + len(planned[2])
+        assert dict(merged.failure_reasons()) == {"dns": len(planned[1])}
+
+    def test_success_beats_failure_across_duplicate_shards(self):
+        """A salvaged failure row never shadows a completed re-crawl."""
+        targets = make_targets(4)
+        network = make_network(4)
+        crawled = run_crawl(network, targets, label="control")
+        failed = CrawlDataset(label="control")
+        failed.observations.extend(self._failed(t, reason="quarantined:exit:137")
+                                   for t in targets[:2])
+        # Failure rows first or last — the successful observation always wins.
+        for shard_order in ([failed, crawled], [crawled, failed]):
+            merged = merge_shard_datasets("control", targets, shard_order)
+            assert [o.domain for o in merged.observations] == [
+                t.domain for t in targets
+            ]
+            assert all(o.success for o in merged.observations)
+
+    def test_later_failure_replaces_earlier_failure(self):
+        targets = make_targets(2)
+        first = CrawlDataset(label="control")
+        first.observations.append(self._failed(targets[0], reason="dns"))
+        second = CrawlDataset(label="control")
+        second.observations.append(self._failed(targets[0], reason="timeout"))
+        merged = merge_shard_datasets("control", targets, [first, second])
+        assert merged.observations[0].failure_reason == "timeout"
+
+    def test_all_shards_empty_yields_empty_dataset(self):
+        targets = make_targets(3)
+        merged = merge_shard_datasets(
+            "control", targets, [CrawlDataset(label="control")] * 3
+        )
+        assert merged.observations == []
+        assert merged.health().total == 0
+
+
+class TestKeyboardInterruptShutdown:
+    """Regression: Ctrl-C mid-crawl must cancel queued shards, not leak workers."""
+
+    class FakePool:
+        instances = []
+
+        def __init__(self, max_workers=None):
+            self.shutdown_calls = []
+            TestKeyboardInterruptShutdown.FakePool.instances.append(self)
+
+        def map(self, fn, payloads):
+            raise KeyboardInterrupt
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.shutdown_calls.append((wait, cancel_futures))
+
+    def test_pool_cancelled_and_interrupt_reraised(self, monkeypatch):
+        import repro.crawler.shards as shards_mod
+
+        self.FakePool.instances.clear()
+        monkeypatch.setattr(shards_mod, "ProcessPoolExecutor", self.FakePool)
+        with pytest.raises(KeyboardInterrupt):
+            run_sharded_crawl(
+                make_network(6), make_targets(6), label="control", jobs=3
+            )
+        (pool,) = self.FakePool.instances
+        assert pool.shutdown_calls == [(False, True)]
+
+
 class TestSerialParallelEquivalence:
     def test_sharded_serial_equals_plain_crawl(self):
         targets = make_targets(10)

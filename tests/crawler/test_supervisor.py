@@ -1,0 +1,308 @@
+"""Chaos tests for the shard supervisor (repro.crawler.supervisor).
+
+These tests kill and wedge real worker processes: every ``worker-crash``
+poison site takes down its (sacrificial, forked) crawl process with
+``os._exit``, and every ``worker-hang`` site stalls one in a real sleep.
+The supervisor must complete the crawl anyway — re-dispatching remainders
+from the per-shard checkpoints, bisecting repeat offenders down to the
+poison site, and accounting for every planned site as crawled, failed, or
+quarantined.
+
+``REPRO_SUPERVISED_JOBS`` scales worker parallelism (default 2; CI runs 4).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.crawler.crawl import QUARANTINE_PREFIX, CrawlTarget, run_crawl
+from repro.crawler.shards import run_sharded_crawl
+from repro.crawler.storage import save_dataset
+from repro.crawler.supervisor import (
+    QuarantineLedger,
+    QuarantineRecord,
+    SupervisorConfig,
+    SupervisorError,
+    quarantine_ledger_path,
+    run_supervised_crawl,
+)
+from repro.net.faults import FaultConfig, FaultyNetwork
+from repro.net.server import Network
+
+JOBS = int(os.environ.get("REPRO_SUPERVISED_JOBS", "2"))
+
+FP_SCRIPT = """
+var c = document.createElement('canvas');
+c.width = 220; c.height = 40;
+var g = c.getContext('2d');
+g.font = '13px Arial';
+g.fillText('supervisor probe', 3, 20);
+window.__fp = c.toDataURL();
+"""
+
+
+def make_network(n=8):
+    net = Network()
+    for i in range(n):
+        server = net.server_for(f"site-{i}.example")
+        server.add_resource(
+            "/", f"<html><title>{i}</title><script>{FP_SCRIPT}</script></html>"
+        )
+    return net
+
+
+def make_targets(n=8):
+    return [
+        CrawlTarget(f"site-{i}.example", i + 1, "top" if i % 2 == 0 else "tail")
+        for i in range(n)
+    ]
+
+
+def crashy_network(n, *poison, hang=()):
+    """A network where visiting ``poison`` domains kills the crawl process."""
+    return FaultyNetwork(
+        make_network(n),
+        FaultConfig(worker_crash_domains=tuple(poison), worker_hang_domains=tuple(hang)),
+    )
+
+
+def fast_config(**overrides):
+    defaults = dict(liveness_deadline_s=30.0, poll_interval_s=0.01)
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+class TestNoFaultEquivalence:
+    """A no-fault supervised run is byte-identical to the unsupervised path."""
+
+    def test_supervised_equals_unsupervised(self):
+        targets = make_targets(10)
+        plain = run_sharded_crawl(
+            make_network(10), targets, label="control", jobs=JOBS, shards=4
+        )
+        supervised = run_sharded_crawl(
+            make_network(10), targets, label="control", jobs=JOBS, shards=4,
+            supervisor=fast_config(),
+        )
+        assert supervised.observations == plain.observations
+        assert supervised.health() == plain.health()
+
+    def test_supervised_dataset_bytes_identical(self, tmp_path):
+        targets = make_targets(8)
+        plain = run_sharded_crawl(
+            make_network(8), targets, label="control", jobs=JOBS, shards=3
+        )
+        supervised = run_supervised_crawl(
+            make_network(8), targets, label="control", jobs=JOBS, shards=3,
+            config=fast_config(),
+        )
+        save_dataset(plain, tmp_path / "plain.jsonl")
+        save_dataset(supervised, tmp_path / "supervised.jsonl")
+        assert (tmp_path / "plain.jsonl").read_bytes() == (
+            tmp_path / "supervised.jsonl"
+        ).read_bytes()
+
+    def test_no_fault_run_writes_no_quarantine(self, tmp_path):
+        targets = make_targets(6)
+        dataset = run_supervised_crawl(
+            make_network(6), targets, label="control", jobs=JOBS, shards=2,
+            checkpoint_dir=tmp_path, config=fast_config(),
+        )
+        assert dataset.quarantined_sites() == {}
+        assert dataset.health().quarantined == 0
+        assert not quarantine_ledger_path(tmp_path).exists()
+
+    def test_serial_supervised_equals_serial_plain(self):
+        """jobs=1 under supervision still matches the plain serial crawl."""
+        targets = make_targets(5)
+        plain = run_crawl(make_network(5), targets, label="control")
+        supervised = run_supervised_crawl(
+            make_network(5), targets, label="control", jobs=1, shards=1,
+            config=fast_config(),
+        )
+        assert supervised.observations == plain.observations
+
+
+class TestCrashRecovery:
+    """worker-crash poison sites: re-dispatch, bisection, quarantine."""
+
+    def test_poison_site_is_isolated_and_study_completes(self, tmp_path):
+        targets = make_targets(8)
+        poison = targets[3].domain
+        dataset = run_sharded_crawl(
+            crashy_network(8, poison), targets, label="chaos", jobs=JOBS, shards=2,
+            checkpoint_dir=tmp_path, supervisor=fast_config(),
+        )
+        # Every planned site is accounted for: crawled or quarantined.
+        assert [o.domain for o in dataset.observations] == [t.domain for t in targets]
+        assert dataset.quarantined_sites() == {poison: "quarantined:exit:137"}
+        healthy = [o for o in dataset.observations if o.domain != poison]
+        assert all(o.success for o in healthy)
+        health = dataset.health()
+        assert health.quarantined == 1
+        assert health.successes == len(targets) - 1
+        assert "quarantined by supervisor" in health.summary()
+
+    def test_quarantine_ledger_contents(self, tmp_path):
+        targets = make_targets(6)
+        poison = targets[2].domain
+        run_sharded_crawl(
+            crashy_network(6, poison), targets, label="chaos", jobs=JOBS, shards=2,
+            checkpoint_dir=tmp_path, supervisor=fast_config(),
+        )
+        ledger = QuarantineLedger.load(quarantine_ledger_path(tmp_path))
+        assert len(ledger.records) == 1
+        record = ledger.records[0]
+        assert record.domain == poison
+        assert record.reason == "worker-killed"
+        assert record.last_signal == "exit:137"
+        assert record.attempts >= 2  # at least max_shard_crashes deaths
+        assert record.failure_reason == f"{QUARANTINE_PREFIX}exit:137"
+
+    def test_remainder_recrawled_exactly_once(self, tmp_path):
+        """Checkpoint-verified: no domain is persisted twice across all
+        shard checkpoints, despite respawns and bisections."""
+        targets = make_targets(10)
+        poison = targets[7].domain
+        dataset = run_sharded_crawl(
+            crashy_network(10, poison), targets, label="chaos", jobs=JOBS, shards=2,
+            checkpoint_dir=tmp_path, supervisor=fast_config(),
+        )
+        seen = []
+        for path in tmp_path.glob("chaos.shard-*"):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    if line.strip():
+                        record = json.loads(line)
+                        if "domain" in record:
+                            seen.append(record["domain"])
+        assert len(seen) == len(set(seen)), f"duplicate checkpoint rows: {seen}"
+        # And the merged dataset carries no duplicates either.
+        domains = [o.domain for o in dataset.observations]
+        assert len(domains) == len(set(domains))
+
+    def test_multiple_poison_sites_all_quarantined(self, tmp_path):
+        targets = make_targets(8)
+        poison = {targets[1].domain, targets[6].domain}
+        dataset = run_sharded_crawl(
+            crashy_network(8, *poison), targets, label="chaos", jobs=JOBS, shards=2,
+            checkpoint_dir=tmp_path, supervisor=fast_config(),
+        )
+        assert set(dataset.quarantined_sites()) == poison
+        assert dataset.health().successes == len(targets) - len(poison)
+        ledger = QuarantineLedger.load(quarantine_ledger_path(tmp_path))
+        assert {r.domain for r in ledger.records} == poison
+
+    def test_bisection_metrics_are_recorded(self, tmp_path):
+        from repro import obs
+
+        targets = make_targets(8)
+        before = obs.METRICS.snapshot()
+        run_sharded_crawl(
+            crashy_network(8, targets[0].domain), targets, label="chaos",
+            jobs=JOBS, shards=2, checkpoint_dir=tmp_path, supervisor=fast_config(),
+        )
+        delta = obs.diff_metric_snapshots(before, obs.METRICS.snapshot())
+        counters = delta.get("counters", {})
+        assert counters.get("supervisor.quarantined") == 1
+        assert counters.get("supervisor.splits", 0) >= 1
+        assert counters.get("supervisor.respawns", 0) >= 2
+        assert counters.get("supervisor.deaths[exit:137]", 0) >= 2
+
+    def test_respawn_budget_blowout_raises(self, tmp_path):
+        targets = make_targets(4)
+        with pytest.raises(SupervisorError):
+            run_supervised_crawl(
+                crashy_network(4, targets[0].domain), targets, label="chaos",
+                jobs=JOBS, shards=2, checkpoint_dir=tmp_path,
+                config=fast_config(max_total_respawns=1),
+            )
+
+
+class TestHangRecovery:
+    """worker-hang poison sites: liveness-deadline detection."""
+
+    def test_hung_worker_is_killed_and_site_quarantined(self, tmp_path):
+        targets = make_targets(4)
+        tarpit = targets[1].domain
+        dataset = run_sharded_crawl(
+            crashy_network(4, hang=(tarpit,)), targets, label="chaos",
+            jobs=JOBS, shards=2, checkpoint_dir=tmp_path,
+            supervisor=fast_config(liveness_deadline_s=0.5),
+        )
+        assert dataset.quarantined_sites() == {tarpit: "quarantined:heartbeat-timeout"}
+        healthy = [o for o in dataset.observations if o.domain != tarpit]
+        assert all(o.success for o in healthy)
+        ledger = QuarantineLedger.load(quarantine_ledger_path(tmp_path))
+        assert ledger.records[0].last_signal == "heartbeat-timeout"
+
+
+class TestLedger:
+    def test_record_roundtrip(self):
+        record = QuarantineRecord(
+            domain="poison.example", rank=7, population="tail", label="chaos",
+            reason="worker-killed", attempts=3, last_signal="exit:137",
+            shard="0001.a.b", ts=123.5,
+        )
+        assert QuarantineRecord.from_json(record.to_json()) == record
+
+    def test_ledger_append_and_load(self, tmp_path):
+        path = quarantine_ledger_path(tmp_path)
+        ledger = QuarantineLedger(path)
+        for i in range(3):
+            ledger.append(
+                QuarantineRecord(
+                    domain=f"p{i}.example", rank=i, population="top", label="x",
+                    reason="worker-killed", attempts=2, last_signal="exit:137",
+                    shard=f"000{i}",
+                )
+            )
+        loaded = QuarantineLedger.load(path)
+        assert loaded.records == ledger.records
+
+    def test_load_missing_ledger_is_empty(self, tmp_path):
+        assert QuarantineLedger.load(tmp_path / "nope.jsonl").records == []
+
+
+class TestConfigValidation:
+    def test_invalid_max_shard_crashes(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_shard_crashes=0)
+
+    def test_invalid_liveness_deadline(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(liveness_deadline_s=0.0)
+
+
+class TestStudyIntegration:
+    """The supervisor threads through the stage graph and StudyResult."""
+
+    def test_supervised_study_surfaces_quarantine(self):
+        from repro.analysis.report import quarantine_table
+        from repro.core.pipeline import run_study
+
+        targets = make_targets(8)
+        poison = targets[5].domain
+        result = run_study(
+            crashy_network(8, poison), targets, [],
+            include_adblock_crawls=False, jobs=JOBS,
+            stages=["crawl.control"], supervisor=fast_config(),
+        )
+        assert result.quarantined == {poison: "quarantined:exit:137"}
+        assert len(result.control.observations) == len(targets)
+        table = quarantine_table(result)
+        assert poison in table
+        assert "coverage loss: 1/8" in table
+
+    def test_unsupervised_study_has_empty_quarantine(self):
+        from repro.analysis.report import quarantine_table
+        from repro.core.pipeline import run_study
+
+        targets = make_targets(4)
+        result = run_study(
+            make_network(4), targets, [],
+            include_adblock_crawls=False, stages=["crawl.control"],
+        )
+        assert result.quarantined == {}
+        assert quarantine_table(result) == ""

@@ -143,6 +143,67 @@ class TestFaultyNetwork:
             net.does_not_exist
 
 
+class TestProcessFaults:
+    """Process-level poison-site faults (worker-crash / worker-hang).
+
+    The actual ``os._exit`` / ``time.sleep`` side effects are exercised by
+    the supervisor chaos tests in ``tests/crawler/test_supervisor.py`` (they
+    must happen in a sacrificial subprocess); here we pin the *scheduling*
+    contract those tests rely on.
+    """
+
+    def test_process_fault_is_pure_config_lookup(self):
+        from repro.net.faults import FaultKind
+
+        config = FaultConfig(
+            worker_crash_domains=("poison.example",),
+            worker_hang_domains=("tarpit.example",),
+        )
+        injector = FaultInjector(config, seed=1)
+        assert injector.process_fault("poison.example") == FaultKind.WORKER_CRASH
+        assert injector.process_fault("tarpit.example") == FaultKind.WORKER_HANG
+        assert injector.process_fault("clean.example") is None
+
+    def test_process_fault_is_deterministic_across_seeds(self):
+        """Unlike transient faults, poison is seed-independent: a respawned
+        worker (any seed, any draw order) must die on the same site, or the
+        supervisor's bisection cannot converge."""
+        config = FaultConfig(worker_crash_domains=("poison.example",))
+        for seed in (0, 1, 12345):
+            from repro.net.faults import FaultKind
+
+            injector = FaultInjector(config, seed=seed)
+            for _ in range(3):
+                assert injector.process_fault("poison.example") == FaultKind.WORKER_CRASH
+
+    def test_process_faults_never_enter_transient_mix(self):
+        config = FaultConfig(fault_rate=1.0, worker_crash_domains=("a.example",))
+        injector = FaultInjector(config, seed=3)
+        for url in URLS:
+            schedule = injector.schedule_for(url, ResourceType.SCRIPT)
+            if schedule is not None:
+                from repro.net.faults import FaultKind
+
+                assert schedule.kind not in FaultKind.PROCESS
+
+    def test_non_document_fetches_never_trigger_process_faults(self):
+        """Only the top-level document visit models 'visiting the site'."""
+        net = FaultyNetwork(
+            make_network(), FaultConfig(worker_crash_domains=("a.example",))
+        )
+        # A script fetch from the poison host must come back, not kill us.
+        response = net.fetch(script_request("https://a.example/app.js"))
+        assert response.status == 200
+
+    def test_document_fetch_on_clean_host_passes_through(self):
+        net = FaultyNetwork(
+            make_network(), FaultConfig(worker_crash_domains=("poison.example",))
+        )
+        response = net.fetch(doc_request("https://a.example/"))
+        assert response.status == 200
+        assert net.injector.total_injected() == 0
+
+
 class TestConfigValidation:
     def test_zero_weights_disable_faults(self):
         config = FaultConfig(
