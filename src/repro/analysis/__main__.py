@@ -1,8 +1,15 @@
 """Analyze a saved crawl dataset (produced by ``python -m repro.crawler``).
 
-Runs the observation-only parts of the pipeline — detection, clustering,
-prevalence, reach, render-twice — exactly as they would run over a real
-crawl (no access to the generator or ground truth).
+Runs the observation-only parts of the pipeline — detection statistics,
+clustering, prevalence, reach, render-twice, serving context — exactly as
+they would run over a real crawl (no access to the generator or ground
+truth).
+
+The dataset is *streamed*: observations are folded one at a time into the
+mergeable reducers of :mod:`repro.core.reducers`, so peak memory is bounded
+by the number of distinct canvases and fingerprinting sites, never by the
+size of the crawl file.  A multi-GB dataset analyzes in constant memory
+(``tests/test_offline_analysis.py`` pins this with an RSS regression test).
 
 Usage::
 
@@ -14,11 +21,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.clustering import cluster_canvases, rank_clusters
-from repro.core.detection import FingerprintDetector
-from repro.core.evasion import analyze_serving_context, render_twice_fraction
-from repro.core.prevalence import compute_prevalence
-from repro.crawler.storage import load_dataset
+from repro.core.clustering import rank_clusters
+from repro.core.reducers import BundleSpec
+from repro.crawler.storage import dataset_label, iter_observations
+
+
+def streaming_bundle_spec() -> BundleSpec:
+    """The CLI's bounded-memory bundle recipe.
+
+    ``include_detection=False`` is the load-bearing choice: the detection
+    member keeps every site's full outcome (it *is* the outcome map), which
+    scales with dataset bulk.  Every other member aggregates, so dropping
+    detection makes the whole fold O(distinct canvases + FP sites).
+    """
+    return BundleSpec(include_detection=False, include_serving=True, dns=None)
 
 
 def main(argv=None) -> int:
@@ -27,13 +43,13 @@ def main(argv=None) -> int:
     parser.add_argument("--top-clusters", type=int, default=15)
     args = parser.parse_args(argv)
 
-    dataset = load_dataset(args.dataset)
-    detector = FingerprintDetector()
-    outcomes = detector.detect_all(dataset.successful())
-    populations = dataset.populations()
+    label = dataset_label(args.dataset)
+    bundle = streaming_bundle_spec().build()
+    for observation in iter_observations(args.dataset):
+        bundle.ingest(observation)
 
-    prevalence = compute_prevalence(dataset, outcomes)
-    print(f"dataset: {dataset.label} ({len(dataset.observations)} sites)")
+    prevalence = bundle.finalize_member("prevalence")
+    print(f"dataset: {label} ({bundle.count} sites)")
     for pop in ("top", "tail"):
         p = prevalence.population(pop)
         if p.sites_crawled == 0:
@@ -45,18 +61,18 @@ def main(argv=None) -> int:
             f"max {p.max_canvases}"
         )
 
-    fraction = FingerprintDetector.fingerprintable_fraction(outcomes.values())
-    print(f"fingerprintable fraction of extractions: {fraction:.1%}")
-    print(f"render-twice sites: {render_twice_fraction(outcomes):.1%}")
+    stats = bundle.finalize_member("stats")
+    print(f"fingerprintable fraction of extractions: {stats.fraction:.1%}")
+    print(f"render-twice sites: {bundle.finalize_member('render_twice'):.1%}")
 
-    clusters = cluster_canvases(outcomes, populations)
+    clusters = bundle.finalize_member("cluster")
     print(f"\ndistinct test canvases: {len(clusters)}")
     print(f"{'rank':>4s} {'top':>6s} {'tail':>6s}  sample script URL")
     for i, cluster in enumerate(rank_clusters(clusters, "top")[: args.top_clusters]):
         sample = sorted(cluster.script_urls)[0] if cluster.script_urls else "(inline)"
         print(f"{i:>4d} {cluster.site_count('top'):>6d} {cluster.site_count('tail'):>6d}  {sample}")
 
-    serving = analyze_serving_context(outcomes, populations)
+    serving = bundle.finalize_member("serving")
     print(
         f"\nfirst-party-served FP sites: top {serving.first_party_fraction('top'):.1%}, "
         f"tail {serving.first_party_fraction('tail'):.1%}"

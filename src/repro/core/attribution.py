@@ -133,16 +133,21 @@ class VendorAttributor:
         observations: Mapping[str, SiteObservation],
         outcomes: Mapping[str, DetectionOutcome],
     ) -> Dict[str, SiteAttribution]:
-        """Attribute every fingerprinting site in a crawl."""
-        out: Dict[str, SiteAttribution] = {}
+        """Attribute every fingerprinting site in a crawl.
+
+        Thin batch driver over
+        :class:`repro.core.reducers.AttributionReducer` — the streaming
+        path and this one share a single code path.
+        """
+        from repro.core.reducers import AttributionReducer
+
+        reducer = AttributionReducer(self)
         for domain, outcome in outcomes.items():
-            if not outcome.is_fingerprinting_site:
-                continue
             obs = observations.get(domain)
             if obs is None:
                 continue
-            out[domain] = self.attribute_site(obs, outcome)
-        return out
+            reducer.ingest_site(obs, outcome)
+        return reducer.finalize()["attributions"]
 
     def vendor_site_counts(
         self,

@@ -55,6 +55,24 @@ class CanvasCluster:
         if not self.width:
             self.width, self.height = extraction.width, extraction.height
 
+    def merge_from(self, other: "CanvasCluster") -> None:
+        """Absorb another partial cluster of the *same* canvas hash.
+
+        Order-insensitive: all observations of one hash share the identical
+        data URL (sha256 identity), hence identical width/height, so which
+        partial supplies the sample/dimensions cannot change the content.
+        """
+        for population, domains in other.sites.items():
+            self.sites.setdefault(population, set()).update(domains)
+        self.script_urls |= other.script_urls
+        self.extraction_count += other.extraction_count
+        for domain, count in other.extractions_per_site.items():
+            self.extractions_per_site[domain] = (
+                self.extractions_per_site.get(domain, 0) + count
+            )
+        if not self.width:
+            self.width, self.height = other.width, other.height
+
 
 def cluster_canvases(
     outcomes: Mapping[str, DetectionOutcome],
@@ -64,21 +82,16 @@ def cluster_canvases(
 
     ``outcomes`` maps domain -> detection outcome; ``populations`` maps
     domain -> "top" / "tail".  Returns clusters keyed by canvas hash.
+
+    Thin batch driver over :class:`repro.core.reducers.ClusterReducer` —
+    the streaming path and this one share a single code path.
     """
-    clusters: Dict[str, CanvasCluster] = {}
+    from repro.core.reducers import ClusterReducer
+
+    reducer = ClusterReducer()
     for domain, outcome in outcomes.items():
-        population = populations.get(domain, "top")
-        for extraction in outcome.fingerprintable:
-            key = extraction.canvas_hash
-            cluster = clusters.get(key)
-            if cluster is None:
-                cluster = CanvasCluster(
-                    canvas_hash=key,
-                    sample_data_url=extraction.data_url,
-                )
-                clusters[key] = cluster
-            cluster.add(domain, population, extraction)
-    return clusters
+        reducer.ingest_outcome(domain, populations.get(domain, "top"), outcome)
+    return reducer.finalize()
 
 
 def rank_clusters(

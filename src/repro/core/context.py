@@ -15,7 +15,12 @@ from repro.blocklists.disconnect import DisconnectList
 from repro.blocklists.matcher import RuleMatcher
 from repro.core.detection import DetectionOutcome
 
-__all__ = ["BlocklistContext", "CoverageCounts", "analyze_blocklist_context"]
+__all__ = [
+    "BlocklistContext",
+    "CoverageCounts",
+    "analyze_blocklist_context",
+    "blocklist_flags_for_url",
+]
 
 
 @dataclass
@@ -59,6 +64,26 @@ class BlocklistContext:
         }
 
 
+def blocklist_flags_for_url(
+    url: Optional[str],
+    easylist: RuleMatcher,
+    easyprivacy: RuleMatcher,
+    disconnect: DisconnectList,
+) -> Tuple[bool, bool, bool]:
+    """(easylist, easyprivacy, disconnect) coverage for one script URL.
+
+    Inline scripts (no URL) can never match — exactly why first-party
+    bundling defeats URL/DNS-based detection (§5.2).
+    """
+    if url is None or "#inline" in url:
+        return (False, False, False)
+    return (
+        easylist.listed(url, "script"),
+        easyprivacy.listed(url, "script"),
+        disconnect.contains_url(url),
+    )
+
+
 def analyze_blocklist_context(
     outcomes: Mapping[str, DetectionOutcome],
     populations: Mapping[str, str],
@@ -68,38 +93,13 @@ def analyze_blocklist_context(
 ) -> BlocklistContext:
     """Classify every fingerprintable canvas by its script's list coverage.
 
-    Inline scripts (no URL) can never match — exactly why first-party
-    bundling defeats URL/DNS-based detection (§5.2).
+    Thin batch driver over
+    :class:`repro.core.reducers.BlocklistContextReducer` — the streaming
+    path and this one share a single code path.
     """
-    context = BlocklistContext()
-    # Memoize per script URL: crawls see the same URLs thousands of times.
-    memo: Dict[Optional[str], Tuple[bool, bool, bool]] = {}
+    from repro.core.reducers import BlocklistContextReducer
 
+    reducer = BlocklistContextReducer(easylist, easyprivacy, disconnect)
     for domain, outcome in outcomes.items():
-        population = populations.get(domain, "top")
-        for extraction in outcome.fingerprintable:
-            url = extraction.script_url
-            flags = memo.get(url)
-            if flags is None:
-                if url is None or "#inline" in url:
-                    flags = (False, False, False)
-                else:
-                    flags = (
-                        easylist.listed(url, "script"),
-                        easyprivacy.listed(url, "script"),
-                        disconnect.contains_url(url),
-                    )
-                memo[url] = flags
-            in_el, in_ep, in_dc = flags
-            context.totals.add(population)
-            if in_el:
-                context.easylist.add(population)
-            if in_ep:
-                context.easyprivacy.add(population)
-            if in_dc:
-                context.disconnect.add(population)
-            if in_el or in_ep or in_dc:
-                context.any_list.add(population)
-            if in_el and in_ep and in_dc:
-                context.all_lists.add(population)
-    return context
+        reducer.ingest_outcome(domain, populations.get(domain, "top"), outcome)
+    return reducer.finalize()

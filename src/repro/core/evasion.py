@@ -25,6 +25,7 @@ from repro.net.url import URL, URLError, same_site
 __all__ = [
     "ServingContext",
     "analyze_serving_context",
+    "site_serving_flags",
     "AdblockImpact",
     "compare_adblock_crawls",
     "render_twice_fraction",
@@ -58,51 +59,53 @@ class ServingContext:
         return self.fraction(self.cname_cloaked_sites, population)
 
 
+def site_serving_flags(
+    domain: str, outcome: DetectionOutcome, dns: Optional[DNSZone] = None
+) -> Tuple[bool, bool, bool, bool]:
+    """(first_party, subdomain, cdn, cloaked) for one fingerprinting site."""
+    site_home = f"https://{domain}/"
+    first_party = subdomain = cdn = cloaked = False
+    for extraction in outcome.fingerprintable:
+        url_text = extraction.script_url
+        if url_text is None:
+            continue
+        if "#inline" in url_text:
+            first_party = True
+            continue
+        try:
+            url = URL.parse(url_text)
+        except URLError:
+            continue
+        if same_site(url_text, site_home):
+            first_party = True
+            if url.host != domain and url.host.endswith("." + domain):
+                subdomain = True
+            if dns is not None and dns.is_cloaked(url.host):
+                cloaked = True
+                subdomain = False  # cloaking, not genuine delegation
+        if is_cdn_url(url):
+            cdn = True
+    return first_party, subdomain, cdn, cloaked
+
+
 def analyze_serving_context(
     outcomes: Mapping[str, DetectionOutcome],
     populations: Mapping[str, str],
     dns: Optional[DNSZone] = None,
 ) -> ServingContext:
     """Classify each fingerprinting site by how its canvases' scripts are
-    served relative to the site (first-party / subdomain / CDN / cloaked)."""
-    ctx = ServingContext()
-    for domain, outcome in outcomes.items():
-        if not outcome.is_fingerprinting_site:
-            continue
-        population = populations.get(domain, "top")
-        ctx.fp_sites[population] = ctx.fp_sites.get(population, 0) + 1
+    served relative to the site (first-party / subdomain / CDN / cloaked).
 
-        site_home = f"https://{domain}/"
-        first_party = subdomain = cdn = cloaked = False
-        for extraction in outcome.fingerprintable:
-            url_text = extraction.script_url
-            if url_text is None:
-                continue
-            if "#inline" in url_text:
-                first_party = True
-                continue
-            try:
-                url = URL.parse(url_text)
-            except URLError:
-                continue
-            if same_site(url_text, site_home):
-                first_party = True
-                if url.host != domain and url.host.endswith("." + domain):
-                    subdomain = True
-                if dns is not None and dns.is_cloaked(url.host):
-                    cloaked = True
-                    subdomain = False  # cloaking, not genuine delegation
-            if is_cdn_url(url):
-                cdn = True
-        for flag, counter in (
-            (first_party, ctx.first_party_sites),
-            (subdomain, ctx.subdomain_sites),
-            (cdn, ctx.cdn_sites),
-            (cloaked, ctx.cname_cloaked_sites),
-        ):
-            if flag:
-                counter[population] = counter.get(population, 0) + 1
-    return ctx
+    Thin batch driver over
+    :class:`repro.core.reducers.ServingContextReducer` — the streaming path
+    and this one share a single code path.
+    """
+    from repro.core.reducers import ServingContextReducer
+
+    reducer = ServingContextReducer(dns)
+    for domain, outcome in outcomes.items():
+        reducer.ingest_outcome(domain, populations.get(domain, "top"), outcome)
+    return reducer.finalize()
 
 
 @dataclass
@@ -115,14 +118,12 @@ class AdblockImpact:
 
 
 def _crawl_row(label: str, dataset: CrawlDataset, detector: FingerprintDetector) -> AdblockImpact:
-    canvases = {"top": 0, "tail": 0}
-    sites = {"top": 0, "tail": 0}
-    for obs in dataset.successful():
-        outcome = detector.detect(obs)
-        if outcome.is_fingerprinting_site:
-            sites[obs.population] += 1
-            canvases[obs.population] += len(outcome.fingerprintable)
-    return AdblockImpact(label=label, canvases=canvases, sites=sites)
+    from repro.core.reducers import AdblockRowReducer
+
+    reducer = AdblockRowReducer(label, detector)
+    for obs in dataset.observations:
+        reducer.ingest(obs)
+    return reducer.finalize()
 
 
 def compare_adblock_crawls(
@@ -140,16 +141,13 @@ def compare_adblock_crawls(
 
 def render_twice_fraction(outcomes: Mapping[str, DetectionOutcome]) -> float:
     """§5.3: fraction of FP sites with some canvas generated and extracted
-    at least twice (the randomization-detection signature)."""
-    fp_sites = 0
-    double_sites = 0
-    for outcome in outcomes.values():
-        if not outcome.is_fingerprinting_site:
-            continue
-        fp_sites += 1
-        seen: Dict[str, int] = {}
-        for extraction in outcome.fingerprintable:
-            seen[extraction.canvas_hash] = seen.get(extraction.canvas_hash, 0) + 1
-        if any(count >= 2 for count in seen.values()):
-            double_sites += 1
-    return double_sites / fp_sites if fp_sites else 0.0
+    at least twice (the randomization-detection signature).
+
+    Thin batch driver over :class:`repro.core.reducers.RenderTwiceReducer`.
+    """
+    from repro.core.reducers import RenderTwiceReducer
+
+    reducer = RenderTwiceReducer()
+    for domain, outcome in outcomes.items():
+        reducer.ingest_outcome(domain, "top", outcome)
+    return reducer.finalize()

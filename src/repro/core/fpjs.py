@@ -16,7 +16,7 @@ from repro.core.detection import DetectionOutcome
 from repro.core.records import SiteObservation
 from repro.net.url import URL, URLError, registrable_domain
 
-__all__ = ["FPJSBreakdown", "fpjs_breakdown", "ADTECH_HOST_NAMES"]
+__all__ = ["FPJSBreakdown", "fpjs_breakdown", "site_fpjs_flavor", "ADTECH_HOST_NAMES"]
 
 #: Registrable domains of known ad-tech self-hosters (paper §4.3.1).
 ADTECH_HOST_NAMES: Tuple[Tuple[str, str], ...] = (
@@ -72,6 +72,31 @@ def _classify_deployment(
     return "oss"
 
 
+def site_fpjs_flavor(
+    observation: Optional[SiteObservation],
+    outcome: DetectionOutcome,
+    fpjs_hashes: Set[str],
+) -> Optional[str]:
+    """The FPJS deployment flavor of one site, or None when no FPJS canvas.
+
+    Commercial evidence wins; then a named ad-tech host; else OSS.
+    """
+    matching = [e for e in outcome.fingerprintable if e.canvas_hash in fpjs_hashes]
+    if not matching:
+        return None
+    flavors = set()
+    for extraction in matching:
+        source = None
+        if observation is not None and extraction.script_url:
+            source = observation.script_sources.get(extraction.script_url)
+        flavors.add(_classify_deployment(extraction.script_url, source))
+    if "commercial" in flavors:
+        return "commercial"
+    if flavors - {"oss"}:
+        return sorted(flavors - {"oss"})[0]
+    return "oss"
+
+
 def fpjs_breakdown(
     observations: Mapping[str, SiteObservation],
     outcomes: Mapping[str, DetectionOutcome],
@@ -84,25 +109,14 @@ def fpjs_breakdown(
     site rendering one of those canvases, the generating script's URL and
     recorded source decide the flavor (commercial markers win; ad-tech hosts
     next; everything else is open-source self-hosting).
+
+    Shares :func:`site_fpjs_flavor` with the streaming
+    :class:`repro.core.reducers.FpjsReducer` — one classification path,
+    two drivers.
     """
     breakdown = FPJSBreakdown()
     for domain, outcome in outcomes.items():
-        matching = [e for e in outcome.fingerprintable if e.canvas_hash in fpjs_hashes]
-        if not matching:
-            continue
-        observation = observations.get(domain)
-        population = populations.get(domain, "top")
-        flavors = set()
-        for extraction in matching:
-            source = None
-            if observation is not None and extraction.script_url:
-                source = observation.script_sources.get(extraction.script_url)
-            flavors.add(_classify_deployment(extraction.script_url, source))
-        # Commercial evidence wins; then a named ad-tech host; else OSS.
-        if "commercial" in flavors:
-            breakdown.add("commercial", population)
-        elif flavors - {"oss"}:
-            breakdown.add(sorted(flavors - {"oss"})[0], population)
-        else:
-            breakdown.add("oss", population)
+        flavor = site_fpjs_flavor(observations.get(domain), outcome, fpjs_hashes)
+        if flavor is not None:
+            breakdown.add(flavor, populations.get(domain, "top"))
     return breakdown

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 from repro.core.detection import DetectionOutcome
 from repro.crawler.crawl import CrawlDataset
@@ -67,28 +67,18 @@ class PrevalenceReport:
 def compute_prevalence(
     dataset: CrawlDataset, outcomes: Mapping[str, DetectionOutcome]
 ) -> PrevalenceReport:
-    """Compute §4.1's prevalence statistics from detection outcomes."""
-    stats: Dict[str, PopulationPrevalence] = {}
-    for population in ("top", "tail"):
-        observations = [o for o in dataset.observations if o.population == population]
-        successful = [o for o in observations if o.success]
-        per_site: List[int] = []
-        canvases = 0
-        fp_sites = 0
-        for obs in successful:
-            outcome = outcomes.get(obs.domain)
-            if outcome is None or not outcome.is_fingerprinting_site:
-                continue
-            fp_sites += 1
-            count = len(outcome.fingerprintable)
-            canvases += count
-            per_site.append(count)
-        stats[population] = PopulationPrevalence(
-            population=population,
-            sites_crawled=len(observations),
-            sites_successful=len(successful),
-            fp_sites=fp_sites,
-            total_fingerprintable_canvases=canvases,
-            canvases_per_fp_site=per_site,
-        )
-    return PrevalenceReport(top=stats["top"], tail=stats["tail"])
+    """Compute §4.1's prevalence statistics from detection outcomes.
+
+    Thin batch driver over :class:`repro.core.reducers.PrevalenceReducer` —
+    the streaming path and this one share a single code path.  The
+    ``canvases_per_fp_site`` lists come out in (rank, domain) order — the
+    crawl target order within each population — which is also the dataset
+    order for every crawl this study produces, so the report is invariant
+    under shard interleaving.
+    """
+    from repro.core.reducers import PrevalenceReducer
+
+    reducer = PrevalenceReducer()
+    for obs in dataset.observations:
+        reducer.ingest_site(obs, outcomes.get(obs.domain))
+    return reducer.finalize()

@@ -1,0 +1,704 @@
+"""Streaming analysis engine: mergeable per-shard reducers.
+
+Every analysis in :mod:`repro.core` (detection, clustering, prevalence,
+reach, attribution, blocklist context, serving context, FPJS breakdown,
+render-twice, ad-blocker impact) is expressed as a :class:`Reducer` — a
+small state object with three operations:
+
+* ``ingest(observation)`` — fold one :class:`SiteObservation` into the
+  state (detection runs once per observation and is shared by every
+  member of a bundle);
+* ``merge(other)`` — combine two partial states.  Merge is associative
+  and commutative *provided each site was ingested into exactly one of
+  the partials* (the fold layer guarantees this; property tests in
+  ``tests/core/test_reducer_properties.py`` pin the algebra);
+* ``finalize()`` — produce exactly the report dataclass the old batch
+  function returned.
+
+The batch entry points (``detect_all``, ``cluster_canvases``,
+``compute_prevalence``, ``analyze_blocklist_context``,
+``analyze_serving_context``, ``fpjs_breakdown``, ``render_twice_fraction``,
+``compare_adblock_crawls``, ``attribute_all``) are thin drivers over these
+reducers — one code path, two drivers — so streaming output is *equal* to
+batch output by construction, not by coincidence.
+
+Because states are picklable, shard workers fold their observations as
+pages land and ship partials home over the existing worker-payload
+channel (:mod:`repro.crawler.shards` / :mod:`repro.crawler.supervisor`);
+the stage graph merges them (:class:`repro.core.stages.study.ReduceStage`)
+and the analysis CLI streams a JSONL dataset through a bundle in bounded
+memory.  See ``docs/analysis-architecture.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import obs as obs_layer
+from repro.core.clustering import CanvasCluster
+from repro.core.context import BlocklistContext, blocklist_flags_for_url
+from repro.core.detection import (
+    MIN_CANVAS_SIZE,
+    DetectionOutcome,
+    FingerprintDetector,
+)
+from repro.core.evasion import AdblockImpact, ServingContext, site_serving_flags
+from repro.core.fpjs import FPJSBreakdown, site_fpjs_flavor
+from repro.core.prevalence import PopulationPrevalence, PrevalenceReport
+from repro.core.reach import ReachReport, compute_reach
+from repro.core.records import SiteObservation
+
+__all__ = [
+    "Reducer",
+    "DetectionReducer",
+    "ExtractionStats",
+    "ExtractionStatsReducer",
+    "ClusterReducer",
+    "PrevalenceReducer",
+    "ReachReducer",
+    "AttributionReducer",
+    "BlocklistContextReducer",
+    "ServingContextReducer",
+    "FpjsReducer",
+    "RenderTwiceReducer",
+    "AdblockRowReducer",
+    "BundleSpec",
+    "AnalysisBundle",
+    "AnalysisFold",
+    "REDUCER_VERSION",
+]
+
+#: Bump when any reducer's state layout or semantics change — feeds the
+#: block-level partial cache keys of ``ReduceStage``.
+REDUCER_VERSION = "1"
+
+
+class Reducer:
+    """One streaming analysis: ``ingest`` observations, ``merge`` partials,
+    ``finalize`` into the batch report dataclass.
+
+    ``ingest`` detects on demand (via the reducer's own detector); inside an
+    :class:`AnalysisBundle` the shared outcome is passed to ``ingest_site``
+    directly so detection runs once per observation, not once per member.
+
+    Merge contract: associative and commutative over partials with
+    *disjoint* ingested site sets.  Ingesting one site into two partials
+    and merging them double-counts — the fold layer
+    (:class:`AnalysisFold`) enforces disjointness and falls back to a
+    re-fold when shard partials overlap (supervised re-dispatch races).
+    """
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        self.detector = detector or FingerprintDetector()
+
+    def ingest(self, observation: SiteObservation) -> None:
+        outcome = self.detector.detect(observation) if observation.success else None
+        self.ingest_site(observation, outcome)
+
+    def ingest_site(
+        self, observation: SiteObservation, outcome: Optional[DetectionOutcome]
+    ) -> None:
+        """Fold one observation with its (possibly shared) detection outcome."""
+        raise NotImplementedError
+
+    def merge(self, other: "Reducer") -> "Reducer":
+        raise NotImplementedError
+
+    def finalize(self) -> Any:
+        raise NotImplementedError
+
+
+class DetectionReducer(Reducer):
+    """§3.2 — streaming ``detect_all(dataset.successful())``."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.outcomes: Dict[str, DetectionOutcome] = {}
+
+    def ingest_site(self, observation, outcome) -> None:
+        if observation.success and outcome is not None:
+            self.outcomes[observation.domain] = outcome
+
+    def merge(self, other: "DetectionReducer") -> "DetectionReducer":
+        self.outcomes.update(other.outcomes)
+        return self
+
+    def finalize(self) -> Dict[str, DetectionOutcome]:
+        return self.outcomes
+
+
+@dataclass
+class ExtractionStats:
+    """Extraction counts behind §3.2's fingerprintable fraction."""
+
+    kept: int = 0
+    total: int = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.kept / self.total if self.total else 0.0
+
+
+class ExtractionStatsReducer(Reducer):
+    """Counts behind ``fingerprintable_fraction`` without keeping outcomes."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.kept = 0
+        self.total = 0
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is None:
+            return
+        self.kept += len(outcome.fingerprintable)
+        self.total += outcome.total_extractions
+
+    def merge(self, other: "ExtractionStatsReducer") -> "ExtractionStatsReducer":
+        self.kept += other.kept
+        self.total += other.total
+        return self
+
+    def finalize(self) -> ExtractionStats:
+        return ExtractionStats(kept=self.kept, total=self.total)
+
+
+class ClusterReducer(Reducer):
+    """§4.2 — streaming ``cluster_canvases``."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.clusters: Dict[str, CanvasCluster] = {}
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is not None:
+            self.ingest_outcome(observation.domain, observation.population, outcome)
+
+    def ingest_outcome(
+        self, domain: str, population: str, outcome: DetectionOutcome
+    ) -> None:
+        for extraction in outcome.fingerprintable:
+            key = extraction.canvas_hash
+            cluster = self.clusters.get(key)
+            if cluster is None:
+                cluster = CanvasCluster(
+                    canvas_hash=key, sample_data_url=extraction.data_url
+                )
+                self.clusters[key] = cluster
+            cluster.add(domain, population, extraction)
+
+    def merge(self, other: "ClusterReducer") -> "ClusterReducer":
+        for key, theirs in other.clusters.items():
+            mine = self.clusters.get(key)
+            if mine is None:
+                mine = CanvasCluster(
+                    canvas_hash=key, sample_data_url=theirs.sample_data_url
+                )
+                self.clusters[key] = mine
+            mine.merge_from(theirs)
+        return self
+
+    def finalize(self) -> Dict[str, CanvasCluster]:
+        return self.clusters
+
+
+class _PopulationState:
+    """Mutable per-population accumulator behind :class:`PrevalenceReducer`."""
+
+    __slots__ = ("sites_crawled", "sites_successful", "canvases", "fp_rows")
+
+    def __init__(self) -> None:
+        self.sites_crawled = 0
+        self.sites_successful = 0
+        self.canvases = 0
+        #: (rank, domain, fingerprintable count) per FP site.  Finalize
+        #: sorts by (rank, domain) — the crawl target order within each
+        #: population — so the per-site list is independent of shard
+        #: interleaving yet identical to the batch (dataset-order) list.
+        self.fp_rows: List[Tuple[int, str, int]] = []
+
+
+class PrevalenceReducer(Reducer):
+    """§4.1 — streaming ``compute_prevalence``."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.populations: Dict[str, _PopulationState] = {
+            "top": _PopulationState(),
+            "tail": _PopulationState(),
+        }
+
+    def ingest_site(self, observation, outcome) -> None:
+        state = self.populations.get(observation.population)
+        if state is None:
+            return
+        state.sites_crawled += 1
+        if not observation.success:
+            return
+        state.sites_successful += 1
+        if outcome is None or not outcome.is_fingerprinting_site:
+            return
+        count = len(outcome.fingerprintable)
+        state.canvases += count
+        state.fp_rows.append((observation.rank, observation.domain, count))
+
+    def merge(self, other: "PrevalenceReducer") -> "PrevalenceReducer":
+        for population, theirs in other.populations.items():
+            mine = self.populations[population]
+            mine.sites_crawled += theirs.sites_crawled
+            mine.sites_successful += theirs.sites_successful
+            mine.canvases += theirs.canvases
+            mine.fp_rows.extend(theirs.fp_rows)
+        return self
+
+    def finalize(self) -> PrevalenceReport:
+        reports = {}
+        for population, state in self.populations.items():
+            rows = sorted(state.fp_rows)
+            reports[population] = PopulationPrevalence(
+                population=population,
+                sites_crawled=state.sites_crawled,
+                sites_successful=state.sites_successful,
+                fp_sites=len(rows),
+                total_fingerprintable_canvases=state.canvases,
+                canvases_per_fp_site=[count for _, _, count in rows],
+            )
+        return PrevalenceReport(top=reports["top"], tail=reports["tail"])
+
+
+class ReachReducer(Reducer):
+    """§4.2 — streaming ``compute_reach`` inputs (clusters + FP site sets)."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.cluster = ClusterReducer(detector)
+        self.fp_sites: Dict[str, Set[str]] = {"top": set(), "tail": set()}
+        self.successful_top = 0
+
+    def ingest_site(self, observation, outcome) -> None:
+        if observation.success and observation.population == "top":
+            self.successful_top += 1
+        if outcome is None:
+            return
+        if outcome.is_fingerprinting_site:
+            self.fp_sites.setdefault(observation.population, set()).add(
+                observation.domain
+            )
+        self.cluster.ingest_site(observation, outcome)
+
+    def merge(self, other: "ReachReducer") -> "ReachReducer":
+        self.cluster.merge(other.cluster)
+        for population, domains in other.fp_sites.items():
+            self.fp_sites.setdefault(population, set()).update(domains)
+        self.successful_top += other.successful_top
+        return self
+
+    def finalize(self) -> ReachReport:
+        return compute_reach(
+            self.cluster.finalize(),
+            self.fp_sites.get("top", set()),
+            self.fp_sites.get("tail", set()),
+            self.successful_top,
+        )
+
+
+class AttributionReducer(Reducer):
+    """§4.3 — streaming ``attribute_all`` plus the Table 1 count tables.
+
+    Takes a built :class:`~repro.core.attribution.VendorAttributor` (vendor
+    signatures are an analysis *input*, harvested by the signatures stage).
+    """
+
+    def __init__(self, attributor, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.attributor = attributor
+        self.attributions: Dict[str, Any] = {}
+        self.populations: Dict[str, str] = {}
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is None or not outcome.is_fingerprinting_site:
+            return
+        self.attributions[observation.domain] = self.attributor.attribute_site(
+            observation, outcome
+        )
+        self.populations[observation.domain] = observation.population
+
+    def merge(self, other: "AttributionReducer") -> "AttributionReducer":
+        self.attributions.update(other.attributions)
+        self.populations.update(other.populations)
+        return self
+
+    def finalize(self) -> Dict[str, Any]:
+        return {
+            "attributions": self.attributions,
+            "vendor_counts": self.attributor.vendor_site_counts(
+                self.attributions, self.populations
+            ),
+            "vendor_totals": self.attributor.attributed_site_totals(
+                self.attributions, self.populations
+            ),
+        }
+
+
+class BlocklistContextReducer(Reducer):
+    """§5.1 — streaming ``analyze_blocklist_context`` (Table 4)."""
+
+    def __init__(
+        self,
+        easylist,
+        easyprivacy,
+        disconnect,
+        detector: Optional[FingerprintDetector] = None,
+    ) -> None:
+        super().__init__(detector)
+        self.easylist = easylist
+        self.easyprivacy = easyprivacy
+        self.disconnect = disconnect
+        self.context = BlocklistContext()
+        # Per-URL memo: crawls see the same script URLs thousands of times.
+        # Pure cache — merge keeps counts only, so memo state never affects
+        # the algebra.
+        self._memo: Dict[Optional[str], Tuple[bool, bool, bool]] = {}
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is not None:
+            self.ingest_outcome(observation.domain, observation.population, outcome)
+
+    def ingest_outcome(
+        self, domain: str, population: str, outcome: DetectionOutcome
+    ) -> None:
+        context = self.context
+        for extraction in outcome.fingerprintable:
+            url = extraction.script_url
+            flags = self._memo.get(url)
+            if flags is None:
+                flags = blocklist_flags_for_url(
+                    url, self.easylist, self.easyprivacy, self.disconnect
+                )
+                self._memo[url] = flags
+            in_el, in_ep, in_dc = flags
+            context.totals.add(population)
+            if in_el:
+                context.easylist.add(population)
+            if in_ep:
+                context.easyprivacy.add(population)
+            if in_dc:
+                context.disconnect.add(population)
+            if in_el or in_ep or in_dc:
+                context.any_list.add(population)
+            if in_el and in_ep and in_dc:
+                context.all_lists.add(population)
+
+    def merge(self, other: "BlocklistContextReducer") -> "BlocklistContextReducer":
+        for name, counts in self.context.rows().items():
+            theirs = other.context.rows()[name]
+            counts.top += theirs.top
+            counts.tail += theirs.tail
+        self.context.totals.top += other.context.totals.top
+        self.context.totals.tail += other.context.totals.tail
+        self._memo.update(other._memo)
+        return self
+
+    def finalize(self) -> BlocklistContext:
+        return self.context
+
+
+class ServingContextReducer(Reducer):
+    """§5.2 — streaming ``analyze_serving_context``."""
+
+    def __init__(self, dns=None, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.dns = dns
+        self.context = ServingContext()
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is not None:
+            self.ingest_outcome(observation.domain, observation.population, outcome)
+
+    def ingest_outcome(
+        self, domain: str, population: str, outcome: DetectionOutcome
+    ) -> None:
+        if not outcome.is_fingerprinting_site:
+            return
+        ctx = self.context
+        ctx.fp_sites[population] = ctx.fp_sites.get(population, 0) + 1
+        first_party, subdomain, cdn, cloaked = site_serving_flags(
+            domain, outcome, self.dns
+        )
+        for flag, counter in (
+            (first_party, ctx.first_party_sites),
+            (subdomain, ctx.subdomain_sites),
+            (cdn, ctx.cdn_sites),
+            (cloaked, ctx.cname_cloaked_sites),
+        ):
+            if flag:
+                counter[population] = counter.get(population, 0) + 1
+
+    def merge(self, other: "ServingContextReducer") -> "ServingContextReducer":
+        for mine, theirs in (
+            (self.context.fp_sites, other.context.fp_sites),
+            (self.context.first_party_sites, other.context.first_party_sites),
+            (self.context.subdomain_sites, other.context.subdomain_sites),
+            (self.context.cdn_sites, other.context.cdn_sites),
+            (self.context.cname_cloaked_sites, other.context.cname_cloaked_sites),
+        ):
+            for population, count in theirs.items():
+                mine[population] = mine.get(population, 0) + count
+        return self
+
+    def finalize(self) -> ServingContext:
+        return self.context
+
+
+class FpjsReducer(Reducer):
+    """§4.3.1 — streaming ``fpjs_breakdown``."""
+
+    def __init__(
+        self, fpjs_hashes: Set[str], detector: Optional[FingerprintDetector] = None
+    ) -> None:
+        super().__init__(detector)
+        self.fpjs_hashes = set(fpjs_hashes)
+        self.breakdown = FPJSBreakdown()
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is None:
+            return
+        flavor = site_fpjs_flavor(observation, outcome, self.fpjs_hashes)
+        if flavor is not None:
+            self.breakdown.add(flavor, observation.population)
+
+    def merge(self, other: "FpjsReducer") -> "FpjsReducer":
+        for flavor, row in other.breakdown.counts.items():
+            for population, count in row.items():
+                mine = self.breakdown.counts.setdefault(
+                    flavor, {"top": 0, "tail": 0}
+                )
+                mine[population] = mine.get(population, 0) + count
+        return self
+
+    def finalize(self) -> FPJSBreakdown:
+        return self.breakdown
+
+
+class RenderTwiceReducer(Reducer):
+    """§5.3 — streaming ``render_twice_fraction``."""
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.fp_sites = 0
+        self.double_sites = 0
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is not None:
+            self.ingest_outcome(observation.domain, observation.population, outcome)
+
+    def ingest_outcome(
+        self, domain: str, population: str, outcome: DetectionOutcome
+    ) -> None:
+        if not outcome.is_fingerprinting_site:
+            return
+        self.fp_sites += 1
+        seen: Dict[str, int] = {}
+        for extraction in outcome.fingerprintable:
+            seen[extraction.canvas_hash] = seen.get(extraction.canvas_hash, 0) + 1
+        if any(count >= 2 for count in seen.values()):
+            self.double_sites += 1
+
+    def merge(self, other: "RenderTwiceReducer") -> "RenderTwiceReducer":
+        self.fp_sites += other.fp_sites
+        self.double_sites += other.double_sites
+        return self
+
+    def finalize(self) -> float:
+        return self.double_sites / self.fp_sites if self.fp_sites else 0.0
+
+
+class AdblockRowReducer(Reducer):
+    """Table 2 — streaming ``_crawl_row`` for one crawl configuration."""
+
+    def __init__(self, label: str, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        self.label = label
+        self.canvases: Dict[str, int] = {"top": 0, "tail": 0}
+        self.sites: Dict[str, int] = {"top": 0, "tail": 0}
+
+    def ingest_site(self, observation, outcome) -> None:
+        if outcome is None or not outcome.is_fingerprinting_site:
+            return
+        self.sites[observation.population] += 1
+        self.canvases[observation.population] += len(outcome.fingerprintable)
+
+    def merge(self, other: "AdblockRowReducer") -> "AdblockRowReducer":
+        for population in other.sites:
+            self.sites[population] = self.sites.get(population, 0) + other.sites[population]
+        for population in other.canvases:
+            self.canvases[population] = (
+                self.canvases.get(population, 0) + other.canvases[population]
+            )
+        return self
+
+    def finalize(self) -> AdblockImpact:
+        return AdblockImpact(label=self.label, canvases=self.canvases, sites=self.sites)
+
+
+# -- bundle: one detection pass feeding every member --------------------------------
+
+
+@dataclass(frozen=True)
+class BundleSpec:
+    """Picklable recipe for an :class:`AnalysisBundle`.
+
+    Shipped to shard workers (a spec is tiny; the bundle it builds is not),
+    and hashed — via :meth:`fingerprint` — into the block-partial cache keys
+    of the reduce stage.  ``include_detection=False`` drops the full
+    per-site outcome map so a bundle's memory footprint is bounded by the
+    number of *distinct canvases and FP sites*, not by dataset bulk — the
+    CLI's streaming mode.
+    """
+
+    min_size: int = MIN_CANVAS_SIZE
+    include_detection: bool = True
+    include_serving: bool = False
+    dns: Any = field(default=None, hash=False, compare=False)
+
+    def build(self) -> "AnalysisBundle":
+        detector = FingerprintDetector(min_size=self.min_size)
+        members: Dict[str, Reducer] = {}
+        if self.include_detection:
+            members["detection"] = DetectionReducer(detector)
+        members["stats"] = ExtractionStatsReducer(detector)
+        members["cluster"] = ClusterReducer(detector)
+        members["prevalence"] = PrevalenceReducer(detector)
+        members["reach"] = ReachReducer(detector)
+        members["render_twice"] = RenderTwiceReducer(detector)
+        if self.include_serving:
+            members["serving"] = ServingContextReducer(self.dns, detector)
+        return AnalysisBundle(spec=self, members=members, detector=detector)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """JSON-able identity for cache keys (``dns`` content is hashed by
+        the stage separately when serving analysis is bundled)."""
+        return {
+            "reducers": REDUCER_VERSION,
+            "min_size": self.min_size,
+            "detection": self.include_detection,
+            "serving": self.include_serving,
+        }
+
+
+class AnalysisBundle:
+    """A set of reducers sharing one detection pass per observation.
+
+    Tracks the ingested site set so :class:`AnalysisFold` can verify that
+    shard partials are disjoint and cover the merged dataset exactly before
+    trusting a merge of partials over a re-fold.
+    """
+
+    def __init__(
+        self,
+        spec: BundleSpec,
+        members: Dict[str, Reducer],
+        detector: FingerprintDetector,
+    ) -> None:
+        self.spec = spec
+        self.members = members
+        self.detector = detector
+        self.seen: Set[str] = set()
+        self.count = 0
+
+    def ingest(self, observation: SiteObservation) -> None:
+        outcome = self.detector.detect(observation) if observation.success else None
+        for member in self.members.values():
+            member.ingest_site(observation, outcome)
+        self.seen.add(observation.domain)
+        self.count += 1
+        obs_layer.inc("analysis.ingest.sites")
+
+    def ingest_many(self, observations: Iterable[SiteObservation]) -> None:
+        for observation in observations:
+            self.ingest(observation)
+
+    def merge(self, other: "AnalysisBundle") -> "AnalysisBundle":
+        if self.seen & other.seen:
+            raise ValueError(
+                "overlapping analysis partials: "
+                f"{sorted(self.seen & other.seen)[:3]}..."
+            )
+        for name, member in self.members.items():
+            member.merge(other.members[name])
+        self.seen |= other.seen
+        self.count += other.count
+        obs_layer.inc("analysis.merge.partials")
+        return self
+
+    def finalize_member(self, name: str) -> Any:
+        with obs_layer.span("analysis.finalize", member=name):
+            obs_layer.inc("analysis.finalize.calls")
+            return self.members[name].finalize()
+
+    def finalize(self) -> Dict[str, Any]:
+        return {name: self.finalize_member(name) for name in self.members}
+
+
+class AnalysisFold:
+    """Collects per-shard bundle partials and merges them against the
+    merged dataset.
+
+    The happy path merges worker-shipped partials (no re-ingestion in the
+    parent).  If the partials do not partition the merged dataset exactly —
+    a supervised re-dispatch overlapping a salvaged checkpoint, or a
+    duplicate-domain merge picking a different observation than a shard saw
+    — the fold falls back to re-ingesting the merged dataset, so the result
+    is always identical to a serial batch analysis.
+    """
+
+    def __init__(self, spec: BundleSpec) -> None:
+        self.spec = spec
+        self.partials: List[AnalysisBundle] = []
+
+    def fold_dataset(self, dataset) -> AnalysisBundle:
+        """Fold one shard dataset into a new partial (in-process path)."""
+        partial = self.spec.build()
+        with obs_layer.span(
+            "analysis.ingest", sites=len(dataset.observations), label=dataset.label
+        ):
+            partial.ingest_many(dataset.observations)
+        self.partials.append(partial)
+        return partial
+
+    def add_partial(self, partial: Optional[AnalysisBundle]) -> None:
+        """Adopt a worker-shipped partial (``None`` is ignored)."""
+        if partial is not None:
+            self.partials.append(partial)
+
+    def merge(self, merged_dataset) -> AnalysisBundle:
+        """The merged bundle for the final dataset, re-folding if needed."""
+        expected = [o.domain for o in merged_dataset.observations]
+        with obs_layer.span("analysis.merge", partials=len(self.partials)):
+            if self._partials_partition(expected):
+                bundle = self.spec.build()
+                for partial in self.partials:
+                    bundle.merge(partial)
+                return bundle
+        obs_layer.inc("analysis.fold.refolds")
+        bundle = self.spec.build()
+        with obs_layer.span("analysis.ingest", sites=len(expected), label="refold"):
+            bundle.ingest_many(merged_dataset.observations)
+        return bundle
+
+    def _partials_partition(self, expected_domains: List[str]) -> bool:
+        if not self.partials:
+            return False
+        union: Set[str] = set()
+        total_seen = 0
+        total_count = 0
+        for partial in self.partials:
+            total_seen += len(partial.seen)
+            total_count += partial.count
+            union |= partial.seen
+        return (
+            total_seen == len(union)
+            and total_count == total_seen
+            and union == set(expected_domains)
+            and len(expected_domains) == len(set(expected_domains))
+        )

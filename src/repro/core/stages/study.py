@@ -6,6 +6,7 @@ Each monolith step of the old ``run_study`` becomes one :class:`Stage`:
 stage              produces                                    paper
 =================  ==========================================  ==========
 crawl.control      control :class:`CrawlDataset`               §3.1
+reduce             merged :class:`AnalysisBundle` of partials  §3.2-§4.2
 detect             ``{domain: DetectionOutcome}``              §3.2
 cluster            ``{hash: CanvasCluster}``                   §4.2
 prevalence         :class:`PrevalenceReport`                   §4.1
@@ -23,27 +24,39 @@ cross_machine      bool consistency verdict (conditional)      §3.1
 Crawl stages run through :func:`~repro.crawler.shards.run_sharded_crawl`,
 so ``jobs`` in the :class:`StudyContext` parallelizes them — deliberately
 *outside* every cache key, because worker count cannot change the artifact.
-Analysis stages are pure functions of their inputs, so their cache keys
-chain off the crawl keys and a warm cache re-runs nothing.
+
+Since the streaming-reducer refactor the observation-heavy analyses
+(detection, clustering, prevalence, reach, render-twice) flow through one
+:class:`ReduceStage`: crawl workers fold their shard's observations into an
+:class:`~repro.core.reducers.AnalysisBundle` partial as pages land and ship
+it home with the crawl records (no cache), or — with a ``cache_dir`` — the
+reduce stage folds the dataset through *block-level* partial cache entries,
+so appending sites to a study re-ingests only the new blocks and re-merges
+(see ``docs/analysis-architecture.md``).  The downstream analysis stages
+finalize bundle members, so their cache keys chain off the reduce key and a
+warm cache re-runs nothing.  Blocklist/serving context deliberately stay
+*outside* the bundle's cache identity: changing a blocklist or the DNS zone
+re-runs only those stages, never detection or clustering.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro import obs as obs_layer
 from repro.blocklists.matcher import RuleMatcher
 from repro.browser.extensions import AdBlockerExtension
 from repro.browser.profile import BrowserProfile
 from repro.canvas.device import APPLE_M1, DeviceProfile, INTEL_UBUNTU
 from repro.core.attribution import VendorAttributor
-from repro.core.clustering import cluster_canvases
 from repro.core.context import analyze_blocklist_context
 from repro.core.detection import FingerprintDetector
 from repro.core.evasion import analyze_serving_context, compare_adblock_crawls
-from repro.core.prevalence import compute_prevalence
-from repro.core.reach import compute_reach
+from repro.core.reducers import AnalysisBundle, AnalysisFold, BundleSpec
 from repro.core.stages.cache import StageCache
 from repro.core.stages.fingerprint import (
     fingerprint_dns,
@@ -62,11 +75,12 @@ from repro.crawler.resilience import PageBudget, RetryPolicy
 from repro.crawler.shards import run_sharded_crawl
 from repro.crawler.supervisor import SupervisorConfig
 
-__all__ = ["StudyContext", "build_study_graph", "STAGE_DOCS"]
+__all__ = ["StudyContext", "build_study_graph", "control_bundle_spec", "STAGE_DOCS"]
 
 #: One-line description per stage name (used by ``--stage`` help and docs).
 STAGE_DOCS = {
     "crawl.control": "control crawl of the top+tail target list (§3.1)",
+    "reduce": "merge streaming per-shard analysis partials (§3.2-§4.2)",
     "detect": "fingerprintability detection over successful pages (§3.2)",
     "cluster": "canvas-equality clustering (§4.2)",
     "prevalence": "prevalence per population (§4.1)",
@@ -116,6 +130,11 @@ class StudyContext:
     supervisor: Optional[SupervisorConfig] = None
 
     _network_fp: Optional[str] = field(default=None, repr=False, compare=False)
+    #: Crawl-stage name -> merged AnalysisBundle folded live during the crawl
+    #: (workers ship partials home with their records).  Purely an execution
+    #: shortcut: the reduce stage pops it instead of re-ingesting the dataset,
+    #: and the artifact is bit-identical either way.
+    _live_bundles: Dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
 
     def network_fingerprint(self) -> str:
         """Content hash of the synthetic network, computed once per run."""
@@ -154,15 +173,34 @@ class StudyContext:
         return bool(self.include_adblock_crawls and self.easylist_text)
 
 
+def control_bundle_spec(ctx: StudyContext) -> BundleSpec:
+    """The study's streaming-analysis bundle for the control crawl.
+
+    Deliberately parameterized by the detector's ``min_size`` *only*:
+    blocklists and the DNS zone stay out so changing either never touches
+    the reduce stage's cache identity (see module docstring).
+    """
+    return BundleSpec(min_size=ctx.detector.min_size)
+
+
 class CrawlStage(Stage):
-    """A sharded (optionally parallel, checkpointed) crawl of the target list."""
+    """A sharded (optionally parallel, checkpointed) crawl of the target list.
+
+    With ``fold=True`` the crawl also folds observations into streaming
+    analysis partials as shards complete — workers ship a picklable
+    :class:`AnalysisBundle` partial home alongside their records — and
+    stashes the merged bundle in ``ctx._live_bundles`` for the reduce stage.
+    Folding is an execution knob, not configuration: it never enters the
+    ``config_fingerprint``.
+    """
 
     artifact = "dataset"
 
-    def __init__(self, name: str, profile_attr: str, label: str) -> None:
+    def __init__(self, name: str, profile_attr: str, label: str, fold: bool = False) -> None:
         self.name = name
         self._profile_attr = profile_attr
         self.label = label
+        self.fold = fold
 
     def _profile(self, ctx: StudyContext) -> BrowserProfile:
         return getattr(ctx, self._profile_attr)()
@@ -185,7 +223,8 @@ class CrawlStage(Stage):
             # from each other's partials.
             namespace = stable_hash(self.config_fingerprint(ctx))[:16]
             checkpoint_dir = Path(ctx.checkpoint_dir) / namespace
-        return run_sharded_crawl(
+        fold = AnalysisFold(control_bundle_spec(ctx)) if self.fold else None
+        dataset = run_sharded_crawl(
             ctx.network,
             ctx.targets,
             profile=self._profile(ctx),
@@ -195,67 +234,125 @@ class CrawlStage(Stage):
             retry_policy=ctx.retry_policy,
             page_budget=ctx.page_budget,
             supervisor=ctx.supervisor,
+            fold=fold,
         )
+        if fold is not None:
+            ctx._live_bundles[self.name] = fold.merge(dataset)
+            obs_layer.inc("analysis.fold.live")
+        return dataset
+
+
+class ReduceStage(Stage):
+    """Fold the control crawl into one merged :class:`AnalysisBundle`.
+
+    Three ways to produce the bundle, cheapest first:
+
+    1. **Live partials** — a fold-enabled :class:`CrawlStage` already merged
+       worker-shipped partials; pop them from ``ctx._live_bundles``.
+    2. **Block-cached fold** — with a stage cache, the dataset is folded in
+       fixed-size blocks, each block's partial content-addressed by its
+       observations (``reduce.block`` entries).  Appending sites to a study
+       re-ingests only the new blocks; everything else is a merge of cached
+       partials.
+    3. **Plain fold** — no cache, no live bundle: ingest the whole dataset.
+
+    All three produce the identical artifact; only the work differs.
+    """
+
+    name = "reduce"
+    inputs = ("crawl.control",)
+    #: Which crawl stage's live bundle this reduce consumes.
+    name_of_live_bundle = "crawl.control"
+    #: Observations per cached block partial (tests shrink this).
+    DEFAULT_BLOCK_SIZE = 256
+
+    def __init__(self, cache: Optional[StageCache] = None, block_size: Optional[int] = None) -> None:
+        self._cache = cache
+        self.block_size = block_size if block_size is not None else self.DEFAULT_BLOCK_SIZE
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        return control_bundle_spec(ctx).fingerprint()
+
+    def _block_key(self, config_fp: Any, block: Sequence[Any]) -> str:
+        digest = hashlib.sha256(stable_hash(config_fp).encode("ascii"))
+        for observation in block:
+            digest.update(
+                json.dumps(
+                    observation.to_json(), sort_keys=True, ensure_ascii=False
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> AnalysisBundle:
+        control = inputs["crawl.control"]
+        live = ctx._live_bundles.pop(self.name_of_live_bundle, None)
+        if live is not None:
+            return live
+        spec = control_bundle_spec(ctx)
+        if self._cache is None:
+            fold = AnalysisFold(spec)
+            fold.fold_dataset(control)
+            return fold.merge(control)
+        config_fp = self.config_fingerprint(ctx)
+        fold = AnalysisFold(spec)
+        observations = list(control.observations)
+        for start in range(0, len(observations), self.block_size):
+            block = observations[start : start + self.block_size]
+            key = self._block_key(config_fp, block)
+            hit, partial = self._cache.get("reduce.block", key)
+            if hit:
+                obs_layer.inc("analysis.block.hits")
+            else:
+                obs_layer.inc("analysis.block.misses")
+                partial = spec.build()
+                partial.ingest_many(block)
+                self._cache.put("reduce.block", key, partial)
+            fold.add_partial(partial)
+        return fold.merge(control)
 
 
 class DetectStage(Stage):
     """§3.2 detection over every successfully crawled page."""
 
     name = "detect"
-    inputs = ("crawl.control",)
-
-    def config_fingerprint(self, ctx: StudyContext) -> Any:
-        return {"min_size": ctx.detector.min_size}
+    inputs = ("reduce",)
+    version = "2"
 
     def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
-        control = inputs["crawl.control"]
-        return ctx.detector.detect_all(control.successful())
+        return inputs["reduce"].finalize_member("detection")
 
 
 class ClusterStage(Stage):
     """§4.2 canvas-equality clustering."""
 
     name = "cluster"
-    inputs = ("crawl.control", "detect")
+    inputs = ("reduce",)
+    version = "2"
 
     def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
-        control = inputs["crawl.control"]
-        return cluster_canvases(inputs["detect"], control.populations())
+        return inputs["reduce"].finalize_member("cluster")
 
 
 class PrevalenceStage(Stage):
     """§4.1 prevalence per population."""
 
     name = "prevalence"
-    inputs = ("crawl.control", "detect")
+    inputs = ("reduce",)
+    version = "2"
 
     def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
-        return compute_prevalence(inputs["crawl.control"], inputs["detect"])
+        return inputs["reduce"].finalize_member("prevalence")
 
 
 class ReachStage(Stage):
     """§4.2 reach of each cluster across populations."""
 
     name = "reach"
-    inputs = ("crawl.control", "detect", "cluster", "prevalence")
+    inputs = ("reduce",)
+    version = "2"
 
     def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
-        control = inputs["crawl.control"]
-        outcomes = inputs["detect"]
-        populations = control.populations()
-        fp_top = {
-            d
-            for d, o in outcomes.items()
-            if o.is_fingerprinting_site and populations[d] == "top"
-        }
-        fp_tail = {
-            d
-            for d, o in outcomes.items()
-            if o.is_fingerprinting_site and populations[d] == "tail"
-        }
-        return compute_reach(
-            inputs["cluster"], fp_top, fp_tail, inputs["prevalence"].top.sites_successful
-        )
+        return inputs["reduce"].finalize_member("reach")
 
 
 class SignaturesStage(Stage):
@@ -398,9 +495,16 @@ def build_study_graph(
     Optional stages (blocklist context, ad-blocker recrawls, cross-machine
     validation) are included exactly when the monolithic pipeline would have
     run them, so the graph's artifact set mirrors the old control flow.
+
+    Live-folded streaming analysis (workers ship partials with their crawl
+    records) is enabled exactly when there is no stage cache: with a cache,
+    the control crawl may be a warm artifact whose run() never executes, so
+    the reduce stage folds through block-level cached partials instead.
     """
+    fold_live = cache is None
     stages = [
-        CrawlStage("crawl.control", "control_profile", "control"),
+        CrawlStage("crawl.control", "control_profile", "control", fold=fold_live),
+        ReduceStage(cache),
         DetectStage(),
         ClusterStage(),
         PrevalenceStage(),

@@ -46,6 +46,7 @@ from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_cra
 from repro.crawler.resilience import PageBudget, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (supervisor imports us)
+    from repro.core.reducers import AnalysisFold
     from repro.crawler.supervisor import SupervisorConfig
 
 __all__ = [
@@ -129,7 +130,7 @@ def _crawl_shard_worker(payload):
     :func:`repro.obs.worker_payload` for the same reason.
     """
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume, perf_config, obs_config, shard_tid) = payload
+     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
@@ -141,8 +142,14 @@ def _crawl_shard_worker(payload):
             inner_paths, checkpoint, resume, progress=None,
         )
     records = [observation.to_json() for observation in dataset.observations]
+    # Fold the shard's analysis partial *before* draining the obs delta, so
+    # the parent receives the worker's ``analysis.*`` counters exactly once.
+    partial = None
+    if fold_spec is not None:
+        partial = fold_spec.build()
+        partial.ingest_many(dataset.observations)
     perf_delta = perf.diff_snapshots(perf_before, perf.PERF.snapshot())
-    return records, perf_delta, obs.worker_payload(metrics_before)
+    return records, perf_delta, obs.worker_payload(metrics_before), partial
 
 
 def _crawl_one_shard(
@@ -196,6 +203,7 @@ def run_sharded_crawl(
     resume: bool = True,
     progress: Optional[Callable[[int, SiteObservation], None]] = None,
     supervisor: Optional["SupervisorConfig"] = None,
+    fold: Optional["AnalysisFold"] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` over ``jobs`` workers and merge the shard datasets.
 
@@ -213,6 +221,12 @@ def run_sharded_crawl(
       monitored workers, crash re-dispatch from the per-shard checkpoints,
       and bisecting poison-site quarantine.  A no-fault supervised run
       produces a dataset identical to this unsupervised path.
+    * with a ``fold`` (an :class:`~repro.core.reducers.AnalysisFold`), each
+      shard's observations are also folded into a streaming analysis partial
+      as the crawl proceeds — in the worker process for parallel shards, so
+      partials ride home with the shard records and the parent never
+      re-ingests the dataset.  Call ``fold.merge(dataset)`` afterwards for
+      the combined bundle.
 
     The merged dataset equals a serial crawl of the same targets: identical
     observations in identical order (see ``tests/crawler/test_shards.py``).
@@ -234,13 +248,14 @@ def run_sharded_crawl(
             inner_paths=inner_paths,
             resume=resume,
             config=supervisor,
+            fold=fold,
         )
     jobs = max(1, jobs)
     n_shards = shards if shards is not None else jobs
     planned = plan_shards(targets, max(1, n_shards))
 
     if len(planned) == 1 and jobs == 1 and checkpoint_dir is None:
-        return run_crawl(
+        dataset = run_crawl(
             network,
             targets,
             profile=profile,
@@ -250,6 +265,9 @@ def run_sharded_crawl(
             retry_policy=retry_policy,
             page_budget=page_budget,
         )
+        if fold is not None:
+            fold.fold_dataset(dataset)
+        return dataset
 
     checkpoints: List[Optional[Path]] = [None] * len(planned)
     if checkpoint_dir is not None:
@@ -267,17 +285,19 @@ def run_sharded_crawl(
             with obs.span(
                 "crawl.shard", shard=f"shard-{index}", label=label, size=len(shard)
             ):
-                shard_datasets.append(
-                    _crawl_one_shard(
-                        network, shard, profile, label, retry_policy, page_budget,
-                        inner_paths, checkpoints[index], resume, progress,
-                    )
+                shard_dataset = _crawl_one_shard(
+                    network, shard, profile, label, retry_policy, page_budget,
+                    inner_paths, checkpoints[index], resume, progress,
                 )
+                if fold is not None:
+                    fold.fold_dataset(shard_dataset)
+                shard_datasets.append(shard_dataset)
     else:
+        fold_spec = fold.spec if fold is not None else None
         payloads = [
             (network, shard, profile, label, retry_policy, page_budget,
              inner_paths, checkpoints[index], resume, perf.current_config(),
-             obs.config(), f"shard-{index}")
+             obs.config(), f"shard-{index}", fold_spec)
             for index, shard in enumerate(planned)
         ]
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(planned)))
@@ -292,7 +312,7 @@ def run_sharded_crawl(
         else:
             pool.shutdown()
         shard_datasets = []
-        for records, perf_delta, obs_payload in results:
+        for records, perf_delta, obs_payload, partial in results:
             perf.PERF.merge(perf_delta)
             obs.ingest_worker(obs_payload)
             dataset = CrawlDataset(label=label)
@@ -300,5 +320,7 @@ def run_sharded_crawl(
                 SiteObservation.from_json(record) for record in records
             )
             shard_datasets.append(dataset)
+            if fold is not None:
+                fold.add_partial(partial)
 
     return merge_shard_datasets(label, targets, shard_datasets)

@@ -1,7 +1,11 @@
 """Crawl dataset persistence: JSONL, optionally gzipped.
 
-One observation per line, so multi-GB crawls stream without loading fully
-into memory — the format the real collector family also uses.
+One observation per line — the format the real collector family also uses.
+The format *supports* streaming, and the streaming consumers actually do:
+:func:`iter_observations` yields one observation at a time (this is what
+``python -m repro.analysis`` folds through, so analyzing a multi-GB crawl
+never loads it fully into memory), while :func:`load_dataset` deliberately
+slurps for callers that need a whole :class:`CrawlDataset`.
 
 Durability model:
 
@@ -37,6 +41,7 @@ __all__ = [
     "DatasetError",
     "save_dataset",
     "load_dataset",
+    "dataset_label",
     "iter_observations",
     "CheckpointWriter",
     "checkpoint_path",
@@ -154,6 +159,21 @@ def iter_observations(path: Union[str, Path]) -> Iterator[SiteObservation]:
         raise DatasetError(
             f"{path}: corrupt or truncated gzip dataset: {exc}"
         ) from exc
+
+
+def dataset_label(path: Union[str, Path]) -> str:
+    """Read just the dataset label from the header line (no body parse)."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such dataset file")
+    try:
+        with _open(path, "r") as fh:
+            header = _parse_header(fh.readline(), path)
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise DatasetError(
+            f"{path}: corrupt or truncated gzip dataset: {exc}"
+        ) from exc
+    return header.get("label", path.stem)
 
 
 def load_dataset(path: Union[str, Path]) -> CrawlDataset:

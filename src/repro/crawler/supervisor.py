@@ -238,7 +238,7 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
     from repro.crawler.shards import _crawl_one_shard
 
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume, perf_config, obs_config, shard_tid) = payload
+     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
@@ -255,10 +255,16 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
             inner_paths, checkpoint, resume, progress=beat,
         )
     records = [observation.to_json() for observation in dataset.observations]
+    # Fold before draining the obs delta so analysis counters ship with it.
+    partial = None
+    if fold_spec is not None:
+        partial = fold_spec.build()
+        partial.ingest_many(dataset.observations)
     result = (
         records,
         perf.diff_snapshots(perf_before, perf.PERF.snapshot()),
         obs.worker_payload(metrics_before),
+        partial,
     )
     tmp = result_path.with_name(result_path.name + ".tmp")
     with open(tmp, "wb") as fh:
@@ -314,7 +320,7 @@ class _Supervisor:
                  retry_policy: Optional[RetryPolicy],
                  page_budget: Optional[PageBudget], inner_paths: tuple,
                  resume: bool, config: SupervisorConfig, scratch: Path,
-                 ledger: QuarantineLedger, jobs: int) -> None:
+                 ledger: QuarantineLedger, jobs: int, fold=None) -> None:
         self.network = network
         self.profile = profile
         self.label = label
@@ -334,6 +340,9 @@ class _Supervisor:
         #: or exhausted) tasks, plus the quarantine failure rows.
         self.salvaged: List[SiteObservation] = []
         self.quarantined: List[QuarantineRecord] = []
+        #: Optional streaming AnalysisFold: workers fold shard partials and
+        #: ship them home; salvaged observations are folded parent-side.
+        self.fold = fold
         self.respawns = 0
         self.spawned = 0
 
@@ -364,6 +373,7 @@ class _Supervisor:
             self.retry_policy, self.page_budget, self.inner_paths,
             task.checkpoint, self.resume, perf.current_config(), obs.config(),
             f"shard-{task.shard_id}",
+            self.fold.spec if self.fold is not None else None,
         )
         process = self.mp.Process(
             target=_supervised_shard_worker,
@@ -429,7 +439,7 @@ class _Supervisor:
 
     def _collect(self, handle: _WorkerHandle) -> None:
         with open(handle.result_path, "rb") as fh:
-            records, perf_delta, obs_payload = pickle.load(fh)
+            records, perf_delta, obs_payload, partial = pickle.load(fh)
         handle.result_path.unlink(missing_ok=True)
         perf.PERF.merge(perf_delta)
         obs.ingest_worker(obs_payload)
@@ -438,6 +448,8 @@ class _Supervisor:
             SiteObservation.from_json(record) for record in records
         )
         self.datasets.append(dataset)
+        if self.fold is not None:
+            self.fold.add_partial(partial)
 
     # -- failure handling -----------------------------------------------------
 
@@ -545,6 +557,7 @@ def run_supervised_crawl(
     inner_paths: tuple = (),
     resume: bool = True,
     config: Optional[SupervisorConfig] = None,
+    fold=None,
 ) -> CrawlDataset:
     """Crawl ``targets`` under supervised worker processes.
 
@@ -582,7 +595,7 @@ def run_supervised_crawl(
         ledger = QuarantineLedger(quarantine_ledger_path(directory))
         supervisor = _Supervisor(
             network, profile, label, retry_policy, page_budget, inner_paths,
-            resume, config, directory, ledger, jobs,
+            resume, config, directory, ledger, jobs, fold=fold,
         )
         tasks = [
             _ShardTask(
@@ -603,6 +616,12 @@ def run_supervised_crawl(
             salvage = CrawlDataset(label=label)
             salvage.observations.extend(supervisor.salvaged)
             shard_datasets.append(salvage)
+            # Salvaged rows never crossed a worker boundary, so their partial
+            # is folded here.  If a salvaged domain was also re-crawled (the
+            # partials overlap), the fold's merge-time partition check fails
+            # and the bundle is re-folded from the merged dataset instead.
+            if fold is not None:
+                fold.fold_dataset(salvage)
         return merge_shard_datasets(label, targets, shard_datasets)
     finally:
         if scratch_tmp is not None:

@@ -1,0 +1,154 @@
+"""Property tests for the reducer merge algebra.
+
+The streaming engine's correctness rests on one algebraic contract: over
+partials with *disjoint* site sets, ``merge`` is associative and
+commutative, the empty bundle is its identity, and any partition of a
+stream folds to the same result as a single pass.  Hypothesis searches for
+counterexamples over randomized observation streams (failures, lossy and
+tiny canvases, animation scripts, inline scripts — every exclusion path).
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import CanvasApiCall, CanvasExtraction, SiteObservation
+from repro.core.reducers import BundleSpec
+
+SPEC = BundleSpec(include_serving=True)
+
+#: A small canvas-content alphabet so distinct sites share canvases (the
+#: whole point of clustering/reach) while hashes still collide across
+#: partials in interesting ways.
+DATA_URLS = [f"data:image/png;base64,CANVAS{i}" for i in range(6)]
+
+SCRIPT_URLS = [
+    None,
+    "#inline",
+    "https://fp.example/fp.min.js",
+    "https://cdn.jsdelivr.net/npm/fp-kit@1/dist/fp.js",
+    "https://fp.site-0.example/collect.js",
+]
+
+
+def _dims(data_url: str) -> int:
+    """Width/height as a pure function of content, like a real renderer:
+    the same drawing always extracts at the same size."""
+    return 8 + (int(hashlib.sha256(data_url.encode()).hexdigest(), 16) % 3) * 40
+
+
+@st.composite
+def extraction(draw):
+    data_url = draw(st.sampled_from(DATA_URLS))
+    size = _dims(data_url)
+    return CanvasExtraction(
+        data_url=data_url,
+        mime=draw(st.sampled_from(["image/png", "image/jpeg"])),
+        width=size,
+        height=size,
+        script_url=draw(st.sampled_from(SCRIPT_URLS)),
+        canvas_id=draw(st.integers(0, 2)),
+        t_ms=0.0,
+    )
+
+
+@st.composite
+def observation(draw, index: int):
+    success = draw(st.booleans())
+    site = SiteObservation(
+        domain=f"site-{index}.example",
+        rank=index + 1,
+        population=draw(st.sampled_from(["top", "tail"])),
+        success=success,
+        failure_reason=None if success else "network-error",
+    )
+    if success:
+        site.extractions = draw(st.lists(extraction(), max_size=4))
+        if draw(st.booleans()):
+            site.calls.append(
+                CanvasApiCall(
+                    interface="CanvasRenderingContext2D",
+                    method="save",
+                    args=(),
+                    retval=None,
+                    script_url=draw(st.sampled_from(SCRIPT_URLS)),
+                    canvas_id=0,
+                    t_ms=0.0,
+                )
+            )
+    return site
+
+
+@st.composite
+def stream(draw, max_sites: int = 12):
+    count = draw(st.integers(0, max_sites))
+    return [draw(observation(index)) for index in range(count)]
+
+
+def fold(observations):
+    bundle = SPEC.build()
+    bundle.ingest_many(observations)
+    return bundle
+
+
+def report(bundle):
+    return bundle.finalize()
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream())
+def test_empty_bundle_is_merge_identity(observations):
+    baseline = report(fold(observations))
+    assert report(fold(observations).merge(SPEC.build())) == baseline
+    assert report(SPEC.build().merge(fold(observations))) == baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream())
+def test_merge_is_commutative(observations):
+    a, b = observations[::2], observations[1::2]
+    ab = fold(a).merge(fold(b))
+    ba = fold(b).merge(fold(a))
+    assert report(ab) == report(ba)
+    assert ab.seen == ba.seen and ab.count == ba.count
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream())
+def test_merge_is_associative(observations):
+    a, b, c = observations[::3], observations[1::3], observations[2::3]
+    left = fold(a).merge(fold(b)).merge(fold(c))
+    right = fold(b).merge(fold(c))
+    right = fold(a).merge(right)
+    assert report(left) == report(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream(), st.data())
+def test_any_partition_folds_to_the_single_pass(observations, data):
+    single = report(fold(observations))
+    if observations:
+        cut = data.draw(st.integers(0, len(observations)))
+    else:
+        cut = 0
+    merged = fold(observations[:cut]).merge(fold(observations[cut:]))
+    assert report(merged) == single
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream())
+def test_ingest_then_merge_equals_merge_then_ingest(observations):
+    """Folding a site into a partial before or after an (unrelated) merge
+    cannot change the result."""
+    if not observations:
+        return
+    head, rest = observations[0], observations[1:]
+    before = fold(rest)
+    before.ingest(head)
+
+    after = fold(rest)
+    extra = SPEC.build()
+    extra.ingest(head)
+    after.merge(extra)
+    assert report(before) == report(after)

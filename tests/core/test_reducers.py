@@ -1,0 +1,215 @@
+"""Streaming reducers == batch analyses, on real crawled data.
+
+The hard invariant of the streaming engine: folding a dataset through
+sharded reducer partials and merging them must produce *exactly* the same
+report objects as the batch entry points — which are themselves thin
+drivers over a single reducer, so these tests pin both that the merge
+algebra is faithful and that the two drivers stay one code path.
+"""
+
+import pytest
+
+from repro.blocklists.matcher import RuleMatcher
+from repro.config import StudyScale
+from repro.core.attribution import VendorAttributor, VendorSignature
+from repro.core.clustering import cluster_canvases
+from repro.core.context import analyze_blocklist_context
+from repro.core.detection import FingerprintDetector
+from repro.core.evasion import analyze_serving_context, render_twice_fraction
+from repro.core.fpjs import fpjs_breakdown
+from repro.core.prevalence import compute_prevalence
+from repro.core.reach import compute_reach
+from repro.core.reducers import (
+    AnalysisFold,
+    AttributionReducer,
+    BlocklistContextReducer,
+    BundleSpec,
+    FpjsReducer,
+    ServingContextReducer,
+)
+from repro.crawler.crawl import run_crawl
+from repro.webgen import build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(StudyScale(fraction=0.02, seed=4242))
+
+
+@pytest.fixture(scope="module")
+def dataset(world):
+    return run_crawl(world.network, world.all_targets, label="control")
+
+
+@pytest.fixture(scope="module")
+def outcomes(dataset):
+    return FingerprintDetector().detect_all(dataset.successful())
+
+
+def shard_bundles(dataset, spec, shards=3):
+    """Fold the dataset's observations round-robin into disjoint partials."""
+    partials = [spec.build() for _ in range(shards)]
+    for index, observation in enumerate(dataset.observations):
+        partials[index % shards].ingest(observation)
+    return partials
+
+
+def merged_bundle(dataset, spec, shards=3):
+    merged = spec.build()
+    for partial in shard_bundles(dataset, spec, shards):
+        merged.merge(partial)
+    return merged
+
+
+class TestBundleEqualsBatch:
+    """Every bundle member, folded over shards, equals its batch analysis."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self, dataset):
+        return merged_bundle(dataset, BundleSpec(include_serving=True))
+
+    def test_detection(self, bundle, outcomes):
+        assert bundle.finalize_member("detection") == outcomes
+
+    def test_cluster(self, bundle, dataset, outcomes):
+        assert bundle.finalize_member("cluster") == cluster_canvases(
+            outcomes, dataset.populations()
+        )
+
+    def test_prevalence(self, bundle, dataset, outcomes):
+        assert bundle.finalize_member("prevalence") == compute_prevalence(dataset, outcomes)
+
+    def test_reach(self, bundle, dataset, outcomes):
+        populations = dataset.populations()
+        fp = {
+            pop: {
+                d
+                for d, o in outcomes.items()
+                if o.is_fingerprinting_site and populations[d] == pop
+            }
+            for pop in ("top", "tail")
+        }
+        prevalence = compute_prevalence(dataset, outcomes)
+        clusters = cluster_canvases(outcomes, populations)
+        expected = compute_reach(
+            clusters, fp["top"], fp["tail"], prevalence.top.sites_successful
+        )
+        assert bundle.finalize_member("reach") == expected
+
+    def test_render_twice(self, bundle, outcomes):
+        assert bundle.finalize_member("render_twice") == render_twice_fraction(outcomes)
+
+    def test_serving(self, bundle, dataset, outcomes):
+        assert bundle.finalize_member("serving") == analyze_serving_context(
+            outcomes, dataset.populations(), dns=None
+        )
+
+    def test_stats(self, bundle, outcomes):
+        stats = bundle.finalize_member("stats")
+        assert stats.fraction == FingerprintDetector.fingerprintable_fraction(
+            outcomes.values()
+        )
+
+    def test_shard_count_does_not_matter(self, dataset):
+        spec = BundleSpec()
+        one = merged_bundle(dataset, spec, shards=1).finalize()
+        five = merged_bundle(dataset, spec, shards=5).finalize()
+        assert one == five
+
+
+class TestWrapperReducers:
+    """Reducers outside the study bundle (blocklist, serving, fpjs, attribution)."""
+
+    def _halves(self, dataset):
+        observations = dataset.observations
+        return observations[::2], observations[1::2]
+
+    def test_blocklist_context(self, world, dataset, outcomes):
+        easylist = RuleMatcher.from_text(world.easylist_text, "easylist")
+        easyprivacy = RuleMatcher.from_text(world.easyprivacy_text, "easyprivacy")
+        batch = analyze_blocklist_context(
+            outcomes, dataset.populations(), easylist, easyprivacy, world.disconnect
+        )
+        detector = FingerprintDetector()
+        merged = BlocklistContextReducer(easylist, easyprivacy, world.disconnect, detector)
+        other = BlocklistContextReducer(easylist, easyprivacy, world.disconnect, detector)
+        for half, reducer in zip(self._halves(dataset), (merged, other)):
+            for observation in half:
+                reducer.ingest(observation)
+        assert merged.merge(other).finalize() == batch
+
+    def test_serving_context_with_dns(self, world, dataset, outcomes):
+        dns = world.network.dns
+        batch = analyze_serving_context(outcomes, dataset.populations(), dns=dns)
+        merged = ServingContextReducer(dns)
+        other = ServingContextReducer(dns)
+        for half, reducer in zip(self._halves(dataset), (merged, other)):
+            for observation in half:
+                reducer.ingest(observation)
+        assert merged.merge(other).finalize() == batch
+
+    def test_fpjs(self, dataset, outcomes):
+        hashes = set()
+        for outcome in outcomes.values():
+            hashes.update(e.canvas_hash for e in outcome.fingerprintable[:1])
+        batch = fpjs_breakdown(
+            dataset.by_domain(), outcomes, dataset.populations(), hashes
+        )
+        merged = FpjsReducer(hashes)
+        other = FpjsReducer(hashes)
+        for half, reducer in zip(self._halves(dataset), (merged, other)):
+            for observation in half:
+                reducer.ingest(observation)
+        assert merged.merge(other).finalize().counts == batch.counts
+
+    def test_attribution(self, dataset, outcomes):
+        signature = VendorSignature(name="probe", script_pattern="fp.min.js")
+        attributor = VendorAttributor([signature])
+        batch = attributor.attribute_all(dataset.by_domain(), outcomes)
+        merged = AttributionReducer(attributor)
+        other = AttributionReducer(attributor)
+        for half, reducer in zip(self._halves(dataset), (merged, other)):
+            for observation in half:
+                reducer.ingest(observation)
+        assert merged.merge(other).finalize()["attributions"] == batch
+
+
+class TestAnalysisFold:
+    def test_partition_merge_equals_refold(self, dataset):
+        spec = BundleSpec()
+        fold = AnalysisFold(spec)
+        half = len(dataset.observations) // 2
+        for observations in (dataset.observations[:half], dataset.observations[half:]):
+            partial = spec.build()
+            partial.ingest_many(observations)
+            fold.add_partial(partial)
+        merged = fold.merge(dataset)
+
+        refold = AnalysisFold(spec).merge(dataset)  # no partials -> forced refold
+        assert merged.finalize() == refold.finalize()
+        assert merged.seen == refold.seen
+
+    def test_overlapping_partials_refold_instead_of_double_count(self, dataset):
+        spec = BundleSpec()
+        fold = AnalysisFold(spec)
+        half = len(dataset.observations) // 2
+        # Second partial overlaps the first by one site (a salvaged
+        # checkpoint overlapping a supervised re-dispatch).
+        for observations in (
+            dataset.observations[: half + 1],
+            dataset.observations[half:],
+        ):
+            partial = spec.build()
+            partial.ingest_many(observations)
+            fold.add_partial(partial)
+        merged = fold.merge(dataset)
+        expected = AnalysisFold(spec).merge(dataset)
+        assert merged.finalize() == expected.finalize()
+
+    def test_direct_overlapping_merge_raises(self, dataset):
+        spec = BundleSpec()
+        a, b = spec.build(), spec.build()
+        a.ingest(dataset.observations[0])
+        b.ingest(dataset.observations[0])
+        with pytest.raises(ValueError):
+            a.merge(b)

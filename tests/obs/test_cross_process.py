@@ -127,9 +127,10 @@ class TestPooledWorkerDeltas:
         payload = (
             faulty(world), shard, None, "control", RETRIES, None, (),
             None, False, perf.current_config(), ObsConfig(trace=True), "shard-0",
+            None,
         )
-        _, perf_delta_1, obs_payload_1 = _crawl_shard_worker(payload)
-        _, perf_delta_2, obs_payload_2 = _crawl_shard_worker(payload)
+        _, perf_delta_1, obs_payload_1, _ = _crawl_shard_worker(payload)
+        _, perf_delta_2, obs_payload_2, _ = _crawl_shard_worker(payload)
         pages_1 = obs_payload_1["metrics"]["counters"]["crawler.pages[control]"]
         pages_2 = obs_payload_2["metrics"]["counters"]["crawler.pages[control]"]
         assert pages_1 == len(shard)

@@ -111,6 +111,62 @@ class TestCrawlAnalyzeCLI:
         assert load_dataset(out_path).label == "apple-m1"
 
 
+class TestSupervisedCrawlAnalyzeSmoke:
+    """The CI smoke pipeline: a supervised parallel crawl persisted to gzip
+    and streamed through ``python -m repro.analysis`` must report the same
+    numbers as an in-process ``run_study`` over the same world.
+
+    The crawler CLI defaults (``--max-attempts 3``, ``--page-budget-ms
+    90000``) are mirrored explicitly on the ``run_study`` side; with no
+    injected faults the retries never fire, so the two datasets — one
+    crossing a process boundary per shard plus a gzip round-trip, one fully
+    in-process — are observation-for-observation identical.
+    """
+
+    def test_supervised_parallel_crawl_matches_run_study(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main as analyze_main
+        from repro.core.pipeline import run_study
+        from repro.crawler.__main__ import main as crawl_main
+        from repro.crawler.resilience import PageBudget, RetryPolicy
+        from repro.webgen import build_world
+
+        scale, seed = 0.01, 99
+        out_path = tmp_path / "crawl.jsonl.gz"
+        rc = crawl_main(
+            ["--scale", str(scale), "--seed", str(seed), "--jobs", "4",
+             "--supervised", "--out", str(out_path)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert analyze_main([str(out_path)]) == 0
+        out = capsys.readouterr().out
+
+        world = build_world(StudyScale(fraction=scale, seed=seed))
+        study = run_study(
+            world.network,
+            world.all_targets,
+            world.vendor_knowledge(),
+            easylist_text=world.easylist_text,
+            easyprivacy_text=world.easyprivacy_text,
+            disconnect=world.disconnect,
+            ubo_extra_text=world.ubo_extra_text,
+            dns=world.network.dns,
+            include_adblock_crawls=False,
+            retry_policy=RetryPolicy(max_attempts=3),
+            page_budget=PageBudget(max_page_ms=90_000.0),
+        )
+        assert f"({len(study.control.observations)} sites)" in out
+        for pop in ("top", "tail"):
+            p = study.prevalence.population(pop)
+            if p.sites_crawled == 0:
+                continue
+            assert (
+                f"{pop}: {p.sites_successful}/{p.sites_crawled} ok, "
+                f"{p.fp_sites} fingerprinting ({p.prevalence:.1%})"
+            ) in out
+        assert f"distinct test canvases: {len(study.clusters)}" in out
+
+
 class TestArtifactsFlag:
     def test_artifacts_written(self, tmp_path, capsys):
         from repro.experiments.__main__ import main

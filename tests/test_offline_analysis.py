@@ -9,8 +9,11 @@ from repro.core.clustering import cluster_canvases
 from repro.core.detection import FingerprintDetector
 from repro.core.evasion import analyze_serving_context, render_twice_fraction
 from repro.core.prevalence import compute_prevalence
+from repro.core.records import CanvasExtraction, SiteObservation
 from repro.crawler import load_dataset, run_crawl, save_dataset
 from repro.webgen import build_world
+
+from pathlib import Path
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +75,112 @@ class TestOfflineEqualsLive:
         live_sources = {d: o.script_sources for d, o in live.by_domain().items() if o.success}
         rest_sources = {d: o.script_sources for d, o in restored.by_domain().items() if o.success}
         assert live_sources == rest_sources
+
+
+# -- streaming CLI ------------------------------------------------------------------
+
+
+def _write_synthetic_dataset(path, sites, blob_bytes):
+    """Stream a large dataset to disk without ever holding it in memory.
+
+    Each site carries one fingerprintable canvas plus a large recorded
+    script source, so total file size scales with ``sites * blob_bytes``
+    while the *aggregated* analysis state stays tiny.
+    """
+    import json
+
+    from repro.crawler.storage import FORMAT
+
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"label": "synthetic", "format": FORMAT}) + "\n")
+        for index in range(sites):
+            observation = SiteObservation(
+                domain=f"site-{index}.example",
+                rank=index + 1,
+                population="top" if index % 2 == 0 else "tail",
+                success=True,
+                extractions=[
+                    CanvasExtraction(
+                        data_url=f"data:image/png;base64,CANVAS{index % 5}",
+                        mime="image/png",
+                        width=64,
+                        height=64,
+                        script_url=f"https://fp.example/fp-{index % 5}.js",
+                        canvas_id=0,
+                        t_ms=1.0,
+                    )
+                ],
+                script_sources={
+                    f"https://fp.example/fp-{index % 5}.js": f"site{index};" * (blob_bytes // 10)
+                },
+            )
+            fh.write(json.dumps(observation.to_json(), separators=(",", ":")) + "\n")
+
+
+_RSS_PROBE = """
+import contextlib, io, resource, sys
+from repro.analysis.__main__ import main
+with contextlib.redirect_stdout(io.StringIO()):
+    assert main([sys.argv[1]]) == 0
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _peak_rss_kb(dataset_path):
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_PROBE, str(dataset_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return int(proc.stdout.strip().splitlines()[-1])
+
+
+class TestStreamingCLIBoundedMemory:
+    def test_peak_rss_does_not_scale_with_dataset_size(self, tmp_path):
+        """The CLI folds via iter_observations: analyzing a dataset ~50x
+        larger must not cost proportionally more memory.  A slurping
+        implementation (the old ``load_dataset`` path) holds every
+        observation's script sources at once and fails this by design."""
+        small = tmp_path / "small.jsonl"
+        large = tmp_path / "large.jsonl"
+        _write_synthetic_dataset(small, sites=3, blob_bytes=500_000)
+        _write_synthetic_dataset(large, sites=150, blob_bytes=500_000)
+        large_mb = large.stat().st_size / 1e6
+        assert large_mb > 50, f"synthetic dataset too small to prove anything ({large_mb:.0f}MB)"
+
+        rss_small = _peak_rss_kb(small)
+        rss_large = _peak_rss_kb(large)
+        # ru_maxrss is KB on Linux.  Allow generous interpreter noise, but
+        # stay far below the ~60MB the dataset's observations occupy.
+        assert rss_large - rss_small < 25_000, (
+            f"streaming CLI peak RSS grew {rss_large - rss_small}KB on a "
+            f"{large_mb:.0f}MB dataset — it is not streaming"
+        )
+
+    def test_cli_output_matches_batch_analysis(self, datasets, tmp_path, capsys):
+        """Same dataset through the streaming CLI and the batch analyses."""
+        from repro.analysis.__main__ import main
+
+        live, _restored = datasets
+        path = tmp_path / "crawl.jsonl.gz"
+        save_dataset(live, path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+
+        detector = FingerprintDetector()
+        outcomes = detector.detect_all(live.successful())
+        prevalence = compute_prevalence(live, outcomes)
+        clusters = cluster_canvases(outcomes, live.populations())
+        assert f"dataset: {live.label} ({len(live.observations)} sites)" in out
+        assert f"{prevalence.top.fp_sites} fingerprinting" in out
+        assert f"distinct test canvases: {len(clusters)}" in out
+        fraction = FingerprintDetector.fingerprintable_fraction(outcomes.values())
+        assert f"fingerprintable fraction of extractions: {fraction:.1%}" in out

@@ -57,7 +57,7 @@ class TestStageSelection:
     def test_stage_subset_runs_only_dependency_closure(self):
         result = fresh_world().run_full_study(stages=["prevalence"])
         names = {t.name for t in result.stage_timings}
-        assert names == {"crawl.control", "detect", "prevalence"}
+        assert names == {"crawl.control", "reduce", "prevalence"}
         assert result.prevalence is not None
         assert result.reach is None
         assert result.signatures == []
