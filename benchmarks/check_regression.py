@@ -14,6 +14,10 @@ the runner.  A metric regresses when::
 Improvements and new benchmarks never fail; a benchmark present in the
 baseline but missing from the current run does (it means the suite silently
 stopped measuring something).
+
+Exit codes: 0 ok, 1 regression, 2 missing/unreadable baseline (a setup
+problem, not a perf problem — commit a baseline rather than loosening the
+gate).
 """
 
 from __future__ import annotations
@@ -63,6 +67,21 @@ def main(argv=None) -> int:
         help="allowed fractional drop vs baseline (default 0.25)",
     )
     args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline}")
+        print(
+            "This benchmark has no committed baseline yet.  Generate one and "
+            "commit it:\n"
+            f"  PYTHONPATH=src python -m pytest benchmarks/ -q   # writes {args.current.name}\n"
+            f"  cp {args.current} {args.baseline}\n"
+            "then re-run this check."
+        )
+        return 2
+    if not args.current.exists():
+        print(f"current benchmark output not found: {args.current}")
+        print("Run the benchmark suite first (PYTHONPATH=src python -m pytest benchmarks/ -q).")
+        return 2
 
     current = json.loads(args.current.read_text())
     baseline = json.loads(args.baseline.read_text())

@@ -90,6 +90,7 @@ class Browser:
         network: Network,
         profile: Optional[BrowserProfile] = None,
         js_step_budget: Optional[int] = None,
+        js_compile: Optional[bool] = None,
     ) -> None:
         self.network = network
         self.profile = profile or BrowserProfile()
@@ -97,6 +98,10 @@ class Browser:
         #: exhaustion to a ``timeout`` failure instead of hanging on a
         #: runaway script.  None keeps the interpreter default.
         self.js_step_budget = js_step_budget
+        #: Execute scripts through the closure compiler (None = honour
+        #: REPRO_JS_COMPILE).  Both modes produce identical pages; the
+        #: compiled one shares lowered programs process-wide.
+        self.js_compile = js_compile
         self._randomization = RandomizationState(self.profile.session_seed)
         #: Parse cache shared across page loads: each script URL+source is
         #: parsed once per browser, a large win when thousands of sites embed
@@ -122,6 +127,7 @@ class Browser:
         interp = Interpreter(
             step_budget=self.js_step_budget or Interpreter.DEFAULT_STEP_BUDGET,
             ast_cache=self._ast_cache,
+            js_compile=self.js_compile,
         )
         canvas_counter = {"next": 0}
         document = Document(url=str(url))

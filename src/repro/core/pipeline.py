@@ -216,6 +216,7 @@ def run_study(
     render_cache: Optional[perf.RenderCacheConfig] = None,
     obs_dir: Optional[Union[str, Path]] = None,
     supervisor: Optional[SupervisorConfig] = None,
+    js_prewarm: Optional[Sequence[str]] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -247,6 +248,13 @@ def run_study(
     ``StudyResult.quarantined``).  Like ``jobs`` it is an execution knob:
     a no-fault supervised run returns an identical result.
 
+    ``js_prewarm`` hands every crawl worker a list of script sources to
+    compile into its warm JS cache before the first page load (typically
+    :func:`repro.webgen.vendors.prewarm_sources`, passed as plain strings so
+    this layer never imports ``webgen``).  Another pure execution knob:
+    compilation is exactly transparent, so it shifts ``js.cache`` counters
+    and latency, never the artifacts.
+
     ``obs_dir`` names the directory that receives this run's observability
     artifacts (``manifest.json`` + ``trace.jsonl``, inspectable with
     ``python -m repro.obs``).  Falls back to ``REPRO_OBS_DIR``, then — when
@@ -276,6 +284,7 @@ def run_study(
         jobs=jobs,
         checkpoint_dir=Path(cache_dir) / "shards" if cache_dir is not None else None,
         supervisor=supervisor,
+        js_prewarm=js_prewarm,
     )
     graph = build_study_graph(ctx, cache=cache)
 

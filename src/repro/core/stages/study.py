@@ -128,6 +128,12 @@ class StudyContext:
     #: the identical artifact, and a faulted one degrades the *data* (visible
     #: as ``quarantined:*`` rows), not the cache key.
     supervisor: Optional[SupervisorConfig] = None
+    #: Script sources compiled into every crawl worker's warm JS cache before
+    #: its first page load (typically ``webgen.vendors.prewarm_sources()``,
+    #: passed as plain strings so ``core`` never imports ``webgen``).  Purely
+    #: an execution knob: compilation is exactly transparent, so prewarming
+    #: changes page-load latency and ``js.cache`` counters, never the dataset.
+    js_prewarm: Optional[Sequence[str]] = None
 
     _network_fp: Optional[str] = field(default=None, repr=False, compare=False)
     #: Crawl-stage name -> merged AnalysisBundle folded live during the crawl
@@ -235,6 +241,7 @@ class CrawlStage(Stage):
             page_budget=ctx.page_budget,
             supervisor=ctx.supervisor,
             fold=fold,
+            js_prewarm=ctx.js_prewarm,
         )
         if fold is not None:
             ctx._live_bundles[self.name] = fold.merge(dataset)

@@ -48,6 +48,7 @@ from repro.crawler.supervisor import SupervisorConfig
 from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.obs.recorder import RunRecorder, resolve_run_dir
 from repro.webgen import build_world
+from repro.webgen.vendors import prewarm_sources
 
 #: Crawl stages the ``--stage`` flag can run through the stage graph.
 CRAWL_STAGES = ("crawl.control", "crawl.abp", "crawl.ubo")
@@ -209,6 +210,7 @@ def main(argv=None) -> int:
             if args.cache_dir is not None
             else Path(f"{args.out}.shards"),
             supervisor=supervisor,
+            js_prewarm=prewarm_sources(),
         )
         graph = build_study_graph(ctx, cache=cache)
         run = graph.execute(ctx, only=[stage])
@@ -229,6 +231,7 @@ def main(argv=None) -> int:
             page_budget=page_budget,
             resume=args.resume,
             supervisor=supervisor,
+            js_prewarm=prewarm_sources(),
         )
         save_dataset(dataset, args.out)
     else:

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 from repro import obs, perf
 from repro.browser.profile import BrowserProfile
+from repro.js import compiler as js_compiler
 from repro.core.records import SiteObservation
 from repro.crawler.crawl import CrawlDataset, CrawlTarget, resume_crawl, run_crawl
 from repro.crawler.resilience import PageBudget, RetryPolicy
@@ -130,12 +131,20 @@ def _crawl_shard_worker(payload):
     :func:`repro.obs.worker_payload` for the same reason.
     """
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec) = payload
+     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec,
+     js_prewarm) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
     perf_before = perf.PERF.snapshot()
     metrics_before = obs.METRICS.snapshot()
+    # Warm the compiled-script cache before the first page load, so known
+    # vendor scripts never pay a compile inside a page.  The compile misses
+    # land after the baseline snapshot and therefore ship with this task's
+    # delta; a pooled worker re-running the prewarm on its next task finds
+    # the cache warm and records nothing.
+    if js_prewarm:
+        js_compiler.prewarm(js_prewarm)
     with obs.span("crawl.shard", shard=shard_tid, label=label, size=len(targets)):
         dataset = _crawl_one_shard(
             network, targets, profile, label, retry_policy, page_budget,
@@ -204,6 +213,7 @@ def run_sharded_crawl(
     progress: Optional[Callable[[int, SiteObservation], None]] = None,
     supervisor: Optional["SupervisorConfig"] = None,
     fold: Optional["AnalysisFold"] = None,
+    js_prewarm: Optional[Sequence[str]] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` over ``jobs`` workers and merge the shard datasets.
 
@@ -227,6 +237,11 @@ def run_sharded_crawl(
       partials ride home with the shard records and the parent never
       re-ingests the dataset.  Call ``fold.merge(dataset)`` afterwards for
       the combined bundle.
+    * ``js_prewarm`` is a list of script sources each worker compiles into
+      the process-wide compiled-script cache before its first page load
+      (:func:`repro.js.compiler.prewarm`); a no-op when ``REPRO_JS_COMPILE``
+      disables compiled execution.  Sources arrive as plain data, so the
+      crawler stays independent of whatever generator produced them.
 
     The merged dataset equals a serial crawl of the same targets: identical
     observations in identical order (see ``tests/crawler/test_shards.py``).
@@ -249,12 +264,18 @@ def run_sharded_crawl(
             resume=resume,
             config=supervisor,
             fold=fold,
+            js_prewarm=js_prewarm,
         )
     jobs = max(1, jobs)
     n_shards = shards if shards is not None else jobs
     planned = plan_shards(targets, max(1, n_shards))
 
+    if js_prewarm:
+        js_prewarm = tuple(js_prewarm)
+
     if len(planned) == 1 and jobs == 1 and checkpoint_dir is None:
+        if js_prewarm:
+            js_compiler.prewarm(js_prewarm)
         dataset = run_crawl(
             network,
             targets,
@@ -280,6 +301,8 @@ def run_sharded_crawl(
 
     shard_datasets: List[CrawlDataset]
     if jobs == 1:
+        if js_prewarm:
+            js_compiler.prewarm(js_prewarm)
         shard_datasets = []
         for index, shard in enumerate(planned):
             with obs.span(
@@ -297,7 +320,7 @@ def run_sharded_crawl(
         payloads = [
             (network, shard, profile, label, retry_policy, page_budget,
              inner_paths, checkpoints[index], resume, perf.current_config(),
-             obs.config(), f"shard-{index}", fold_spec)
+             obs.config(), f"shard-{index}", fold_spec, js_prewarm)
             for index, shard in enumerate(planned)
         ]
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(planned)))

@@ -236,14 +236,20 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
     payload.
     """
     from repro.crawler.shards import _crawl_one_shard
+    from repro.js import compiler as js_compiler
 
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
-     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec) = payload
+     checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec,
+     js_prewarm) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
     perf_before = perf.PERF.snapshot()
     metrics_before = obs.METRICS.snapshot()
+    # Same warm-start as the pool worker: compile known vendor scripts before
+    # the first page, counted after the baseline snapshot (exactly-once).
+    if js_prewarm:
+        js_compiler.prewarm(js_prewarm)
     _write_heartbeat(heartbeat_path, domain="", index=-1)
 
     def beat(index: int, observation: SiteObservation) -> None:
@@ -320,7 +326,8 @@ class _Supervisor:
                  retry_policy: Optional[RetryPolicy],
                  page_budget: Optional[PageBudget], inner_paths: tuple,
                  resume: bool, config: SupervisorConfig, scratch: Path,
-                 ledger: QuarantineLedger, jobs: int, fold=None) -> None:
+                 ledger: QuarantineLedger, jobs: int, fold=None,
+                 js_prewarm=None) -> None:
         self.network = network
         self.profile = profile
         self.label = label
@@ -343,6 +350,8 @@ class _Supervisor:
         #: Optional streaming AnalysisFold: workers fold shard partials and
         #: ship them home; salvaged observations are folded parent-side.
         self.fold = fold
+        #: Script sources each worker compiles before its first page load.
+        self.js_prewarm = tuple(js_prewarm) if js_prewarm else None
         self.respawns = 0
         self.spawned = 0
 
@@ -374,6 +383,7 @@ class _Supervisor:
             task.checkpoint, self.resume, perf.current_config(), obs.config(),
             f"shard-{task.shard_id}",
             self.fold.spec if self.fold is not None else None,
+            self.js_prewarm,
         )
         process = self.mp.Process(
             target=_supervised_shard_worker,
@@ -558,6 +568,7 @@ def run_supervised_crawl(
     resume: bool = True,
     config: Optional[SupervisorConfig] = None,
     fold=None,
+    js_prewarm: Optional[Sequence[str]] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` under supervised worker processes.
 
@@ -596,6 +607,7 @@ def run_supervised_crawl(
         supervisor = _Supervisor(
             network, profile, label, retry_policy, page_budget, inner_paths,
             resume, config, directory, ledger, jobs, fold=fold,
+            js_prewarm=js_prewarm,
         )
         tasks = [
             _ShardTask(

@@ -8,17 +8,35 @@ __all__ = ["JSError", "JSSyntaxError", "JSRuntimeError", "JSThrow"]
 
 
 class JSError(Exception):
-    """Base class for all engine errors."""
+    """Base class for all engine errors.
 
-    def __init__(self, message: str, line: Optional[int] = None, script: Optional[str] = None):
+    ``message`` deliberately excludes the source location; the formatted
+    exception text appends ``script:line:col`` (column omitted when the
+    engine does not know it, e.g. for synthetic nodes).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        script: Optional[str] = None,
+        col: Optional[int] = None,
+    ):
         self.message = message
         self.line = line
         self.script = script
+        self.col = col if col else None
         where = ""
-        if script:
-            where += f" in {script}"
-        if line is not None:
-            where += f" at line {line}"
+        if script and line is not None:
+            where = f" at {script}:{line}"
+            if self.col is not None:
+                where += f":{self.col}"
+        elif script:
+            where = f" in {script}"
+        elif line is not None:
+            where = f" at line {line}"
+            if self.col is not None:
+                where += f":{self.col}"
         super().__init__(message + where)
 
 
@@ -36,7 +54,8 @@ class JSThrow(Exception):
     Converted to :class:`JSRuntimeError` when it escapes uncaught.
     """
 
-    def __init__(self, value, line: Optional[int] = None):
+    def __init__(self, value, line: Optional[int] = None, col: Optional[int] = None):
         self.value = value
         self.line = line
+        self.col = col if col else None
         super().__init__(f"uncaught JS exception: {value!r}")

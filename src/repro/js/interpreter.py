@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import hashlib
 import math
+import time
 from typing import Any, Dict, List, Optional
 
+from repro import perf
+from repro.js import compiler as _compiler
 from repro.js import nodes as N
+from repro.js import ops
 from repro.js.errors import JSRuntimeError, JSThrow
 from repro.js.parser import parse
 from repro.js.values import (
@@ -95,10 +99,16 @@ class Interpreter:
         self,
         step_budget: int = DEFAULT_STEP_BUDGET,
         ast_cache: Optional[Dict[Any, N.Program]] = None,
+        js_compile: Optional[bool] = None,
     ) -> None:
         self.globals = Environment()
         self.step_budget = step_budget
         self._steps = 0
+        #: Whether `run` executes through the closure compiler (exactly
+        #: transparent; None = honour the REPRO_JS_COMPILE environment knob).
+        self.compile_mode = _compiler.compile_enabled() if js_compile is None else bool(js_compile)
+        #: Lazily created compiled-execution state (see compiler.Runtime).
+        self._rt: Optional[_compiler.Runtime] = None
         #: Stack of script URLs; the top is the script currently executing.
         self._script_stack: List[str] = []
         #: Parsed-program cache keyed by (script_url, source hash).  May be
@@ -115,6 +125,13 @@ class Interpreter:
     def current_script(self) -> Optional[str]:
         """URL of the script currently executing (for attribution hooks)."""
         return self._script_stack[-1] if self._script_stack else None
+
+    @property
+    def steps_executed(self) -> int:
+        """AST-node steps charged by the last `run` (either engine)."""
+        if self.compile_mode and self._rt is not None:
+            return self._rt.steps
+        return self._steps
 
     def define_global(self, name: str, value: Any) -> None:
         self.globals.declare(name, value)
@@ -136,11 +153,24 @@ class Interpreter:
         else:
             digest = hashlib.sha256(source.encode("utf-8", "surrogatepass")).hexdigest()
             key = (script_url, digest)
+        if self.compile_mode:
+            # A compiled-cache hit skips parsing entirely; on a miss the AST
+            # cache is still consulted/populated so parse work is shared.
+            compiled = _compiler.get_or_compile(source, script_url, self._ast_cache, key)
+            started = time.perf_counter()
+            try:
+                return _compiler.run_compiled(self, compiled, script_url)
+            finally:
+                perf.PERF.add_time("js.exec", time.perf_counter() - started)
         program = self._ast_cache.get(key)
         if program is None:
             program = parse(source, script_url)
             self._ast_cache[key] = program
-        return self.run_program(program, script_url)
+        started = time.perf_counter()
+        try:
+            return self.run_program(program, script_url)
+        finally:
+            perf.PERF.add_time("js.exec", time.perf_counter() - started)
 
     def run_program(self, program: N.Program, script_url: str = "<inline>") -> Any:
         self._steps = 0
@@ -156,7 +186,7 @@ class Interpreter:
             return result
         except JSThrow as exc:
             raise JSRuntimeError(
-                f"uncaught exception: {js_to_string(exc.value)}", exc.line, script_url
+                f"uncaught exception: {js_to_string(exc.value)}", exc.line, script_url, exc.col
             ) from exc
         finally:
             self._script_stack.pop()
@@ -171,7 +201,9 @@ class Interpreter:
         self._tick(node)
         method = getattr(self, "_exec_" + type(node).__name__, None)
         if method is None:
-            raise JSRuntimeError(f"cannot execute {type(node).__name__}", node.line, self.current_script)
+            raise JSRuntimeError(
+                f"cannot execute {type(node).__name__}", node.line, self.current_script, node.col
+            )
         return method(node, env)
 
     def _hoist(self, body: List[N.Node], env: Environment) -> None:
@@ -250,7 +282,7 @@ class Interpreter:
         elif isinstance(iterable, str):
             items = list(iterable)
         else:
-            raise JSRuntimeError("value is not iterable", node.line, self.current_script)
+            raise JSRuntimeError("value is not iterable", node.line, self.current_script, node.col)
         for item in items:
             loop_env = Environment(env)
             loop_env.declare(node.name, item)
@@ -291,7 +323,7 @@ class Interpreter:
         raise _Continue()
 
     def _exec_ThrowStatement(self, node: N.ThrowStatement, env: Environment) -> Any:
-        raise JSThrow(self.eval(node.argument, env), node.line)
+        raise JSThrow(self.eval(node.argument, env), node.line, node.col)
 
     def _exec_SwitchStatement(self, node: N.SwitchStatement, env: Environment) -> Any:
         value = self.eval(node.discriminant, env)
@@ -340,7 +372,9 @@ class Interpreter:
         self._tick(node)
         method = getattr(self, "_eval_" + type(node).__name__, None)
         if method is None:
-            raise JSRuntimeError(f"cannot evaluate {type(node).__name__}", node.line, self.current_script)
+            raise JSRuntimeError(
+                f"cannot evaluate {type(node).__name__}", node.line, self.current_script, node.col
+            )
         return method(node, env)
 
     def _eval_NumberLiteral(self, node: N.NumberLiteral, env: Environment) -> Any:
@@ -368,7 +402,9 @@ class Interpreter:
         try:
             return env.lookup(node.name)
         except KeyError:
-            raise JSRuntimeError(f"{node.name} is not defined", node.line, self.current_script) from None
+            raise JSRuntimeError(
+                f"{node.name} is not defined", node.line, self.current_script, node.col
+            ) from None
 
     def _eval_ArrayLiteral(self, node: N.ArrayLiteral, env: Environment) -> Any:
         return JSArray([self.eval(e, env) for e in node.elements])
@@ -416,7 +452,9 @@ class Interpreter:
             return js_to_number(value)
         if node.op == "~":
             return float(~_to_int32(js_to_number(value)))
-        raise JSRuntimeError(f"unknown unary operator {node.op}", node.line, self.current_script)
+        raise JSRuntimeError(
+            f"unknown unary operator {node.op}", node.line, self.current_script, node.col
+        )
 
     def _eval_UpdateExpression(self, node: N.UpdateExpression, env: Environment) -> Any:
         old = js_to_number(self._eval_reference(node.target, env))
@@ -480,10 +518,12 @@ class Interpreter:
                     if isinstance(idx, int):
                         return 0 <= idx < len(right.elements)
                 return right.has(name)
-            raise JSRuntimeError("'in' on non-object", node.line, self.current_script)
+            raise JSRuntimeError("'in' on non-object", node.line, self.current_script, node.col)
         if op == "instanceof":
             return isinstance(left, JSObject)  # approximation; subset has no prototypes
-        raise JSRuntimeError(f"unknown binary operator {op}", node.line, self.current_script)
+        raise JSRuntimeError(
+            f"unknown binary operator {op}", node.line, self.current_script, node.col
+        )
 
     def _eval_LogicalOp(self, node: N.LogicalOp, env: Environment) -> Any:
         left = self.eval(node.left, env)
@@ -508,29 +548,12 @@ class Interpreter:
         return value
 
     def _apply_compound(self, op: str, left: Any, right: Any, node: N.Node) -> Any:
-        fake = N.BinaryOp(line=node.line, op=op, left=None, right=None)
-        # Reuse _eval_BinaryOp's arithmetic by inlining: simplest is local dispatch.
-        if op == "+":
-            if isinstance(left, str) or isinstance(right, str):
-                return js_to_string(left) + js_to_string(right)
-            return js_to_number(left) + js_to_number(right)
-        if op == "-":
-            return js_to_number(left) - js_to_number(right)
-        if op == "*":
-            return js_to_number(left) * js_to_number(right)
-        if op == "/":
-            denom = js_to_number(right)
-            return js_to_number(left) / denom if denom != 0 else math.nan
-        if op == "%":
-            denom = js_to_number(right)
-            return math.fmod(js_to_number(left), denom) if denom != 0 else math.nan
-        if op == "&":
-            return float(_to_int32(js_to_number(left)) & _to_int32(js_to_number(right)))
-        if op == "|":
-            return float(_to_int32(js_to_number(left)) | _to_int32(js_to_number(right)))
-        if op == "^":
-            return float(_to_int32(js_to_number(left)) ^ _to_int32(js_to_number(right)))
-        raise JSRuntimeError(f"unsupported compound op {op}=", node.line, self.current_script)
+        value = ops.apply_compound(op, left, right)
+        if value is None:
+            raise JSRuntimeError(
+                f"unsupported compound op {op}=", node.line, self.current_script, node.col
+            )
+        return value
 
     def _eval_SequenceExpression(self, node: N.SequenceExpression, env: Environment) -> Any:
         result: Any = UNDEFINED
@@ -541,15 +564,15 @@ class Interpreter:
     def _eval_MemberExpression(self, node: N.MemberExpression, env: Environment) -> Any:
         obj = self.eval(node.obj, env)
         name = self._prop_name(node, env)
-        return self.get_member(obj, name, node.line)
+        return self.get_member(obj, name, node.line, node.col)
 
-    def get_member(self, obj: Any, name: str, line: int = 0) -> Any:
+    def get_member(self, obj: Any, name: str, line: int = 0, col: int = 0) -> Any:
         """Property access including primitive method dispatch."""
         from repro.js import builtins
 
         if obj is UNDEFINED or obj is NULL:
             raise JSRuntimeError(
-                f"cannot read property {name!r} of {js_to_string(obj)}", line, self.current_script
+                f"cannot read property {name!r} of {js_to_string(obj)}", line, self.current_script, col
             )
         if isinstance(obj, str):
             return builtins.string_member(self, obj, name)
@@ -568,18 +591,18 @@ class Interpreter:
             return obj.get(name)
         if isinstance(obj, bool):
             return UNDEFINED
-        raise JSRuntimeError(f"cannot read property {name!r}", line, self.current_script)
+        raise JSRuntimeError(f"cannot read property {name!r}", line, self.current_script, col)
 
     def _eval_CallExpression(self, node: N.CallExpression, env: Environment) -> Any:
         if isinstance(node.callee, N.MemberExpression):
             this = self.eval(node.callee.obj, env)
             name = self._prop_name(node.callee, env)
-            fn = self.get_member(this, name, node.line)
+            fn = self.get_member(this, name, node.line, node.col)
         else:
             this = UNDEFINED
             fn = self.eval(node.callee, env)
         args = [self.eval(a, env) for a in node.args]
-        return self._call(fn, this, args, node.line)
+        return self._call(fn, this, args, node.line, node.col)
 
     def _eval_NewExpression(self, node: N.NewExpression, env: Environment) -> Any:
         fn = self.eval(node.callee, env)
@@ -588,15 +611,19 @@ class Interpreter:
             return fn.fn(self, UNDEFINED, args)
         if isinstance(fn, JSFunction):
             this = JSObject()
-            result = self._call(fn, this, args, node.line)
+            result = self._call(fn, this, args, node.line, node.col)
             return result if isinstance(result, JSObject) else this
-        raise JSRuntimeError("not a constructor", node.line, self.current_script)
+        raise JSRuntimeError("not a constructor", node.line, self.current_script, node.col)
 
     # -- helpers -------------------------------------------------------------------
 
-    def _call(self, fn: Any, this: Any, args: List[Any], line: int) -> Any:
+    def _call(self, fn: Any, this: Any, args: List[Any], line: int, col: int = 0) -> Any:
         if isinstance(fn, NativeFunction):
             return fn.fn(self, this, args)
+        if isinstance(fn, _compiler.CompiledFunction):
+            # Compiled functions handed back to host code (callbacks, timers,
+            # call/apply/bind) execute on their frames, not environments.
+            return fn.invoke(_compiler.ensure_rt(self), this, args)
         if isinstance(fn, JSFunction):
             call_env = Environment(fn.env)
             if fn.is_arrow:
@@ -613,7 +640,7 @@ class Interpreter:
             except _Return as ret:
                 return ret.value
             return UNDEFINED
-        raise JSRuntimeError(f"{js_to_string(fn)} is not a function", line, self.current_script)
+        raise JSRuntimeError(f"{js_to_string(fn)} is not a function", line, self.current_script, col)
 
     def _prop_name(self, node: N.MemberExpression, env: Environment) -> str:
         if node.computed:
@@ -625,7 +652,7 @@ class Interpreter:
             return self._eval_Identifier(target, env)
         if isinstance(target, N.MemberExpression):
             return self._eval_MemberExpression(target, env)
-        raise JSRuntimeError("invalid reference", target.line, self.current_script)
+        raise JSRuntimeError("invalid reference", target.line, self.current_script, target.col)
 
     def _assign_reference(self, target: N.Node, value: Any, env: Environment) -> None:
         if isinstance(target, N.Identifier):
@@ -640,51 +667,22 @@ class Interpreter:
                 obj.set(name, value)
                 return
             raise JSRuntimeError(
-                f"cannot set property {name!r} on {js_type_of(obj)}", target.line, self.current_script
+                f"cannot set property {name!r} on {js_type_of(obj)}",
+                target.line,
+                self.current_script,
+                target.col,
             )
-        raise JSRuntimeError("invalid assignment target", target.line, self.current_script)
+        raise JSRuntimeError("invalid assignment target", target.line, self.current_script, target.col)
 
     def _tick(self, node: N.Node) -> None:
         self._steps += 1
         if self._steps > self.step_budget:
-            raise JSRuntimeError("step budget exceeded", node.line, self.current_script)
+            raise JSRuntimeError("step budget exceeded", node.line, self.current_script, node.col)
 
 
-def _to_int32(x: float) -> int:
-    if math.isnan(x) or math.isinf(x):
-        return 0
-    n = int(x) & 0xFFFFFFFF
-    return n - 0x100000000 if n >= 0x80000000 else n
-
-
-def _wrap_int32(n: int) -> int:
-    n &= 0xFFFFFFFF
-    return n - 0x100000000 if n >= 0x80000000 else n
-
-
-def _to_uint32(x: float) -> int:
-    if math.isnan(x) or math.isinf(x):
-        return 0
-    return int(x) & 0xFFFFFFFF
-
-
-def _neg_zero(x: float) -> bool:
-    return x == 0.0 and math.copysign(1.0, x) < 0
-
-
-def _compare(left: Any, right: Any, op: str) -> bool:
-    if isinstance(left, str) and isinstance(right, str):
-        a, b = left, right
-    else:
-        a, b = js_to_number(left), js_to_number(right)
-        if isinstance(a, float) and math.isnan(a):
-            return False
-        if isinstance(b, float) and math.isnan(b):
-            return False
-    if op == "<":
-        return a < b
-    if op == ">":
-        return a > b
-    if op == "<=":
-        return a <= b
-    return a >= b
+# Operator arithmetic shared with the compiler (repro.js.ops).
+_to_int32 = ops.to_int32
+_wrap_int32 = ops.wrap_int32
+_to_uint32 = ops.to_uint32
+_neg_zero = ops.neg_zero
+_compare = ops.compare

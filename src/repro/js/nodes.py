@@ -1,6 +1,7 @@
 """AST node definitions for the ECMAScript subset.
 
-Plain dataclasses; every node carries the source line for error reporting.
+Plain dataclasses; every node carries the source line and column for error
+reporting (``col`` is 1-based, 0 meaning unknown — e.g. synthetic nodes).
 """
 
 from __future__ import annotations
@@ -55,6 +56,7 @@ __all__ = [
 @dataclass
 class Node:
     line: int = field(default=0, repr=False)
+    col: int = field(default=0, repr=False)
 
 
 # --- expressions ---------------------------------------------------------------

@@ -73,7 +73,7 @@ class Parser:
         return tok
 
     def _error(self, message: str) -> JSSyntaxError:
-        return JSSyntaxError(message, self._tok.line, self._script)
+        return JSSyntaxError(message, self._tok.line, self._script, col=self._tok.col)
 
     def _expect_punct(self, value: str) -> Token:
         if not self._tok.is_punct(value):
@@ -100,7 +100,7 @@ class Parser:
         body: List[N.Node] = []
         while self._tok.type is not TokenType.EOF:
             body.append(self.parse_statement())
-        return N.Program(line=1, body=body)
+        return N.Program(line=1, col=1, body=body)
 
     def parse_statement(self) -> N.Node:
         tok = self._tok
@@ -108,7 +108,7 @@ class Parser:
             return self.parse_block()
         if tok.is_punct(";"):
             self._advance()
-            return N.EmptyStatement(line=tok.line)
+            return N.EmptyStatement(line=tok.line, col=tok.col)
         if tok.is_keyword("var", "let", "const"):
             decl = self.parse_variable_declaration()
             self._eat_semicolon()
@@ -121,7 +121,7 @@ class Parser:
             if not (self._tok.is_punct(";", "}") or self._tok.type is TokenType.EOF):
                 arg = self.parse_expression()
             self._eat_semicolon()
-            return N.ReturnStatement(line=tok.line, argument=arg)
+            return N.ReturnStatement(line=tok.line, col=tok.col, argument=arg)
         if tok.is_keyword("if"):
             return self.parse_if()
         if tok.is_keyword("for"):
@@ -133,23 +133,23 @@ class Parser:
         if tok.is_keyword("break"):
             self._advance()
             self._eat_semicolon()
-            return N.BreakStatement(line=tok.line)
+            return N.BreakStatement(line=tok.line, col=tok.col)
         if tok.is_keyword("continue"):
             self._advance()
             self._eat_semicolon()
-            return N.ContinueStatement(line=tok.line)
+            return N.ContinueStatement(line=tok.line, col=tok.col)
         if tok.is_keyword("throw"):
             self._advance()
             arg = self.parse_expression()
             self._eat_semicolon()
-            return N.ThrowStatement(line=tok.line, argument=arg)
+            return N.ThrowStatement(line=tok.line, col=tok.col, argument=arg)
         if tok.is_keyword("try"):
             return self.parse_try()
         if tok.is_keyword("switch"):
             return self.parse_switch()
         expr = self.parse_expression()
         self._eat_semicolon()
-        return N.ExpressionStatement(line=tok.line, expression=expr)
+        return N.ExpressionStatement(line=tok.line, col=tok.col, expression=expr)
 
     def parse_block(self) -> N.Block:
         start = self._expect_punct("{")
@@ -159,31 +159,32 @@ class Parser:
                 raise self._error("unterminated block")
             body.append(self.parse_statement())
         self._expect_punct("}")
-        return N.Block(line=start.line, body=body)
+        return N.Block(line=start.line, col=start.col, body=body)
 
     def parse_variable_declaration(self) -> N.VariableDeclaration:
         kind_tok = self._advance()
         declarations: List[N.VariableDeclarator] = []
         while True:
             line = self._tok.line
+            col = self._tok.col
             name = self._expect_ident()
             init: Optional[N.Node] = None
             if self._tok.is_punct("="):
                 self._advance()
                 init = self.parse_assignment()
-            declarations.append(N.VariableDeclarator(line=line, name=name, init=init))
+            declarations.append(N.VariableDeclarator(line=line, col=col, name=name, init=init))
             if self._tok.is_punct(","):
                 self._advance()
                 continue
             break
-        return N.VariableDeclaration(line=kind_tok.line, kind=kind_tok.value, declarations=declarations)
+        return N.VariableDeclaration(line=kind_tok.line, col=kind_tok.col, kind=kind_tok.value, declarations=declarations)
 
     def parse_function_declaration(self) -> N.FunctionDeclaration:
         start = self._advance()  # 'function'
         name = self._expect_ident()
         params = self._parse_params()
         body = self.parse_block()
-        return N.FunctionDeclaration(line=start.line, name=name, params=params, body=body)
+        return N.FunctionDeclaration(line=start.line, col=start.col, name=name, params=params, body=body)
 
     def _parse_params(self) -> List[str]:
         self._expect_punct("(")
@@ -205,7 +206,7 @@ class Parser:
         if self._tok.is_keyword("else"):
             self._advance()
             alternate = self.parse_statement()
-        return N.IfStatement(line=start.line, test=test, consequent=consequent, alternate=alternate)
+        return N.IfStatement(line=start.line, col=start.col, test=test, consequent=consequent, alternate=alternate)
 
     def parse_for(self) -> N.Node:
         start = self._advance()
@@ -223,14 +224,14 @@ class Parser:
             iterable = self.parse_expression()
             self._expect_punct(")")
             body = self.parse_statement()
-            return N.ForOfStatement(line=start.line, kind=kind, name=name, iterable=iterable, body=body)
+            return N.ForOfStatement(line=start.line, col=start.col, kind=kind, name=name, iterable=iterable, body=body)
 
         init: Optional[N.Node] = None
         if not self._tok.is_punct(";"):
             if self._tok.is_keyword("var", "let", "const"):
                 init = self.parse_variable_declaration()
             else:
-                init = N.ExpressionStatement(line=self._tok.line, expression=self.parse_expression())
+                init = N.ExpressionStatement(line=self._tok.line, col=self._tok.col, expression=self.parse_expression())
         self._expect_punct(";")
         test: Optional[N.Node] = None
         if not self._tok.is_punct(";"):
@@ -241,7 +242,7 @@ class Parser:
             update = self.parse_expression()
         self._expect_punct(")")
         body = self.parse_statement()
-        return N.ForStatement(line=start.line, init=init, test=test, update=update, body=body)
+        return N.ForStatement(line=start.line, col=start.col, init=init, test=test, update=update, body=body)
 
     def parse_while(self) -> N.WhileStatement:
         start = self._advance()
@@ -249,7 +250,7 @@ class Parser:
         test = self.parse_expression()
         self._expect_punct(")")
         body = self.parse_statement()
-        return N.WhileStatement(line=start.line, test=test, body=body)
+        return N.WhileStatement(line=start.line, col=start.col, test=test, body=body)
 
     def parse_do_while(self) -> N.DoWhileStatement:
         start = self._advance()
@@ -261,7 +262,7 @@ class Parser:
         test = self.parse_expression()
         self._expect_punct(")")
         self._eat_semicolon()
-        return N.DoWhileStatement(line=start.line, body=body, test=test)
+        return N.DoWhileStatement(line=start.line, col=start.col, body=body, test=test)
 
     def parse_try(self) -> N.TryStatement:
         start = self._advance()
@@ -281,7 +282,7 @@ class Parser:
             finalizer = self.parse_block()
         if handler is None and finalizer is None:
             raise self._error("try without catch or finally")
-        return N.TryStatement(line=start.line, block=block, param=param, handler=handler, finalizer=finalizer)
+        return N.TryStatement(line=start.line, col=start.col, block=block, param=param, handler=handler, finalizer=finalizer)
 
     def parse_switch(self) -> N.SwitchStatement:
         start = self._advance()  # 'switch'
@@ -314,9 +315,9 @@ class Parser:
                 if self._tok.type is TokenType.EOF:
                     raise self._error("unterminated switch")
                 body.append(self.parse_statement())
-            cases.append(N.SwitchCase(line=tok.line, test=test, body=body))
+            cases.append(N.SwitchCase(line=tok.line, col=tok.col, test=test, body=body))
         self._expect_punct("}")
-        return N.SwitchStatement(line=start.line, discriminant=discriminant, cases=cases)
+        return N.SwitchStatement(line=start.line, col=start.col, discriminant=discriminant, cases=cases)
 
     # -- expressions -------------------------------------------------------------
 
@@ -327,7 +328,7 @@ class Parser:
             while self._tok.is_punct(","):
                 self._advance()
                 exprs.append(self.parse_assignment())
-            return N.SequenceExpression(line=expr.line, expressions=exprs)
+            return N.SequenceExpression(line=expr.line, col=expr.col, expressions=exprs)
         return expr
 
     def parse_assignment(self) -> N.Node:
@@ -342,7 +343,7 @@ class Parser:
             if not isinstance(left, (N.Identifier, N.MemberExpression)):
                 raise self._error("invalid assignment target")
             value = self.parse_assignment()
-            return N.AssignmentExpression(line=op_tok.line, op=op_tok.value, target=left, value=value)
+            return N.AssignmentExpression(line=op_tok.line, col=op_tok.col, op=op_tok.value, target=left, value=value)
         return left
 
     def _try_parse_arrow(self) -> Optional[N.FunctionExpression]:
@@ -351,7 +352,7 @@ class Parser:
         if tok.type is TokenType.IDENT and self._peek().is_punct("=>"):
             self._advance()
             self._advance()
-            return self._finish_arrow([tok.value], tok.line)
+            return self._finish_arrow([tok.value], tok.line, tok.col)
         # ( params ) =>   — requires lookahead to the matching paren.
         if tok.is_punct("("):
             depth = 0
@@ -379,16 +380,16 @@ class Parser:
                     else:
                         return None
                 self._pos = closing + 2  # skip past ')' and '=>'
-                return self._finish_arrow(params, tok.line)
+                return self._finish_arrow(params, tok.line, tok.col)
         return None
 
-    def _finish_arrow(self, params: List[str], line: int) -> N.FunctionExpression:
+    def _finish_arrow(self, params: List[str], line: int, col: int = 0) -> N.FunctionExpression:
         if self._tok.is_punct("{"):
             body = self.parse_block()
         else:
             expr = self.parse_assignment()
-            body = N.Block(line=line, body=[N.ReturnStatement(line=line, argument=expr)])
-        return N.FunctionExpression(line=line, params=params, body=body, is_arrow=True)
+            body = N.Block(line=line, col=col, body=[N.ReturnStatement(line=line, col=col, argument=expr)])
+        return N.FunctionExpression(line=line, col=col, params=params, body=body, is_arrow=True)
 
     def parse_conditional(self) -> N.Node:
         test = self.parse_logical_or()
@@ -398,7 +399,7 @@ class Parser:
             self._expect_punct(":")
             alternate = self.parse_assignment()
             return N.ConditionalExpression(
-                line=q.line, test=test, consequent=consequent, alternate=alternate
+                line=q.line, col=q.col, test=test, consequent=consequent, alternate=alternate
             )
         return test
 
@@ -407,7 +408,7 @@ class Parser:
         while self._tok.is_punct("||"):
             tok = self._advance()
             right = self.parse_logical_and()
-            left = N.LogicalOp(line=tok.line, op="||", left=left, right=right)
+            left = N.LogicalOp(line=tok.line, col=tok.col, op="||", left=left, right=right)
         return left
 
     def parse_logical_and(self) -> N.Node:
@@ -415,7 +416,7 @@ class Parser:
         while self._tok.is_punct("&&"):
             tok = self._advance()
             right = self.parse_binary(0)
-            left = N.LogicalOp(line=tok.line, op="&&", left=left, right=right)
+            left = N.LogicalOp(line=tok.line, col=tok.col, op="&&", left=left, right=right)
         return left
 
     def parse_binary(self, min_prec: int) -> N.Node:
@@ -428,20 +429,20 @@ class Parser:
                 return left
             self._advance()
             right = self.parse_binary(prec + 1)
-            left = N.BinaryOp(line=tok.line, op=op, left=left, right=right)
+            left = N.BinaryOp(line=tok.line, col=tok.col, op=op, left=left, right=right)
 
     def parse_unary(self) -> N.Node:
         tok = self._tok
         if tok.is_punct("!", "-", "+", "~"):
             self._advance()
-            return N.UnaryOp(line=tok.line, op=tok.value, operand=self.parse_unary())
+            return N.UnaryOp(line=tok.line, col=tok.col, op=tok.value, operand=self.parse_unary())
         if tok.is_keyword("typeof", "delete"):
             self._advance()
-            return N.UnaryOp(line=tok.line, op=tok.value, operand=self.parse_unary())
+            return N.UnaryOp(line=tok.line, col=tok.col, op=tok.value, operand=self.parse_unary())
         if tok.is_punct("++", "--"):
             self._advance()
             target = self.parse_unary()
-            return N.UpdateExpression(line=tok.line, op=tok.value, target=target, prefix=True)
+            return N.UpdateExpression(line=tok.line, col=tok.col, op=tok.value, target=target, prefix=True)
         return self.parse_postfix()
 
     def parse_postfix(self) -> N.Node:
@@ -449,7 +450,7 @@ class Parser:
         tok = self._tok
         if tok.is_punct("++", "--"):
             self._advance()
-            return N.UpdateExpression(line=tok.line, op=tok.value, target=expr, prefix=False)
+            return N.UpdateExpression(line=tok.line, col=tok.col, op=tok.value, target=expr, prefix=False)
         return expr
 
     def parse_call_member(self) -> N.Node:
@@ -459,7 +460,7 @@ class Parser:
             args: List[N.Node] = []
             if self._tok.is_punct("("):
                 args = self._parse_args()
-            expr: N.Node = N.NewExpression(line=new_tok.line, callee=callee, args=args)
+            expr: N.Node = N.NewExpression(line=new_tok.line, col=new_tok.col, callee=callee, args=args)
         else:
             expr = self.parse_primary()
         while True:
@@ -469,15 +470,15 @@ class Parser:
                 if self._tok.type not in (TokenType.IDENT, TokenType.KEYWORD):
                     raise self._error("expected property name after '.'")
                 prop = self._advance().value
-                expr = N.MemberExpression(line=tok.line, obj=expr, prop=prop, computed=False)
+                expr = N.MemberExpression(line=tok.line, col=tok.col, obj=expr, prop=prop, computed=False)
             elif tok.is_punct("["):
                 self._advance()
                 prop_expr = self.parse_expression()
                 self._expect_punct("]")
-                expr = N.MemberExpression(line=tok.line, obj=expr, prop=prop_expr, computed=True)
+                expr = N.MemberExpression(line=tok.line, col=tok.col, obj=expr, prop=prop_expr, computed=True)
             elif tok.is_punct("("):
                 args = self._parse_args()
-                expr = N.CallExpression(line=tok.line, callee=expr, args=args)
+                expr = N.CallExpression(line=tok.line, col=tok.col, callee=expr, args=args)
             else:
                 return expr
 
@@ -487,7 +488,7 @@ class Parser:
         while self._tok.is_punct("."):
             tok = self._advance()
             prop = self._advance().value
-            expr = N.MemberExpression(line=tok.line, obj=expr, prop=prop, computed=False)
+            expr = N.MemberExpression(line=tok.line, col=tok.col, obj=expr, prop=prop, computed=False)
         return expr
 
     def _parse_args(self) -> List[N.Node]:
@@ -504,22 +505,22 @@ class Parser:
         tok = self._tok
         if tok.type is TokenType.NUMBER:
             self._advance()
-            return N.NumberLiteral(line=tok.line, value=tok.value)
+            return N.NumberLiteral(line=tok.line, col=tok.col, value=tok.value)
         if tok.type is TokenType.STRING:
             self._advance()
-            return N.StringLiteral(line=tok.line, value=tok.value)
+            return N.StringLiteral(line=tok.line, col=tok.col, value=tok.value)
         if tok.is_keyword("true", "false"):
             self._advance()
-            return N.BooleanLiteral(line=tok.line, value=tok.value == "true")
+            return N.BooleanLiteral(line=tok.line, col=tok.col, value=tok.value == "true")
         if tok.is_keyword("null"):
             self._advance()
-            return N.NullLiteral(line=tok.line)
+            return N.NullLiteral(line=tok.line, col=tok.col)
         if tok.is_keyword("undefined"):
             self._advance()
-            return N.UndefinedLiteral(line=tok.line)
+            return N.UndefinedLiteral(line=tok.line, col=tok.col)
         if tok.is_keyword("this"):
             self._advance()
-            return N.ThisExpression(line=tok.line)
+            return N.ThisExpression(line=tok.line, col=tok.col)
         if tok.is_keyword("function"):
             self._advance()
             name: Optional[str] = None
@@ -527,10 +528,10 @@ class Parser:
                 name = self._advance().value
             params = self._parse_params()
             body = self.parse_block()
-            return N.FunctionExpression(line=tok.line, params=params, body=body, name=name)
+            return N.FunctionExpression(line=tok.line, col=tok.col, params=params, body=body, name=name)
         if tok.type is TokenType.IDENT:
             self._advance()
-            return N.Identifier(line=tok.line, name=tok.value)
+            return N.Identifier(line=tok.line, col=tok.col, name=tok.value)
         if tok.is_punct("("):
             self._advance()
             expr = self.parse_expression()
@@ -544,7 +545,7 @@ class Parser:
                 if self._tok.is_punct(","):
                     self._advance()
             self._expect_punct("]")
-            return N.ArrayLiteral(line=tok.line, elements=elements)
+            return N.ArrayLiteral(line=tok.line, col=tok.col, elements=elements)
         if tok.is_punct("{"):
             return self.parse_object_literal()
         raise self._error(f"unexpected token {tok.value!r}")
@@ -571,7 +572,7 @@ class Parser:
             if self._tok.is_punct(","):
                 self._advance()
         self._expect_punct("}")
-        return N.ObjectLiteral(line=start.line, properties=props)
+        return N.ObjectLiteral(line=start.line, col=start.col, properties=props)
 
 
 def _number_key(value: float) -> str:

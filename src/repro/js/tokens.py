@@ -110,6 +110,9 @@ class Token:
     type: TokenType
     value: Union[str, float, int]
     line: int
+    #: 1-based column of the token's first character (0 = unknown, e.g.
+    #: synthetic tokens produced by template-literal desugaring).
+    col: int = 0
 
     def is_punct(self, *values: str) -> bool:
         return self.type is TokenType.PUNCT and self.value in values
@@ -118,4 +121,4 @@ class Token:
         return self.type is TokenType.KEYWORD and self.value in values
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Token({self.type.value}, {self.value!r}, line={self.line})"
+        return f"Token({self.type.value}, {self.value!r}, line={self.line}, col={self.col})"

@@ -20,6 +20,8 @@ __all__ = [
     "JSNull",
     "UNDEFINED",
     "NULL",
+    "Shape",
+    "ROOT_SHAPE",
     "JSObject",
     "JSArray",
     "JSFunction",
@@ -72,11 +74,53 @@ UNDEFINED = JSUndefined()
 NULL = JSNull()
 
 
+class Shape:
+    """A hidden class: the ordered tuple of property keys an object holds.
+
+    Two plain :class:`JSObject` instances that acquired the same keys in the
+    same order share the same ``Shape`` instance, so the compiler's inline
+    caches can validate a cached property lookup with a single identity
+    check.  Shapes form a transition tree rooted at :data:`ROOT_SHAPE`;
+    transitions are interned, which keeps the check an ``is`` comparison.
+    """
+
+    __slots__ = ("keys", "transitions")
+
+    def __init__(self, keys: tuple = ()) -> None:
+        self.keys = keys
+        self.transitions: Dict[str, "Shape"] = {}
+
+    def child(self, key: str) -> "Shape":
+        nxt = self.transitions.get(key)
+        if nxt is None:
+            nxt = Shape(self.keys + (key,))
+            self.transitions[key] = nxt
+        return nxt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shape({', '.join(self.keys)})"
+
+
+#: The shape of an object with no properties (transition-tree root).
+ROOT_SHAPE = Shape()
+
+
+def _shape_for(keys) -> Shape:
+    shape = ROOT_SHAPE
+    for key in keys:
+        shape = shape.child(key)
+    return shape
+
+
 class JSObject:
     """A plain JavaScript object: ordered string-keyed properties.
 
     Host objects subclass this and override :meth:`get` / :meth:`set` to
-    expose live attributes (e.g. ``canvas.width``).
+    expose live attributes (e.g. ``canvas.width``).  The base class keeps
+    ``shape`` in sync with the key set so compiled code can use shape-keyed
+    inline caches; subclasses that override accessors are never fast-pathed
+    (the caches check ``type(obj) is JSObject`` exactly), so a stale shape
+    on an exotic host object is harmless.
     """
 
     #: Class name reported by host objects (used in error messages).
@@ -84,18 +128,27 @@ class JSObject:
 
     def __init__(self, properties: Optional[Dict[str, Any]] = None) -> None:
         self.properties: Dict[str, Any] = dict(properties or {})
+        self.shape: Shape = _shape_for(self.properties) if self.properties else ROOT_SHAPE
 
     def get(self, name: str) -> Any:
         return self.properties.get(name, UNDEFINED)
 
     def set(self, name: str, value: Any) -> None:
-        self.properties[name] = value
+        props = self.properties
+        if name not in props:
+            self.shape = self.shape.child(name)
+        props[name] = value
 
     def has(self, name: str) -> bool:
         return name in self.properties
 
     def delete(self, name: str) -> bool:
-        return self.properties.pop(name, None) is not None
+        props = self.properties
+        if name in props:
+            value = props.pop(name)
+            self.shape = _shape_for(props)
+            return value is not None
+        return False
 
     def keys(self) -> List[str]:
         return list(self.properties.keys())

@@ -67,6 +67,10 @@ class RenderCacheConfig:
     path_cache_bytes: int = 64 * _MB
     #: Encoded PNG/JPEG/WebP payloads keyed by pixel digest.
     encode_cache_bytes: int = 64 * _MB
+    #: Compiled JS programs keyed by source digest + engine version
+    #: (:mod:`repro.js.compiler`).  Execution mode itself is gated by
+    #: ``REPRO_JS_COMPILE``, not by ``enabled``.
+    js_cache_bytes: int = 64 * _MB
 
     @classmethod
     def from_env(cls, env: Optional[Dict[str, str]] = None) -> "RenderCacheConfig":
@@ -81,7 +85,7 @@ class RenderCacheConfig:
         toggle = env.get("REPRO_RENDER_CACHE")
         if toggle is not None:
             kwargs["enabled"] = toggle.strip().lower() not in ("0", "false", "off", "no")
-        for name in ("render", "glyph", "path", "encode"):
+        for name in ("render", "glyph", "path", "encode", "js"):
             raw = env.get(f"REPRO_RENDER_CACHE_{name.upper()}_MB")
             if raw is not None:
                 try:
@@ -273,6 +277,14 @@ class ByteBudgetLRU:
         self._entries.clear()
         self._bytes = 0
         self._counters.set_residency(self.layer, 0, 0)
+
+    def contains(self, key: Hashable) -> bool:
+        """Membership check that records nothing and leaves LRU order alone.
+
+        Used by cache pre-warmers: re-warming an already-warm pooled worker
+        must not inflate the hit rate.
+        """
+        return key in self._entries
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value (counted as a hit) or None (not counted).
