@@ -293,6 +293,22 @@ def run_observability_table(result: StudyResult) -> str:
     checkpoints = int(counters.get("crawler.checkpoint_writes", 0))
     if checkpoints:
         lines.append(f"checkpoint writes: {checkpoints}")
+    histograms = result.metrics.get("histograms", {})
+    if histograms:
+        from repro.obs.metrics import Histogram
+
+        rows = []
+        for name, data in sorted(histograms.items()):
+            hist = Histogram.from_json(data)
+            if hist.count:
+                rows.append(
+                    f"  {name:28s} n={hist.count:<7d} p50={hist.quantile(0.5) * 1000:7.1f}ms "
+                    f"p95={hist.quantile(0.95) * 1000:7.1f}ms "
+                    f"p99={hist.quantile(0.99) * 1000:7.1f}ms"
+                )
+        if rows:
+            lines.append("latency percentiles (bucket-derived):")
+            lines.extend(rows)
     respawns = int(counters.get("supervisor.respawns", 0))
     spawned = int(counters.get("supervisor.workers_spawned", 0))
     if respawns or spawned:
@@ -310,6 +326,39 @@ def run_observability_table(result: StudyResult) -> str:
             f"supervisor: {spawned} worker(s) spawned, {respawns} respawn(s)"
             f"{death_mix}, {int(counters.get('supervisor.splits', 0))} bisection(s), "
             f"{int(counters.get('supervisor.quarantined', 0))} quarantined"
+        )
+    return "\n".join(lines)
+
+
+def profile_table(result: StudyResult) -> str:
+    """Sampling-profiler self-time rollup for the study run.
+
+    Top self-time by subsystem / stage / site / vendor script, from
+    ``StudyResult.profile`` (``REPRO_OBS_PROFILE=1``; merged across every
+    shard worker).  The render layers also print the *measured* wall
+    seconds from the timed cache counters next to the sampled estimate —
+    gross disagreement means the sampler under-observed the run (raise
+    ``REPRO_OBS_PROFILE_HZ``).  Empty string when the profiler was off.
+    """
+    rollup = result.profile
+    if not rollup or not rollup.get("samples"):
+        return ""
+    from repro import perf
+    from repro.obs.inspect import profile_text
+
+    lines = profile_text(rollup, top=5)
+    measured = perf.layer_seconds(result.perf_counters)
+    render_measured = sum(
+        seconds for layer, seconds in measured.items() if not layer.startswith("js.")
+    )
+    sampled = {
+        str(row.get("name")): float(row.get("seconds", 0.0))
+        for row in rollup.get("by_subsystem", ())
+    }
+    if render_measured:
+        lines.append(
+            f"  cross-check: render measured {render_measured:.2f}s (timed) vs "
+            f"{sampled.get('render', 0.0):.2f}s (sampled)"
         )
     return "\n".join(lines)
 
@@ -383,6 +432,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     observability = run_observability_table(result)
     if observability:
         sections.append("== Run observability ==\n" + observability)
+
+    profile = profile_table(result)
+    if profile:
+        sections.append("== Profile (sampled self-time) ==\n" + profile)
 
     quarantine = quarantine_table(result)
     if quarantine:

@@ -32,6 +32,7 @@ from repro.js.interpreter import Interpreter
 from repro.net.http import Request, ResourceType
 from repro.net.server import Network
 from repro.net.url import URL
+from repro.obs import profiler
 
 __all__ = ["Browser", "Page"]
 
@@ -216,6 +217,19 @@ class Browser:
         page.executed_scripts.append(effective_url)
         page.script_sources[effective_url] = source
         try:
-            interp.run(source, script_url=effective_url, cache_key=(effective_url, hash(source)))
+            if profiler.ACTIVE:
+                # Tag profiler samples with the executing script so
+                # self-time attributes per vendor script.  Guarded by the
+                # flag: with the profiler off this is one branch.
+                with profiler.context("script", effective_url):
+                    interp.run(
+                        source,
+                        script_url=effective_url,
+                        cache_key=(effective_url, hash(source)),
+                    )
+            else:
+                interp.run(
+                    source, script_url=effective_url, cache_key=(effective_url, hash(source))
+                )
         except JSError as exc:
             page.script_errors.append(f"{effective_url}: {exc.message}")

@@ -176,6 +176,11 @@ class StudyResult:
     #: carries — ``repro.obs summary`` totals come from these).  Excluded
     #: from equality: operational telemetry, not science.
     metrics: Dict[str, Any] = field(default_factory=dict, compare=False, repr=False)
+    #: Sampling-profiler rollup (``REPRO_OBS_PROFILE=1``): self-time by
+    #: site / vendor script / subsystem / stage, merged across every shard
+    #: worker.  Empty when the profiler is off.  Excluded from equality —
+    #: the profiler is exactly transparent, so samples are not science.
+    profile: Dict[str, Any] = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def fp_sites(self) -> Dict[str, Set[str]]:
@@ -264,6 +269,12 @@ def run_study(
     """
     if render_cache is not None:
         perf.configure(render_cache)
+    # Sampling profiler (REPRO_OBS_PROFILE=1): start it for the study
+    # process and discard any samples taken before this run, so the run's
+    # rollup covers exactly this study.  Shard workers start their own
+    # sampler from the same ObsConfig carried in their payloads.
+    if obs_layer.profiler.maybe_start(obs_layer.config()):
+        obs_layer.profiler.drain()
     perf_before = perf.PERF.snapshot()
     metrics_before = obs_layer.METRICS.snapshot()
     cache = StageCache(cache_dir) if cache_dir is not None else None
@@ -314,6 +325,12 @@ def run_study(
     result.metrics = obs_layer.diff_metric_snapshots(
         metrics_before, obs_layer.METRICS.snapshot()
     )
+    # Drain this run's samples (the parent's own, plus every worker delta
+    # ingested with the shard payloads) whether or not artifacts are being
+    # written — a later run must never inherit them.
+    profile_snapshot = obs_layer.profiler.drain()
+    if profile_snapshot:
+        result.profile = obs_layer.profiler.rollup(profile_snapshot)
     if recorder is not None:
         digest = hashlib.sha256(
             json.dumps(run.keys, sort_keys=True).encode("utf-8")
@@ -321,6 +338,8 @@ def run_study(
         recorder.finish(
             manifest_update={"config_digest": digest, "stage_keys": run.keys},
             health=asdict(result.control.health()),
+            stage_timings=tuple(run.timings),
+            profile=profile_snapshot,
         )
     return result
 

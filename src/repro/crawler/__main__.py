@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.blocklists.matcher import RuleMatcher
@@ -135,10 +136,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--obs-dir",
         default=None,
-        help="write run observability artifacts (manifest.json + trace.jsonl) "
-        "here; defaults to <out>.obs when REPRO_OBS_TRACE=1",
+        help="write run observability artifacts (manifest.json + trace.jsonl "
+        "+ runs.jsonl history ledger) here; defaults to <out>.obs when "
+        "REPRO_OBS_TRACE=1",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the wall-clock sampling profiler for this crawl (same as "
+        "REPRO_OBS_PROFILE=1); writes profile.collapsed + profile.trace.json "
+        "into the obs dir",
     )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        obs.configure(replace(obs.config(), profile=True))
+    obs.profiler.maybe_start(obs.config())
 
     world = build_world(StudyScale(fraction=args.scale, seed=args.seed))
     extensions = ()
@@ -167,6 +180,7 @@ def main(argv=None) -> int:
 
     started = time.time()
     done = {"n": 0}
+    stage_timings = ()
 
     def progress(index, observation):
         done["n"] += 1
@@ -217,6 +231,7 @@ def main(argv=None) -> int:
         dataset = run.artifacts[stage]
         save_dataset(dataset, args.out)
         timing = run.timings[-1]
+        stage_timings = tuple(run.timings)
         print(f"stage {stage}: {timing.status} in {timing.seconds:.1f}s")
     elif args.jobs > 1 or args.supervised:
         label = f"{args.adblock}-{args.device}" if args.adblock != "none" else args.device
@@ -251,8 +266,12 @@ def main(argv=None) -> int:
     if recorder is not None:
         from dataclasses import asdict
 
-        trace_path = recorder.finish(health=asdict(health))
-        print(f"observability artifacts -> {trace_path.parent}")
+        trace_path = recorder.finish(health=asdict(health), stage_timings=stage_timings)
+        print(
+            f"observability artifacts -> {trace_path.parent} "
+            f"(run {recorder.run_id}; compare with "
+            f"`python -m repro.obs history {trace_path.parent}`)"
+        )
     print(f"crawled {health.total} sites ({health.successes} ok) in "
           f"{time.time() - started:.1f}s -> {args.out}")
     print(health.summary())

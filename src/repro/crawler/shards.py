@@ -136,6 +136,11 @@ def _crawl_shard_worker(payload):
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
+    # Sampling profiler: (re)start to match the parent's knobs.  This is
+    # fork-aware — a freshly forked pool worker inherits the parent's
+    # sample table, which maybe_start clears so parent samples are never
+    # shipped home twice (the parent drains its own table itself).
+    obs.profiler.maybe_start(obs_config)
     perf_before = perf.PERF.snapshot()
     metrics_before = obs.METRICS.snapshot()
     # Warm the compiled-script cache before the first page load, so known

@@ -51,9 +51,9 @@ import pickle
 import tempfile
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from repro import obs, perf
 from repro.browser.profile import BrowserProfile
@@ -244,6 +244,10 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
+    # Fork-aware profiler start: clears the sample table inherited from the
+    # supervisor's fork so parent samples never double-count, then samples
+    # this worker's pages until the task's worker_payload drains the table.
+    obs.profiler.maybe_start(obs_config)
     perf_before = perf.PERF.snapshot()
     metrics_before = obs.METRICS.snapshot()
     # Same warm-start as the pool worker: compile known vendor scripts before
@@ -289,6 +293,11 @@ class _ShardTask:
     targets: List[CrawlTarget]
     checkpoint: Path
     crashes: int = 0
+    #: Domains whose page metrics the supervisor already credited
+    #: parent-side after a worker death (see ``_credit_orphan_metrics``) —
+    #: a task's checkpoint survives respawns, so a second death must not
+    #: re-count the rows credited at the first.
+    credited: Set[str] = field(default_factory=set)
 
 
 class _WorkerHandle:
@@ -317,6 +326,37 @@ def _mp_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def _credit_observation_metrics(observation: SiteObservation, label: str) -> None:
+    """Parent-side crawler counters for one observation whose worker never
+    shipped its metrics delta (persisted before a crash, or synthesized by
+    quarantine).
+
+    Mirrors :func:`repro.crawler.resilience._record_page_metrics` counter
+    for counter — ``repro.obs.inspect.crawl_totals`` must keep agreeing
+    with ``CrawlDataset.health()`` exactly — but records no latency
+    histogram and no events: the page was never timed in this process.
+    """
+    attempts = observation.attempts
+    obs.inc(obs._labeled("crawler.pages", label))
+    obs.inc(obs._labeled("crawler.attempts_total", label), attempts)
+    obs.inc(f"crawler.attempts[{label}|{attempts}]")
+    if attempts > 1:
+        obs.inc(obs._labeled("crawler.retries", label), attempts - 1)
+    if observation.success:
+        obs.inc(obs._labeled("crawler.pages_ok", label))
+        if observation.recovered:
+            obs.inc(obs._labeled("crawler.recovered", label))
+    elif observation.failure_reason:
+        obs.inc(f"crawler.failures[{label}|{observation.failure_reason}]")
+        if observation.failure_reason.startswith("timeout"):
+            obs.inc(obs._labeled("crawler.watchdog", label))
+    if observation.inner_page_failures:
+        obs.inc(
+            obs._labeled("crawler.inner_page_failures", label),
+            observation.inner_page_failures,
+        )
 
 
 class _Supervisor:
@@ -484,6 +524,7 @@ class _Supervisor:
             remaining=len(task.targets),
         )
         persisted = load_checkpoint(task.checkpoint)
+        self._credit_orphan_metrics(task, persisted)
         done = {o.domain for o in persisted.observations} if persisted else set()
         remainder = [t for t in task.targets if t.domain not in done]
         if not remainder:
@@ -519,6 +560,25 @@ class _Supervisor:
                 )
             )
 
+    def _credit_orphan_metrics(self, task: _ShardTask, persisted) -> None:
+        """Count checkpoint rows whose worker died before shipping metrics.
+
+        A dead worker's perf/metrics payload dies with it, but the
+        observations it persisted survive (they are salvaged, or skipped by
+        the respawn's resume) — so without this, ``repro.obs summary``
+        would under-count exactly the pages that survived a crash.  The
+        per-task ``credited`` set keeps the crediting exactly-once across
+        repeat deaths of the same task, mirroring the delta semantics of
+        the worker payload channel.
+        """
+        if persisted is None:
+            return
+        for observation in persisted.observations:
+            if observation.domain in task.credited:
+                continue
+            task.credited.add(observation.domain)
+            _credit_observation_metrics(observation, self.label)
+
     def _quarantine(self, task: _ShardTask, site: CrawlTarget, signal: str) -> None:
         record = QuarantineRecord(
             domain=site.domain,
@@ -542,16 +602,21 @@ class _Supervisor:
             signal=signal,
             attempts=task.crashes,
         )
-        self.salvaged.append(
-            SiteObservation(
-                domain=site.domain,
-                rank=site.rank,
-                population=site.population,
-                success=False,
-                failure_reason=record.failure_reason,
-                attempts=task.crashes,
-            )
+        observation = SiteObservation(
+            domain=site.domain,
+            rank=site.rank,
+            population=site.population,
+            success=False,
+            failure_reason=record.failure_reason,
+            attempts=task.crashes,
         )
+        self.salvaged.append(observation)
+        # Account the synthesized observation in the crawler metrics too:
+        # quarantined sites never pass through ``collect_with_retries`` (the
+        # killed workers' deltas died with them), so without this the run
+        # log's failure rows would omit exactly the sites the supervisor
+        # gave up on.
+        _credit_observation_metrics(observation, self.label)
 
 
 def run_supervised_crawl(

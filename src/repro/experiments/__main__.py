@@ -36,10 +36,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--obs-dir",
         default=None,
-        help="write run observability artifacts (manifest.json + trace.jsonl) here; "
-        "inspect with python -m repro.obs summary <dir>",
+        help="write run observability artifacts (manifest.json + trace.jsonl + "
+        "runs.jsonl history ledger) here; inspect with python -m repro.obs "
+        "summary/history/diff/regress <dir>",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the wall-clock sampling profiler for this study (same as "
+        "REPRO_OBS_PROFILE=1); the rollup lands in the report, trace summary "
+        "and run ledger",
     )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        from dataclasses import replace
+
+        from repro import obs
+
+        obs.configure(replace(obs.config(), profile=True))
 
     keys = args.only or list(EXPERIMENTS)
     needs_cross_machine = "cross_machine" in keys
@@ -63,6 +78,17 @@ def main(argv=None) -> int:
         f"({cached}/{len(result.stage_timings)} stages from cache)\n",
         flush=True,
     )
+    if result.profile.get("samples"):
+        from repro.obs.inspect import profile_text
+
+        print("\n".join(profile_text(result.profile)))
+        print()
+    if args.obs_dir:
+        print(
+            f"run appended to {args.obs_dir}/runs.jsonl — compare with "
+            f"`python -m repro.obs history {args.obs_dir}`\n",
+            flush=True,
+        )
 
     artifacts_dir = None
     if args.artifacts:

@@ -14,8 +14,15 @@ Three pillars, one import (``from repro import obs``):
   sharded crawl's numbers aggregate with no loss and no double-count, the
   same way :mod:`repro.perf` snapshots merge.
 * **Run artifacts** — :class:`~repro.obs.recorder.RunRecorder` writes a
-  ``manifest.json`` + ``trace.jsonl`` per run; ``python -m repro.obs``
-  inspects them (``summary``, ``slow``, ``export-trace``).
+  ``manifest.json`` + ``trace.jsonl`` per run (and appends every run to
+  the ``runs.jsonl`` history ledger); ``python -m repro.obs`` inspects
+  them (``summary``, ``slow``, ``export-trace``, ``history``, ``diff``,
+  ``regress``).
+* **Profiling** — :mod:`repro.obs.profiler` is a wall-clock sampling
+  profiler (``REPRO_OBS_PROFILE=1``) whose samples are tagged with the
+  innermost active span, so self-time attributes to stages, sites and
+  vendor scripts.  Sample tables ride the same worker payload channel as
+  metrics, with the same exactly-once guarantee.
 
 Span taxonomy and metric names are catalogued in ``docs/observability.md``.
 """
@@ -24,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.obs import profiler
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry, absorb_perf
 from repro.obs.metrics import diff_snapshots as diff_metric_snapshots
@@ -50,6 +58,7 @@ __all__ = [
     "worker_payload",
     "ingest_worker",
     "reset",
+    "profiler",
 ]
 
 _CONFIG = ObsConfig.from_env()
@@ -81,7 +90,16 @@ def enabled() -> bool:
 
 
 def span(name: str, **attrs: Any):
-    """Open a span (a context manager; no-op when tracing is off)."""
+    """Open a span (a context manager; no-op when tracing is off).
+
+    When the sampling profiler is running, spans that carry a cost
+    identity (stages, shards, pages) also push a profiler context tag for
+    their duration — even with tracing off, so profiling works standalone.
+    """
+    if profiler.ACTIVE:
+        inner = TRACE.span(name, **attrs) if TRACE.enabled else NOOP_SPAN
+        tag = profiler.span_context(name, attrs)
+        return profiler.tagged(inner, tag) if tag is not None else inner
     if not TRACE.enabled:
         return NOOP_SPAN
     return TRACE.span(name, **attrs)
@@ -126,6 +144,9 @@ def worker_payload(metrics_before: Dict[str, Any]) -> Dict[str, Any]:
         "spans": TRACE.drain(),
         "metrics": diff_metric_snapshots(metrics_before, METRICS.snapshot()),
         "dropped": TRACE.dropped,
+        # Profiler samples drain per task for the same exactly-once reason
+        # (None when the profiler is off or saw nothing this window).
+        "profile": profiler.drain(),
     }
 
 
@@ -136,12 +157,14 @@ def ingest_worker(payload: Optional[Dict[str, Any]]) -> None:
     TRACE.ingest(payload.get("spans", ()))
     METRICS.merge(payload.get("metrics", {}))
     TRACE.dropped += int(payload.get("dropped", 0))
+    profiler.merge(payload.get("profile"))
 
 
 def reset() -> None:
     """Test isolation: clear buffered records and zero every metric."""
     TRACE.reset()
     METRICS.reset()
+    profiler.reset()
 
 
 def _labeled(name: str, label: str) -> str:

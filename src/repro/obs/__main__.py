@@ -5,11 +5,21 @@ Usage::
     python -m repro.obs summary RUN_DIR            # totals, stages, hot spots
     python -m repro.obs slow RUN_DIR --top 20      # slowest pages
     python -m repro.obs export-trace RUN_DIR -o trace.json   # Perfetto/about:tracing
+    python -m repro.obs history RUN_DIR            # run-history ledger table
+    python -m repro.obs diff RUN_DIR -2 -1         # compare two ledger runs
+    python -m repro.obs regress RUN_DIR            # latest vs prior same-config runs
 
 ``RUN_DIR`` is the directory holding ``manifest.json`` + ``trace.jsonl``
 (e.g. ``crawl.jsonl.gz.obs/`` next to a crawled dataset), or a path to the
 trace file itself.  ``export-trace`` output loads directly in
 https://ui.perfetto.dev or ``chrome://tracing``.
+
+The history verbs read the append-only ``runs.jsonl`` ledger in the same
+directory (every finished run appends one line).  Runs are selected by id
+prefix, ``latest``/``prev``, or a negative index (``-1`` is the newest).
+``regress`` exits 0 when the latest run holds the line against the median
+of prior same-config runs, 1 past ``--threshold``, 2 when there is nothing
+to compare — the same contract as ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -20,8 +30,11 @@ import os
 import sys
 from pathlib import Path
 
+from repro.obs import ledger
 from repro.obs.export import to_chrome_trace, validate_chrome_trace
 from repro.obs.inspect import load_run, slow_text, summary_text
+
+_HISTORY_COMMANDS = ("history", "diff", "regress")
 
 
 def main(argv=None) -> int:
@@ -42,11 +55,75 @@ def main(argv=None) -> int:
     p_export.add_argument("run", help="run directory (or trace.jsonl path)")
     p_export.add_argument("-o", "--out", default=None, help="output path (default: <run>/trace.json)")
 
+    p_history = sub.add_parser("history", help="table of recent runs from the ledger")
+    p_history.add_argument("run", help="obs directory (or runs.jsonl path)")
+    p_history.add_argument("--top", type=int, default=20, help="number of runs to list")
+
+    p_diff = sub.add_parser("diff", help="metric/timing/hit-rate deltas of two runs")
+    p_diff.add_argument("run", help="obs directory (or runs.jsonl path)")
+    p_diff.add_argument("a", help="run selector: id prefix, latest/prev, or -N")
+    p_diff.add_argument("b", help="run selector: id prefix, latest/prev, or -N")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fractional change that counts as a regression (default 0.25)",
+    )
+
+    p_regress = sub.add_parser(
+        "regress", help="gate the latest run against prior same-config runs"
+    )
+    p_regress.add_argument("run", help="obs directory (or runs.jsonl path)")
+    p_regress.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional slowdown / hit-rate drop (default 0.25)",
+    )
+    p_regress.add_argument(
+        "--min-runs", type=int, default=1,
+        help="prior same-config runs required for a verdict (default 1)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command in _HISTORY_COMMANDS:
+        entries = ledger.load_ledger(args.run)
+        if not entries:
+            path = ledger.ledger_path(args.run)
+            print(
+                f"error: no run ledger at {path} — finish a run with "
+                "REPRO_OBS_TRACE=1 (or --obs-dir) to create one",
+                file=sys.stderr,
+            )
+            return 2
+        if args.command == "history":
+            print(ledger.history_text(entries, top=args.top))
+            return 0
+        if args.command == "diff":
+            try:
+                run_a = ledger.resolve_run(entries, args.a)
+                run_b = ledger.resolve_run(entries, args.b)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            text, regressions = ledger.diff_text(run_a, run_b, threshold=args.threshold)
+            print(text)
+            return 1 if regressions else 0
+        text, code = ledger.regress_text(
+            entries, threshold=args.threshold, min_runs=args.min_runs
+        )
+        print(text)
+        return code
+
     try:
         log = load_run(args.run)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if log.is_empty:
+        print(
+            f"error: {log.path} holds no usable trace records — the run was "
+            "killed before its header landed, or tracing was off "
+            "(set REPRO_OBS_TRACE=1 and re-run, or pick another run directory)",
+            file=sys.stderr,
+        )
         return 2
 
     if args.command == "summary":

@@ -18,6 +18,13 @@ worker processes inherit the parent's settings exactly (the same pattern
   memory or the log without bound.
 * ``REPRO_OBS_DIR=path``   — default directory for run artifacts (manifest
   + trace log) when the caller does not pass one explicitly.
+* ``REPRO_OBS_PROFILE=1``  — enable the wall-clock sampling profiler (a
+  background thread snapshotting ``sys._current_frames``).  Off by
+  default; exactly transparent when on (datasets and analyses are
+  byte-identical either way, pinned by test).
+* ``REPRO_OBS_PROFILE_HZ=19`` — profiler sampling frequency.  The default
+  is a prime so the sampler never locks step with periodic work (the same
+  reason perf tools default to 97/997 Hz).
 
 Metrics (counters, gauges, histograms) are *always* on — they are a couple
 of dict operations at page/request granularity, far below measurement
@@ -49,6 +56,10 @@ class ObsConfig:
     max_events: int = 250_000
     #: Default run-artifact directory when no explicit one is given.
     run_dir: Optional[str] = None
+    #: Master switch for the wall-clock sampling profiler.
+    profile: bool = False
+    #: Profiler sampling frequency (Hz); prime by default to avoid lockstep.
+    profile_hz: float = 19.0
 
     @classmethod
     def from_env(cls, env: Optional[Dict[str, str]] = None) -> "ObsConfig":
@@ -72,4 +83,13 @@ class ObsConfig:
         raw = env.get("REPRO_OBS_DIR")
         if raw:
             kwargs["run_dir"] = raw
+        raw = env.get("REPRO_OBS_PROFILE")
+        if raw is not None:
+            kwargs["profile"] = _truthy(raw)
+        raw = env.get("REPRO_OBS_PROFILE_HZ")
+        if raw is not None:
+            try:
+                kwargs["profile_hz"] = min(1000.0, max(1.0, float(raw)))
+            except ValueError:
+                pass
         return cls(**kwargs)

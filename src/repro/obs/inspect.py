@@ -18,9 +18,19 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.manifest import MANIFEST_NAME
+from repro.obs.metrics import Histogram
 from repro.obs.recorder import TRACE_NAME
 
-__all__ = ["RunLog", "load_run", "crawl_totals", "summary_text", "slow_text"]
+__all__ = [
+    "RunLog",
+    "load_run",
+    "crawl_totals",
+    "summary_text",
+    "slow_text",
+    "histogram_rows",
+    "quarantine_rows",
+    "profile_text",
+]
 
 #: ``crawler.failures[label|reason]`` / ``crawler.attempts[label|n]`` parser.
 _BRACKET = re.compile(r"^(?P<base>[^\[]+)\[(?P<inner>[^\]]*)\]$")
@@ -57,6 +67,13 @@ class RunLog:
             for r in self.records
             if r.get("t") == "event" and (name is None or r.get("name") == name)
         ]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the trace file held nothing usable (empty file, or a
+        run killed before the header line landed) — callers should explain
+        rather than render an all-zero summary."""
+        return not self.header and not self.summary and not self.records
 
 
 def load_run(path: Union[str, Path]) -> RunLog:
@@ -175,6 +192,79 @@ def _cache_rows(log: RunLog) -> List[Tuple[str, float, float, float]]:
     return rows
 
 
+def histogram_rows(log: RunLog) -> List[Tuple[str, int, float, float, float, float]]:
+    """(name, count, mean, p50, p95, p99) for every histogram in the delta.
+
+    Quantiles are derived from the fixed bucket counts
+    (:meth:`~repro.obs.metrics.Histogram.quantile`), so they are estimates
+    — good to a bucket width — but computed from the exact, never-sampled
+    metrics delta.
+    """
+    rows = []
+    for name, data in sorted(log.summary.get("metrics", {}).get("histograms", {}).items()):
+        hist = Histogram.from_json(data)
+        if not hist.count:
+            continue
+        rows.append(
+            (name, hist.count, hist.mean, hist.quantile(0.5), hist.quantile(0.95),
+             hist.quantile(0.99))
+        )
+    return rows
+
+
+def quarantine_rows(log: RunLog) -> Tuple[int, List[Tuple[str, int]]]:
+    """(quarantined site count, top (reason, count) rows) for the run.
+
+    The count comes from the supervisor's own counter and equals
+    ``CrawlDataset.health().quarantined`` (asserted by test); the reasons
+    are the ``quarantined:<signal>`` failure classes the supervisor stamps
+    on salvaged observations.
+    """
+    counters = log.counters
+    quarantined = int(counters.get("supervisor.quarantined", 0))
+    reasons: Dict[str, int] = {}
+    for inner, count in _bracketed(counters, "crawler.failures").items():
+        reason = inner.split("|", 1)[1] if "|" in inner else inner
+        if reason.startswith("quarantined"):
+            reasons[reason] = reasons.get(reason, 0) + int(count)
+    rows = sorted(reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+    return quarantined, rows
+
+
+def profile_text(rollup: Optional[Dict[str, Any]], top: int = 5) -> List[str]:
+    """Render a profiler rollup (from the summary line or the ledger)."""
+    if not rollup or not rollup.get("samples"):
+        return []
+    samples = int(rollup["samples"])
+    attributed = samples - int(rollup.get("unattributed_samples", 0))
+    lines = [
+        f"profile: {samples} samples / {float(rollup.get('seconds', 0.0)):.2f}s sampled, "
+        f"{attributed / samples:.0%} attributed"
+        + (
+            f", {int(rollup.get('dropped', 0))} dropped at the table cap"
+            if rollup.get("dropped")
+            else ""
+        )
+    ]
+    for kind, title in (
+        ("by_subsystem", "self-time by subsystem"),
+        ("by_stage", "self-time by stage"),
+        ("by_site", "self-time by site"),
+        ("by_script", "self-time by vendor script"),
+    ):
+        rows = rollup.get(kind) or []
+        if not rows:
+            continue
+        lines.append(f"  {title}:")
+        for row in rows[:top]:
+            lines.append(
+                f"    {str(row.get('name', '?'))[:48]:48s} "
+                f"{float(row.get('seconds', 0.0)):8.2f}s "
+                f"({int(row.get('samples', 0))} samples)"
+            )
+    return lines
+
+
 def page_spans(log: RunLog) -> List[Dict[str, Any]]:
     return log.spans("crawl.page")
 
@@ -237,6 +327,12 @@ def summary_text(log: RunLog, top: int = 5) -> str:
             kind = "transient" if transient else "permanent"
             lines.append(f"  failure {reason:28s} {count:6d}  ({kind})")
 
+    quarantined, quarantine_reasons = quarantine_rows(log)
+    if quarantined or quarantine_reasons:
+        lines.append(f"quarantined sites: {quarantined}")
+        for reason, count in quarantine_reasons[:top]:
+            lines.append(f"  {reason:28s} {count:6d}")
+
     watchdog = sum(_bracketed(counters, "crawler.watchdog").values())
     if watchdog:
         lines.append(f"watchdog fires: {int(watchdog)}")
@@ -281,6 +377,19 @@ def summary_text(log: RunLog, top: int = 5) -> str:
         lines.append(f"{'render cache':14s} {'hit rate':>9s} {'hits':>9s} {'misses':>9s}")
         for layer, hits, misses, rate in cache_rows:
             lines.append(f"{layer:14s} {rate:8.1%} {int(hits):9d} {int(misses):9d}")
+
+    hist_rows = histogram_rows(log)
+    if hist_rows:
+        lines.append(
+            f"{'histogram':28s} {'count':>7s} {'mean':>9s} {'p50':>9s} {'p95':>9s} {'p99':>9s}"
+        )
+        for name, count, mean, p50, p95, p99 in hist_rows:
+            lines.append(
+                f"{name:28s} {count:7d} {mean * 1000:8.1f}ms {p50 * 1000:8.1f}ms "
+                f"{p95 * 1000:8.1f}ms {p99 * 1000:8.1f}ms"
+            )
+
+    lines.extend(profile_text(log.summary.get("profile"), top=top))
 
     hot = retry_hot_spots(log, top)
     if hot:

@@ -76,6 +76,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, clamped to the observed ``min``/``max`` so the estimate
+        never leaves the data's range.  Edge cases (pinned by unit test):
+        an empty histogram returns 0.0; a single occupied bucket
+        interpolates between its bounds; samples in the overflow bucket
+        interpolate up to the observed ``max`` (the only honest upper
+        bound a fixed-bucket histogram has).
+        """
+        if not self.count:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count < target:
+                cumulative += bucket_count
+                continue
+            lo = self.boundaries[index - 1] if index > 0 else min(self.min, self.boundaries[0])
+            hi = self.boundaries[index] if index < len(self.boundaries) else self.max
+            lo = max(lo, self.min) if self.min != _INF else lo
+            hi = min(hi, self.max) if self.max != -_INF else hi
+            if hi <= lo:
+                return hi
+            fraction = (target - cumulative) / bucket_count
+            return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+        return self.max if self.max != -_INF else 0.0
+
     def to_json(self) -> Dict[str, object]:
         return {
             "boundaries": list(self.boundaries),

@@ -24,15 +24,19 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro import obs
+from repro.obs import ledger as ledger_mod
 from repro.obs import manifest as manifest_mod
+from repro.obs import profiler
 from repro.obs.metrics import diff_snapshots
 
-__all__ = ["RunRecorder", "TRACE_NAME"]
+__all__ = ["RunRecorder", "TRACE_NAME", "COLLAPSED_NAME", "PROFILE_TRACE_NAME"]
 
 TRACE_NAME = "trace.jsonl"
+COLLAPSED_NAME = "profile.collapsed"
+PROFILE_TRACE_NAME = "profile.trace.json"
 
 
 class RunRecorder:
@@ -53,6 +57,8 @@ class RunRecorder:
         )
         self._metrics_before: Dict[str, Any] = {}
         self._started = False
+        #: Ledger id of the finished run (set by :meth:`finish`).
+        self.run_id: Optional[str] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -74,14 +80,29 @@ class RunRecorder:
         self,
         manifest_update: Optional[Dict[str, Any]] = None,
         health: Optional[Dict[str, Any]] = None,
+        stage_timings: Sequence[Any] = (),
+        profile: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Flush records + summary to ``trace.jsonl``; returns its path."""
+        """Flush records + summary to ``trace.jsonl``; returns its path.
+
+        ``profile`` is a drained :mod:`~repro.obs.profiler` sample-table
+        snapshot.  When the profiler is active and none was passed, the
+        process table is drained here — so the CLI paths get profile
+        artifacts without extra plumbing.  A non-empty profile also writes
+        ``profile.collapsed`` (flamegraph.pl lines) and
+        ``profile.trace.json`` (Chrome trace), and every finish appends
+        the run — manifest identity, stage timings, metrics delta, profile
+        rollup, health — to the ``runs.jsonl`` history ledger.
+        """
         if not self._started:
             self.start()
         metrics_delta = diff_snapshots(self._metrics_before, obs.METRICS.snapshot())
         if manifest_update:
             self.manifest.update(manifest_update)
             manifest_mod.write_manifest(self.run_dir, self.manifest)
+        if profile is None and profiler.ACTIVE:
+            profile = profiler.drain()
+        profile_rollup = profiler.rollup(profile) if profile else None
 
         records = obs.TRACE.drain()
         path = self.run_dir / TRACE_NAME
@@ -104,6 +125,7 @@ class RunRecorder:
                         "health": health,
                         "records": len(records),
                         "dropped": obs.TRACE.dropped,
+                        "profile": profile_rollup,
                     },
                     separators=(",", ":"),
                     default=str,
@@ -111,6 +133,28 @@ class RunRecorder:
                 + "\n"
             )
         os.replace(tmp, path)
+
+        if profile:
+            collapsed = self.run_dir / COLLAPSED_NAME
+            collapsed.write_text(
+                "\n".join(profiler.collapsed_stacks(profile)) + "\n", encoding="utf-8"
+            )
+            chrome = self.run_dir / PROFILE_TRACE_NAME
+            chrome.write_text(
+                json.dumps(profiler.chrome_trace(profile), separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+
+        entry = ledger_mod.make_entry(
+            self.label,
+            self.manifest,
+            stage_timings=stage_timings,
+            metrics=metrics_delta,
+            profile=profile_rollup,
+            health=health,
+        )
+        ledger_mod.append_run(self.run_dir, entry)
+        self.run_id = entry["run_id"]
         return path
 
     def __enter__(self) -> "RunRecorder":

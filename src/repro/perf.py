@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
 __all__ = [
+    "layer_seconds",
     "PerfCounters",
     "RenderCacheConfig",
     "ByteBudgetLRU",
@@ -200,6 +201,20 @@ def diff_snapshots(
         delta["saved_seconds"] = max(0.0, delta["hits"] * mean_miss - delta["hit_seconds"])
         out[name] = delta
     return out
+
+
+def layer_seconds(snapshot: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Measured wall seconds spent inside each cache layer (hit + miss).
+
+    The timed-path complement to the sampling profiler's *statistical*
+    subsystem self-time: the report prints both, and large disagreement on
+    the render layers means the sampler is under-observing (hz too low for
+    the run length) — a cross-check neither side can make alone.
+    """
+    return {
+        layer: float(row.get("hit_seconds", 0.0)) + float(row.get("miss_seconds", 0.0))
+        for layer, row in snapshot.items()
+    }
 
 
 #: Process-global counters every cache layer reports into.

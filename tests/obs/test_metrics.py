@@ -50,6 +50,72 @@ class TestHistogram:
         assert data["min"] == 0.0 and data["max"] == 0.0
 
 
+class TestHistogramQuantiles:
+    """Bucket-derived p50/p95/p99 — the edge cases the ISSUE pins."""
+
+    def test_empty_histogram_returns_zero(self):
+        hist = Histogram((1.0, 2.0))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.99) == 0.0
+
+    def test_single_value_returns_that_value(self):
+        hist = Histogram((1.0, 2.0))
+        for _ in range(3):
+            hist.observe(1.5)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 1.5
+
+    def test_single_bucket_interpolates_between_observed_extremes(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.2)
+        hist.observe(1.8)
+        # The bucket spans (1.0, 2.0] but the estimate never leaves the
+        # observed range.
+        assert hist.quantile(0.0) == 1.2
+        assert hist.quantile(0.5) == 1.5
+        assert hist.quantile(1.0) == 1.8
+
+    def test_all_overflow_interpolates_up_to_observed_max(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (10.0, 20.0, 30.0):
+            hist.observe(value)
+        assert hist.quantile(1.0) == 30.0  # the only honest upper bound
+        assert hist.quantile(0.5) == 20.0  # min..max interpolation
+        assert hist.quantile(0.0) == 10.0
+
+    def test_multi_bucket_walks_cumulative_counts(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.5
+        assert hist.quantile(1.0) == 3.0
+        # Below-first-boundary samples clamp the low edge to the min.
+        assert hist.quantile(0.0) == 0.5
+
+    def test_q_is_clamped_to_unit_interval(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        assert hist.quantile(-3.0) == hist.quantile(0.0)
+        assert hist.quantile(7.0) == hist.quantile(1.0)
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = Histogram()
+        for i in range(50):
+            hist.observe(0.001 * (i + 1) * 7 % 20.0)
+        estimates = [hist.quantile(q / 20.0) for q in range(21)]
+        assert estimates == sorted(estimates)
+        assert hist.min <= estimates[0] and estimates[-1] <= hist.max
+
+    def test_survives_json_round_trip(self):
+        hist = Histogram()
+        for value in (0.003, 0.07, 0.7, 12.0):
+            hist.observe(value)
+        clone = Histogram.from_json(hist.to_json())
+        for q in (0.5, 0.95, 0.99):
+            assert clone.quantile(q) == hist.quantile(q)
+
+
 class TestMetricsRegistry:
     def test_counters_and_gauges(self):
         reg = MetricsRegistry()

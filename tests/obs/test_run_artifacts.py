@@ -18,7 +18,15 @@ from repro.net.faults import FaultConfig, FaultyNetwork
 from repro.obs.__main__ import main as obs_main
 from repro.obs.config import ObsConfig
 from repro.obs.export import to_chrome_trace, validate_chrome_trace
-from repro.obs.inspect import crawl_labels, crawl_totals, load_run, slow_text, summary_text
+from repro.obs.inspect import (
+    crawl_labels,
+    crawl_totals,
+    histogram_rows,
+    load_run,
+    quarantine_rows,
+    slow_text,
+    summary_text,
+)
 from repro.obs.manifest import load_manifest
 from repro.obs.recorder import RunRecorder, resolve_run_dir
 from repro.webgen import build_world
@@ -153,6 +161,127 @@ class TestStudyArtifacts:
     def test_cli_missing_run_exits_2(self, tmp_path, capsys):
         assert obs_main(["summary", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_summary_histogram_percentiles(self, study):
+        """Bucket-derived p50/p95/p99 render for every latency histogram."""
+        _, run_dir = study
+        log = load_run(run_dir)
+        rows = histogram_rows(log)
+        assert rows, "traced study produced no latency histograms"
+        for _name, count, _mean, p50, p95, p99 in rows:
+            assert count > 0
+            assert p50 <= p95 <= p99
+        text = summary_text(log)
+        assert "p50" in text and "p95" in text and "p99" in text
+
+
+class TestDegradedTraceCli:
+    """Satellite: an empty or torn-header trace.jsonl gets an actionable
+    message and exit 2 from every CLI verb — never a traceback."""
+
+    def make_run_dir(self, tmp_path, trace_text):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "trace.jsonl").write_text(trace_text, encoding="utf-8")
+        return run_dir
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        run_dir = self.make_run_dir(tmp_path, "")
+        for argv in (
+            ["summary", str(run_dir)],
+            ["slow", str(run_dir)],
+            ["export-trace", str(run_dir)],
+        ):
+            assert obs_main(argv) == 2
+            err = capsys.readouterr().err
+            assert "error:" in err
+            assert "REPRO_OBS_TRACE=1" in err  # tells the user what to do
+
+    def test_torn_header_only_trace(self, tmp_path, capsys):
+        """A run killed mid-header-write leaves one unparseable line; the
+        CLI must explain, not render an all-zero summary or crash."""
+        run_dir = self.make_run_dir(tmp_path, '{"t": "run", "label": "cra')
+        assert obs_main(["summary", str(run_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "no usable trace records" in err
+
+    def test_whitespace_only_trace(self, tmp_path, capsys):
+        run_dir = self.make_run_dir(tmp_path, "\n\n  \n")
+        assert obs_main(["summary", str(run_dir)]) == 2
+        assert "no usable trace records" in capsys.readouterr().err
+
+    def test_torn_header_with_surviving_records_still_renders(self, tmp_path, capsys):
+        """Only a *fully* unusable log is refused: parseable records after
+        a torn header still produce a summary."""
+        run_dir = self.make_run_dir(
+            tmp_path,
+            '{"t": "run", "label": "cra\n'
+            '{"t": "span", "name": "crawl.shard", "dur": 0.1, "attrs": {}}\n',
+        )
+        assert obs_main(["summary", str(run_dir)]) == 0
+        assert "trace: 1 record(s)" in capsys.readouterr().out
+
+
+class TestQuarantineInSummary:
+    """Satellite: the supervisor's quarantine ledger surfaces in
+    ``obs summary`` and matches ``CrawlDataset.health().quarantined``."""
+
+    FP_PAGE = (
+        "<html><script>var c=document.createElement('canvas');"
+        "c.getContext('2d').fillText('probe',1,1);window.__fp=c.toDataURL();"
+        "</script></html>"
+    )
+
+    def run_chaos(self, tmp_path):
+        from dataclasses import asdict
+
+        from repro.crawler.crawl import CrawlTarget
+        from repro.crawler.supervisor import SupervisorConfig, run_supervised_crawl
+        from repro.net.server import Network
+
+        net = Network()
+        targets = []
+        for i in range(6):
+            domain = f"site-{i}.example"
+            net.server_for(domain).add_resource("/", self.FP_PAGE)
+            targets.append(CrawlTarget(domain, i + 1, "top"))
+        poison = targets[2].domain
+        network = FaultyNetwork(
+            net, FaultConfig(worker_crash_domains=(poison,))
+        )
+        run_dir = tmp_path / "obs"
+        recorder = RunRecorder(run_dir, label="crawl").start()
+        dataset = run_supervised_crawl(
+            network, targets, label="chaos", jobs=2, shards=2,
+            checkpoint_dir=tmp_path / "shards",
+            config=SupervisorConfig(liveness_deadline_s=30.0, poll_interval_s=0.01),
+        )
+        recorder.finish(health=asdict(dataset.health()))
+        return dataset, load_run(run_dir)
+
+    def test_quarantine_rows_match_health(self, traced, tmp_path):
+        dataset, log = self.run_chaos(tmp_path)
+        health = dataset.health()
+        assert health.quarantined == 1
+        count, reasons = quarantine_rows(log)
+        assert count == health.quarantined
+        assert reasons == [("quarantined:exit:137", 1)]
+        # The quarantined site is accounted in the crawl totals too — the
+        # parent records counters for sites whose workers died.
+        totals = crawl_totals(log, "chaos")
+        assert totals["total"] == health.total
+        assert totals["failure_rows"] == tuple(health.failure_rows)
+        assert totals["attempts_histogram"] == health.attempts_histogram
+        text = summary_text(log)
+        assert "quarantined sites: 1" in text
+        assert "quarantined:exit:137" in text
+
+    def test_unquarantined_run_shows_no_quarantine_section(self, traced, tmp_path):
+        recorder = RunRecorder(tmp_path / "run", label="crawl").start()
+        obs.inc("crawler.pages[control]", 2)
+        obs.inc("crawler.pages_ok[control]", 2)
+        recorder.finish()
+        assert "quarantined sites" not in summary_text(load_run(tmp_path / "run"))
 
 
 class TestSampling:
