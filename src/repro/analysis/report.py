@@ -391,6 +391,50 @@ def quarantine_table(result: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def static_analysis_table(result: StudyResult) -> str:
+    """Static/dynamic cross-validation from the ``static`` stage.
+
+    Cross-tabulates every site's most severe static script classification
+    against the dynamic detector's verdict (the agreement matrix), then
+    lists what static analysis sees that execution cannot: fingerprinting
+    classifications recovered on supervisor-quarantined sites the crawler
+    never finished, and static attribution for scripts that died before
+    reaching a canvas readout.  Empty string when the result carries no
+    static report (stage not run, or deserialized from an older run).
+    """
+    report = result.static_verdicts
+    if report is None or not report.total_scripts:
+        return ""
+    lines = [
+        f"{report.total_scripts} distinct scripts analyzed "
+        f"({report.skippable_scripts} provably canvas-inert and skippable)",
+        "script classes: "
+        + ", ".join(
+            f"{name}={count}" for name, count in sorted(report.class_counts.items())
+        ),
+    ]
+    if report.agreement:
+        lines.append(
+            f"{'site static class':22s} {'dynamic fp':>10s} {'dynamic clean':>13s}"
+        )
+        for name in sorted(report.agreement):
+            row = report.agreement[name]
+            lines.append(
+                f"{name:22s} {row.get('dynamic-fp', 0):10d} "
+                f"{row.get('dynamic-clean', 0):13d}"
+            )
+        lines.append(f"static/dynamic agreement: {report.agreement_rate():.1%}")
+    if report.static_only:
+        lines.append("execution-free recoveries on quarantined sites:")
+        for domain, reason, classification in report.static_only:
+            lines.append(f"  {domain:32s} {classification:22s} ({reason})")
+    if report.dead_scripts:
+        lines.append("static attribution for scripts that died before a readout:")
+        for domain, url, classification in report.dead_scripts:
+            lines.append(f"  {domain:24s} {url} -> {classification}")
+    return "\n".join(lines)
+
+
 def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figures: bool = True) -> str:
     """Render the complete study: tables, figures, paper-vs-measured."""
     sections: List[str] = []
@@ -440,6 +484,10 @@ def study_report(result: StudyResult, paper: PaperTargets = PAPER, include_figur
     quarantine = quarantine_table(result)
     if quarantine:
         sections.append("== Quarantined sites ==\n" + quarantine)
+
+    static = static_analysis_table(result)
+    if static:
+        sections.append("== Static/dynamic cross-validation ==\n" + static)
 
     _, t1 = table1(result)
     sections.append("== Table 1: sites linked to each vendor ==\n" + t1)

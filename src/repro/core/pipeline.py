@@ -46,6 +46,7 @@ from repro.core.detection import DetectionOutcome, FingerprintDetector
 from repro.core.evasion import AdblockImpact, ServingContext, render_twice_fraction
 from repro.core.prevalence import PrevalenceReport
 from repro.core.reach import ReachReport
+from repro.core.reducers import StaticReport
 from repro.core.stages.cache import StageCache
 from repro.core.stages.stage import StageTiming
 from repro.core.stages.study import StudyContext, build_study_graph
@@ -160,6 +161,11 @@ class StudyResult:
     adblock_rows: Tuple[AdblockImpact, ...] = ()
     render_twice: float = 0.0
     cross_machine_consistent: Optional[bool] = None
+    #: Static script verdicts + static/dynamic cross-validation (the
+    #: ``static`` stage): per-script classifications, the agreement matrix
+    #: against the dynamic detector, and execution-free recoveries on
+    #: quarantined sites.
+    static_verdicts: Optional[StaticReport] = None
     #: How each pipeline stage executed (wall time, cache hit or ran).
     #: Excluded from equality: a cached run must compare equal to an
     #: uncached one when the science is the same.
@@ -222,6 +228,7 @@ def run_study(
     obs_dir: Optional[Union[str, Path]] = None,
     supervisor: Optional[SupervisorConfig] = None,
     js_prewarm: Optional[Sequence[str]] = None,
+    static_triage: Optional[bool] = None,
 ) -> StudyResult:
     """Run the full measurement study over a network.
 
@@ -260,6 +267,13 @@ def run_study(
     compilation is exactly transparent, so it shifts ``js.cache`` counters
     and latency, never the artifacts.
 
+    ``static_triage`` opts every crawl worker into static-analysis triage:
+    scripts the analyzer proves canvas-inert and effect-free toward the rest
+    of the page are deferred and never executed.  ``None`` honours the
+    ``REPRO_JS_STATIC_TRIAGE`` environment variable.  A third pure execution
+    knob: datasets are byte-identical with triage on or off; only the
+    ``js.static.triage`` counters and crawl latency move.
+
     ``obs_dir`` names the directory that receives this run's observability
     artifacts (``manifest.json`` + ``trace.jsonl``, inspectable with
     ``python -m repro.obs``).  Falls back to ``REPRO_OBS_DIR``, then — when
@@ -296,6 +310,7 @@ def run_study(
         checkpoint_dir=Path(cache_dir) / "shards" if cache_dir is not None else None,
         supervisor=supervisor,
         js_prewarm=js_prewarm,
+        static_triage=static_triage,
     )
     graph = build_study_graph(ctx, cache=cache)
 
@@ -370,6 +385,7 @@ def _assemble_result(ctx: StudyContext, run) -> StudyResult:
     result.serving_context = artifacts.get("serving_context")
     result.adblock_rows = tuple(artifacts.get("adblock_rows", ()))
     result.cross_machine_consistent = artifacts.get("cross_machine")
+    result.static_verdicts = artifacts.get("static")
     return result
 
 

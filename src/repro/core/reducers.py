@@ -63,6 +63,8 @@ __all__ = [
     "FpjsReducer",
     "RenderTwiceReducer",
     "AdblockRowReducer",
+    "StaticReport",
+    "StaticReducer",
     "BundleSpec",
     "AnalysisBundle",
     "AnalysisFold",
@@ -539,6 +541,176 @@ class AdblockRowReducer(Reducer):
 
     def finalize(self) -> AdblockImpact:
         return AdblockImpact(label=self.label, canvases=self.canvases, sites=self.sites)
+
+
+# -- static/dynamic cross-validation ------------------------------------------------
+
+
+#: Site-level severity order for the static classes: a site's static class
+#: is the most severe class among its scripts.
+_STATIC_SEVERITY = {
+    "inert": 0,
+    "parse-error": 1,
+    "canvas-benign": 2,
+    "canvas-unknown": 3,
+    "fingerprinting-likely": 4,
+}
+
+
+@dataclass(frozen=True)
+class StaticReport:
+    """The ``static`` stage's artifact: script verdicts + the cross-tab.
+
+    ``agreement`` is the static-vs-dynamic matrix over sites both passes
+    saw: static site class (most severe script class) against whether the
+    dynamic §3.2 detector flagged the site.  ``static_only`` carries the
+    execution-free recoveries: quarantined/failed sites whose scripts the
+    static pass still classified (the dynamic pass saw nothing there).
+    ``dead_scripts`` is static attribution for scripts whose dynamic run
+    died (a per-script error row) yet statically look fingerprinting-likely.
+    """
+
+    #: One row per distinct script body, sorted most-severe-class first.
+    script_rows: Tuple[Dict[str, Any], ...] = ()
+    #: classification -> number of distinct script bodies.
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    #: static site class -> {"dynamic-fp": n, "dynamic-clean": n}.
+    agreement: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: (domain, script_url, classification) for dynamically-dead scripts.
+    dead_scripts: Tuple[Tuple[str, str, str], ...] = ()
+    #: (domain, failure_reason, classification) recovered without execution.
+    static_only: Tuple[Tuple[str, str, str], ...] = ()
+    #: Distinct script bodies the triage would skip at crawl time.
+    skippable_scripts: int = 0
+
+    @property
+    def total_scripts(self) -> int:
+        return len(self.script_rows)
+
+    def agreement_rate(self) -> float:
+        """Fraction of dynamically-decided sites where the passes agree
+        (static fingerprinting-likely <=> dynamic fingerprinting)."""
+        agree = 0
+        total = 0
+        for static_class, row in self.agreement.items():
+            fp = row.get("dynamic-fp", 0)
+            clean = row.get("dynamic-clean", 0)
+            total += fp + clean
+            agree += fp if static_class == "fingerprinting-likely" else clean
+        return agree / total if total else 0.0
+
+
+class StaticReducer(Reducer):
+    """Static verdicts for every crawled script + static/dynamic cross-tab.
+
+    Runs :func:`repro.js.static.verdict_for_source` over each observation's
+    recorded script sources — content-addressed, so the thousands of copies
+    of one vendor script cost one analysis — and accumulates per-script and
+    per-site state whose merge is set/dict union (associative, commutative
+    over disjoint site sets like every other reducer here).
+    """
+
+    def __init__(self, detector: Optional[FingerprintDetector] = None) -> None:
+        super().__init__(detector)
+        #: sha -> mutable row: verdict fields + the urls/domains seen with it.
+        self.scripts: Dict[str, Dict[str, Any]] = {}
+        self.site_class: Dict[str, str] = {}
+        #: domain -> dynamic is_fingerprinting_site (decided sites only).
+        self.dynamic_fp: Dict[str, bool] = {}
+        self.dead: List[Tuple[str, str, str]] = []
+        #: Execution-free recoveries, added by the stage's fetch probes.
+        self.recovered: List[Tuple[str, str, str]] = []
+
+    def ingest_site(self, observation, outcome) -> None:
+        from repro.js.static import verdict_for_source
+
+        site_rank = -1
+        site_class = None
+        for url in sorted(observation.script_sources):
+            source = observation.script_sources[url]
+            verdict = verdict_for_source(source, url)
+            self._add_script(verdict, url, observation.domain)
+            rank = _STATIC_SEVERITY.get(verdict.classification, 0)
+            if rank > site_rank:
+                site_rank, site_class = rank, verdict.classification
+            if verdict.classification == "fingerprinting-likely" and any(
+                error.startswith(f"{url}:") for error in observation.script_errors
+            ):
+                # The dynamic run of this script died; the static verdict is
+                # the only attribution signal left for it.
+                self.dead.append((observation.domain, url, verdict.classification))
+        if site_class is not None:
+            self.site_class[observation.domain] = site_class
+        if observation.success and outcome is not None:
+            self.dynamic_fp[observation.domain] = outcome.is_fingerprinting_site
+        obs_layer.inc("static.sites")
+
+    def _add_script(self, verdict, url: str, domain: str) -> None:
+        row = self.scripts.get(verdict.sha)
+        if row is None:
+            row = verdict.to_row()
+            row["urls"] = set()
+            row["domains"] = set()
+            self.scripts[verdict.sha] = row
+            obs_layer.inc("static.scripts.distinct")
+        row["urls"].add(url)
+        row["domains"].add(domain)
+
+    def add_recovery(self, domain: str, reason: str, classification: str) -> None:
+        """Record one execution-free (fetch-probe) site recovery."""
+        self.recovered.append((domain, reason, classification))
+
+    def merge(self, other: "StaticReducer") -> "StaticReducer":
+        for sha, theirs in other.scripts.items():
+            mine = self.scripts.get(sha)
+            if mine is None:
+                self.scripts[sha] = theirs
+            else:
+                mine["urls"] |= theirs["urls"]
+                mine["domains"] |= theirs["domains"]
+        self.site_class.update(other.site_class)
+        self.dynamic_fp.update(other.dynamic_fp)
+        self.dead.extend(other.dead)
+        self.recovered.extend(other.recovered)
+        return self
+
+    def finalize(self) -> StaticReport:
+        rows = []
+        class_counts: Dict[str, int] = {}
+        skippable = 0
+        for sha in self.scripts:
+            row = dict(self.scripts[sha])
+            row["urls"] = sorted(row["urls"])
+            row["sites"] = len(row.pop("domains"))
+            rows.append(row)
+            cls = row["classification"]
+            class_counts[cls] = class_counts.get(cls, 0) + 1
+            if row["skippable"]:
+                skippable += 1
+        rows.sort(
+            key=lambda r: (
+                -_STATIC_SEVERITY.get(r["classification"], 0),
+                -r["sites"],
+                r["sha"],
+            )
+        )
+        agreement: Dict[str, Dict[str, int]] = {}
+        for domain, dynamic in self.dynamic_fp.items():
+            static_class = self.site_class.get(domain)
+            if static_class is None:
+                continue
+            row = agreement.setdefault(
+                static_class, {"dynamic-fp": 0, "dynamic-clean": 0}
+            )
+            row["dynamic-fp" if dynamic else "dynamic-clean"] += 1
+        return StaticReport(
+            script_rows=tuple(rows),
+            class_counts=class_counts,
+            agreement=agreement,
+            dead_scripts=tuple(sorted(set(self.dead))),
+            static_only=tuple(sorted(set(self.recovered))),
+            skippable_scripts=skippable,
+        )
 
 
 # -- bundle: one detection pass feeding every member --------------------------------

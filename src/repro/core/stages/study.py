@@ -93,6 +93,7 @@ STAGE_DOCS = {
     "crawl.ubo": "recrawl under uBlock Origin (Table 2)",
     "adblock_rows": "ad-blocker impact comparison (Table 2)",
     "cross_machine": "cross-device consistency validation (§3.1)",
+    "static": "static script verdicts + static/dynamic cross-validation",
 }
 
 
@@ -134,6 +135,11 @@ class StudyContext:
     #: an execution knob: compilation is exactly transparent, so prewarming
     #: changes page-load latency and ``js.cache`` counters, never the dataset.
     js_prewarm: Optional[Sequence[str]] = None
+    #: Crawl-time static triage (skip execution of provably inert scripts).
+    #: An execution knob like ``jobs``: triage-on datasets are byte-identical
+    #: to triage-off, so it never enters a cache key.  ``None`` honours
+    #: ``REPRO_JS_STATIC_TRIAGE``.
+    static_triage: Optional[bool] = None
 
     _network_fp: Optional[str] = field(default=None, repr=False, compare=False)
     #: Crawl-stage name -> merged AnalysisBundle folded live during the crawl
@@ -242,6 +248,7 @@ class CrawlStage(Stage):
             supervisor=ctx.supervisor,
             fold=fold,
             js_prewarm=ctx.js_prewarm,
+            static_triage=ctx.static_triage,
         )
         if fold is not None:
             ctx._live_bundles[self.name] = fold.merge(dataset)
@@ -470,6 +477,89 @@ class AdblockCompareStage(Stage):
         )
 
 
+class StaticStage(Stage):
+    """Static script verdicts + static/dynamic cross-validation.
+
+    Runs the static analyzer over every script source the control crawl
+    recorded and cross-tabulates the resulting classes against the dynamic
+    §3.2 outcomes.  For sites the supervisor quarantined — where the
+    dynamic pass saw *nothing* — it additionally performs execution-free
+    fetch probes: fetch the document and its external scripts over the
+    synthetic network, parse, and classify statically.  No JS executes, so
+    probing a poison site cannot kill this stage the way it killed its
+    crawl workers.
+    """
+
+    name = "static"
+    inputs = ("crawl.control", "detect")
+    version = "1"
+
+    def config_fingerprint(self, ctx: StudyContext) -> Any:
+        from repro.js.static import ANALYZER_VERSION
+
+        return {
+            "analyzer": ANALYZER_VERSION,
+            # Fetch probes read the network, so its content is part of the
+            # artifact identity (the crawl dataset alone is not enough).
+            "network": ctx.network_fingerprint(),
+        }
+
+    def run(self, ctx: StudyContext, inputs: Dict[str, Any]) -> Any:
+        from repro.core.reducers import StaticReducer
+
+        control = inputs["crawl.control"]
+        outcomes = inputs["detect"]
+        reducer = StaticReducer(ctx.detector)
+        with obs_layer.span("static.analyze", sites=len(control.observations)):
+            for observation in control.observations:
+                reducer.ingest_site(observation, outcomes.get(observation.domain))
+        for domain, reason in sorted(control.quarantined_sites().items()):
+            classification = self._probe(ctx, domain)
+            if classification is not None:
+                reducer.add_recovery(domain, reason, classification)
+                obs_layer.inc("static.recoveries")
+        return reducer.finalize()
+
+    @staticmethod
+    def _probe(ctx: StudyContext, domain: str) -> Optional[str]:
+        """Fetch-only static class for one uncrawlable site (no JS runs)."""
+        from repro.core.reducers import _STATIC_SEVERITY
+        from repro.dom.html import parse_html
+        from repro.js.static import verdict_for_source
+        from repro.net.http import Request, ResourceType
+        from repro.net.url import URL
+
+        try:
+            url = URL("https", domain)
+            response = ctx.network.fetch(
+                Request(url=url, resource_type=ResourceType.DOCUMENT)
+            )
+            if not response.ok:
+                return None
+            best_rank, best = -1, None
+            for ref in parse_html(response.body).scripts:
+                if ref.is_inline:
+                    source = ref.source
+                else:
+                    fetched = ctx.network.fetch(
+                        Request(
+                            url=url.join(ref.src),
+                            resource_type=ResourceType.SCRIPT,
+                            document_url=url,
+                        )
+                    )
+                    if not fetched.ok:
+                        continue
+                    source = fetched.body
+                verdict = verdict_for_source(source, str(url))
+                rank = _STATIC_SEVERITY.get(verdict.classification, 0)
+                if rank > best_rank:
+                    best_rank, best = rank, verdict.classification
+            return best
+        except Exception:  # noqa: BLE001 — a probe must never fail the stage
+            return None
+
+
 class CrossMachineStage(Stage):
     """§3.1 cross-device consistency over a sample of the target list."""
 
@@ -526,6 +616,7 @@ def build_study_graph(
         SignaturesStage(),
         AttributionStage(),
         ServingContextStage(),
+        StaticStage(),
     ]
     if ctx.wants_blocklist_context:
         stages.append(BlocklistContextStage())

@@ -132,7 +132,7 @@ def _crawl_shard_worker(payload):
     """
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
      checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec,
-     js_prewarm) = payload
+     js_prewarm, static_triage) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
@@ -154,6 +154,7 @@ def _crawl_shard_worker(payload):
         dataset = _crawl_one_shard(
             network, targets, profile, label, retry_policy, page_budget,
             inner_paths, checkpoint, resume, progress=None,
+            static_triage=static_triage,
         )
     records = [observation.to_json() for observation in dataset.observations]
     # Fold the shard's analysis partial *before* draining the obs delta, so
@@ -177,6 +178,7 @@ def _crawl_one_shard(
     checkpoint: Optional[Path],
     resume: bool,
     progress: Optional[Callable[[int, SiteObservation], None]],
+    static_triage: Optional[bool] = None,
 ) -> CrawlDataset:
     if checkpoint is not None:
         return resume_crawl(
@@ -190,6 +192,7 @@ def _crawl_one_shard(
             retry_policy=retry_policy,
             page_budget=page_budget,
             resume=resume,
+            static_triage=static_triage,
         )
     return run_crawl(
         network,
@@ -200,6 +203,7 @@ def _crawl_one_shard(
         inner_paths=inner_paths,
         retry_policy=retry_policy,
         page_budget=page_budget,
+        static_triage=static_triage,
     )
 
 
@@ -219,6 +223,7 @@ def run_sharded_crawl(
     supervisor: Optional["SupervisorConfig"] = None,
     fold: Optional["AnalysisFold"] = None,
     js_prewarm: Optional[Sequence[str]] = None,
+    static_triage: Optional[bool] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` over ``jobs`` workers and merge the shard datasets.
 
@@ -270,6 +275,7 @@ def run_sharded_crawl(
             config=supervisor,
             fold=fold,
             js_prewarm=js_prewarm,
+            static_triage=static_triage,
         )
     jobs = max(1, jobs)
     n_shards = shards if shards is not None else jobs
@@ -290,6 +296,7 @@ def run_sharded_crawl(
             inner_paths=inner_paths,
             retry_policy=retry_policy,
             page_budget=page_budget,
+            static_triage=static_triage,
         )
         if fold is not None:
             fold.fold_dataset(dataset)
@@ -316,6 +323,7 @@ def run_sharded_crawl(
                 shard_dataset = _crawl_one_shard(
                     network, shard, profile, label, retry_policy, page_budget,
                     inner_paths, checkpoints[index], resume, progress,
+                    static_triage=static_triage,
                 )
                 if fold is not None:
                     fold.fold_dataset(shard_dataset)
@@ -325,7 +333,8 @@ def run_sharded_crawl(
         payloads = [
             (network, shard, profile, label, retry_policy, page_budget,
              inner_paths, checkpoints[index], resume, perf.current_config(),
-             obs.config(), f"shard-{index}", fold_spec, js_prewarm)
+             obs.config(), f"shard-{index}", fold_spec, js_prewarm,
+             static_triage)
             for index, shard in enumerate(planned)
         ]
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(planned)))

@@ -240,7 +240,7 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
 
     (network, targets, profile, label, retry_policy, page_budget, inner_paths,
      checkpoint, resume, perf_config, obs_config, shard_tid, fold_spec,
-     js_prewarm) = payload
+     js_prewarm, static_triage) = payload
     perf.configure(perf_config)
     obs.configure(obs_config)
     obs.set_worker_label(shard_tid)
@@ -263,6 +263,7 @@ def _supervised_shard_worker(payload, heartbeat_path: Path, result_path: Path) -
         dataset = _crawl_one_shard(
             network, targets, profile, label, retry_policy, page_budget,
             inner_paths, checkpoint, resume, progress=beat,
+            static_triage=static_triage,
         )
     records = [observation.to_json() for observation in dataset.observations]
     # Fold before draining the obs delta so analysis counters ship with it.
@@ -367,7 +368,7 @@ class _Supervisor:
                  page_budget: Optional[PageBudget], inner_paths: tuple,
                  resume: bool, config: SupervisorConfig, scratch: Path,
                  ledger: QuarantineLedger, jobs: int, fold=None,
-                 js_prewarm=None) -> None:
+                 js_prewarm=None, static_triage=None) -> None:
         self.network = network
         self.profile = profile
         self.label = label
@@ -392,6 +393,8 @@ class _Supervisor:
         self.fold = fold
         #: Script sources each worker compiles before its first page load.
         self.js_prewarm = tuple(js_prewarm) if js_prewarm else None
+        #: Static-triage knob forwarded verbatim to every worker's Browser.
+        self.static_triage = static_triage
         self.respawns = 0
         self.spawned = 0
 
@@ -424,6 +427,7 @@ class _Supervisor:
             f"shard-{task.shard_id}",
             self.fold.spec if self.fold is not None else None,
             self.js_prewarm,
+            self.static_triage,
         )
         process = self.mp.Process(
             target=_supervised_shard_worker,
@@ -634,6 +638,7 @@ def run_supervised_crawl(
     config: Optional[SupervisorConfig] = None,
     fold=None,
     js_prewarm: Optional[Sequence[str]] = None,
+    static_triage: Optional[bool] = None,
 ) -> CrawlDataset:
     """Crawl ``targets`` under supervised worker processes.
 
@@ -672,7 +677,7 @@ def run_supervised_crawl(
         supervisor = _Supervisor(
             network, profile, label, retry_policy, page_budget, inner_paths,
             resume, config, directory, ledger, jobs, fold=fold,
-            js_prewarm=js_prewarm,
+            js_prewarm=js_prewarm, static_triage=static_triage,
         )
         tasks = [
             _ShardTask(

@@ -1,0 +1,226 @@
+"""Static verdicts: classification, signatures, and the content-addressed
+verdict cache.
+
+A :class:`StaticVerdict` is the whole static subsystem's output for one
+script *source* — it depends on nothing but the bytes, so it is cached in a
+byte-budget LRU keyed by ``(sha256(source), ANALYZER_VERSION)`` beside the
+compiled-program cache, and two scripts served at different URLs with the
+same body share one entry.
+
+The fingerprinting-likelihood class mirrors the dynamic detector's §3.2
+heuristics statically: a readout in a lossy encoding, from a canvas whose
+literal dimensions fall below ``MIN_CANVAS_SIZE``, or from an animated
+canvas (``save``/``restore`` / ``requestAnimationFrame``) is excluded, and
+only an unexcluded readout following text or geometry drawing makes a
+script ``fingerprinting-likely``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro import perf
+from repro.js import nodes as N
+from repro.js.errors import JSError, JSThrow
+from repro.js.parser import parse
+from repro.js.static.analyzer import Analysis, analyze_program
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "CLASS_PARSE_ERROR",
+    "CLASS_INERT",
+    "CLASS_BENIGN",
+    "CLASS_UNKNOWN",
+    "CLASS_FP_LIKELY",
+    "StaticVerdict",
+    "classify",
+    "verdict_for_source",
+]
+
+#: Bumped whenever the analyzer's semantics change: part of the cache key,
+#: so stale verdicts can never survive an analyzer upgrade.
+ANALYZER_VERSION = "1"
+
+CLASS_PARSE_ERROR = "parse-error"
+CLASS_INERT = "inert"
+CLASS_BENIGN = "canvas-benign"
+CLASS_UNKNOWN = "canvas-unknown"
+CLASS_FP_LIKELY = "fingerprinting-likely"
+
+#: Host calls a triage-skippable script may perform (pure, total, and
+#: invisible to every other script on the page).  ``Math.*`` is matched by
+#: prefix.
+_SKIP_PURE_CALLS = {
+    "performance.now", "JSON.stringify", "JSON.parse",
+    "parseInt", "parseFloat", "isNaN", "isFinite",
+}
+
+_BANNER_RE = re.compile(r"/\*!?(.*?)\*/", re.DOTALL)
+_STRING_RE = re.compile(r"'([^'\n]{12,})'|\"([^\"\n]{12,})\"")
+_MAX_CONSTANTS = 8
+
+
+@dataclass(frozen=True)
+class StaticVerdict:
+    """Everything the static pass can say about one script source."""
+
+    sha: str
+    classification: str
+    api_profile: Tuple[str, ...] = ()
+    taint_paths: Tuple[Tuple[str, str], ...] = ()
+    signature: Tuple[str, ...] = ()
+    readout_count: int = 0
+    excluded: Tuple[str, ...] = ()
+    skippable: bool = False
+    skip_blockers: Tuple[str, ...] = ()
+    global_writes: Tuple[str, ...] = ()
+    global_reads: Tuple[str, ...] = ()
+    reads_top: bool = False
+    step_bound: int = 0
+    parse_error: Optional[str] = None
+
+    def to_row(self) -> Dict[str, object]:
+        """A JSON-friendly flat row for datasets and reducers."""
+        return {
+            "sha": self.sha,
+            "classification": self.classification,
+            "api_profile": list(self.api_profile),
+            "taint_paths": [list(p) for p in self.taint_paths],
+            "signature": list(self.signature),
+            "readout_count": self.readout_count,
+            "excluded": list(self.excluded),
+            "skippable": self.skippable,
+            "parse_error": self.parse_error,
+        }
+
+
+def _signature(source: str) -> Tuple[str, ...]:
+    """Constant-string signature: the banner comment (vendor SDKs ship
+    copyright headers) plus the longest embedded string constants."""
+    parts = []
+    banner = _BANNER_RE.search(source)
+    if banner is not None:
+        text = " ".join(banner.group(1).split())
+        if text:
+            parts.append(text[:160])
+    constants = []
+    for match in _STRING_RE.finditer(source):
+        constants.append(match.group(1) or match.group(2))
+    constants = sorted(set(constants), key=lambda s: (-len(s), s))[:_MAX_CONSTANTS]
+    return tuple(parts + constants)
+
+
+def _skip_blockers(analysis: Analysis) -> Tuple[str, ...]:
+    """Why this script may NOT be skipped by the crawl-time triage.
+
+    Empty means the triage proved the script (a) cannot reach any canvas
+    API, (b) cannot throw, (c) terminates within the step cap, and (d)
+    performs only pure whitelisted host calls — so the only trace it leaves
+    is its global writes, which the triage tracks separately.
+    """
+    blockers = []
+    if analysis.canvas_mention:
+        blockers.append("mentions a canvas API")
+    if analysis.may_throw():
+        blockers.append(f"may throw: {analysis.throw_reasons[0]}")
+    if not analysis.terminating():
+        reason = analysis.nonterm_reasons[0] if analysis.nonterm_reasons else "step bound exceeded"
+        blockers.append(f"unproven termination: {reason}")
+    impure = sorted(
+        call for call in analysis.host_calls
+        if call not in _SKIP_PURE_CALLS and not call.startswith("Math.")
+    )
+    if impure:
+        blockers.append(f"impure host calls: {', '.join(impure[:4])}")
+    if analysis.reads_top:
+        blockers.append("reads an unbounded set of globals")
+    return tuple(blockers)
+
+
+def classify(analysis: Analysis) -> Tuple[str, Tuple[str, ...]]:
+    """Map one analysis to a likelihood class + the exclusions that fired."""
+    if not analysis.canvas_mention:
+        return CLASS_INERT, ()
+    if not analysis.readouts:
+        if analysis.text_draws or analysis.geometry_draws:
+            return CLASS_BENIGN, ("no-readout",)
+        return CLASS_UNKNOWN, ()
+    live = []
+    excluded = []
+    for site in analysis.readouts:
+        reasons = site.excluded(analysis.animated)
+        if reasons:
+            excluded.extend(reasons)
+        else:
+            live.append(site)
+    if not live:
+        return CLASS_BENIGN, tuple(sorted(set(excluded)))
+    for site in live:
+        text, geometry = site.draws(analysis)
+        if text or geometry:
+            return CLASS_FP_LIKELY, tuple(sorted(set(excluded)))
+    return CLASS_UNKNOWN, tuple(sorted(set(excluded)))
+
+
+def _build_verdict(source: str, sha: str, script_url: str) -> StaticVerdict:
+    try:
+        program = parse(source, script=script_url)
+        analysis = analyze_program(program)
+    except (JSError, JSThrow, RecursionError) as exc:
+        return StaticVerdict(
+            sha=sha,
+            classification=CLASS_PARSE_ERROR,
+            signature=_signature(source),
+            skip_blockers=("parse error",),
+            reads_top=True,
+            parse_error=f"{type(exc).__name__}: {exc}"[:200],
+        )
+    classification, excluded = classify(analysis)
+    blockers = _skip_blockers(analysis)
+    return StaticVerdict(
+        sha=sha,
+        classification=classification,
+        api_profile=tuple(sorted(analysis.api_profile)),
+        taint_paths=tuple(sorted(analysis.taint_paths)),
+        signature=_signature(source),
+        readout_count=len(analysis.readouts),
+        excluded=excluded,
+        skippable=not blockers,
+        skip_blockers=blockers,
+        global_writes=tuple(sorted(analysis.global_writes)),
+        global_reads=tuple(sorted(analysis.global_reads)),
+        reads_top=analysis.reads_top,
+        step_bound=analysis.step_bound,
+    )
+
+
+#: Content-addressed verdict cache, beside the compiled-program cache.
+_VERDICT_CACHE = perf.ByteBudgetLRU("js.static", "static_cache_bytes")
+
+
+def _verdict_nbytes(verdict: StaticVerdict) -> int:
+    size = 200
+    for value in (verdict.api_profile, verdict.signature, verdict.global_writes,
+                  verdict.global_reads, verdict.excluded, verdict.skip_blockers):
+        size += sum(len(s) + 16 for s in value)
+    size += sum(len(a) + len(b) + 16 for a, b in verdict.taint_paths)
+    return size
+
+
+def verdict_for_source(source: str, script_url: str = "<anonymous>") -> StaticVerdict:
+    """The cached static verdict for one script body."""
+    sha = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+    key = (sha, ANALYZER_VERSION)
+    cached = _VERDICT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    started = time.perf_counter()
+    verdict = _build_verdict(source, sha, script_url)
+    _VERDICT_CACHE.put(
+        key, verdict, _verdict_nbytes(verdict), time.perf_counter() - started
+    )
+    return verdict

@@ -72,6 +72,10 @@ class RenderCacheConfig:
     #: (:mod:`repro.js.compiler`).  Execution mode itself is gated by
     #: ``REPRO_JS_COMPILE``, not by ``enabled``.
     js_cache_bytes: int = 64 * _MB
+    #: Static-analysis verdicts keyed by source digest + analyzer version
+    #: (:mod:`repro.js.static`).  Triage itself is gated by
+    #: ``REPRO_JS_STATIC_TRIAGE``, not by ``enabled``.
+    static_cache_bytes: int = 16 * _MB
 
     @classmethod
     def from_env(cls, env: Optional[Dict[str, str]] = None) -> "RenderCacheConfig":
@@ -86,7 +90,7 @@ class RenderCacheConfig:
         toggle = env.get("REPRO_RENDER_CACHE")
         if toggle is not None:
             kwargs["enabled"] = toggle.strip().lower() not in ("0", "false", "off", "no")
-        for name in ("render", "glyph", "path", "encode", "js"):
+        for name in ("render", "glyph", "path", "encode", "js", "static"):
             raw = env.get(f"REPRO_RENDER_CACHE_{name.upper()}_MB")
             if raw is not None:
                 try:

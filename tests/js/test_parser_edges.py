@@ -1,0 +1,158 @@
+"""Parser/engine edge cases surfaced by the static-analysis work.
+
+Real vendor scripts exercise all four shapes below; the static CFG pass
+must agree with the engine on every one of them, so each case is pinned
+here at the parser level and end-to-end through the interpreter.
+"""
+
+from repro.js import Interpreter
+from repro.js import nodes as N
+from repro.js.parser import parse
+
+
+def run(src):
+    return Interpreter().run(src)
+
+
+class TestNestedFunctionRedeclaration:
+    def test_last_declaration_wins(self):
+        assert (
+            run(
+                "function f() {"
+                "  function g() { return 1; }"
+                "  function g() { return 2; }"
+                "  return g();"
+                "} f();"
+            )
+            == 2.0
+        )
+
+    def test_redeclaration_hoists_before_first_call(self):
+        # Both declarations hoist; a call before either body line sees the
+        # last one, exactly like a real engine.
+        assert (
+            run(
+                "function h() {"
+                "  var r = g();"
+                "  function g() { return 'first'; }"
+                "  function g() { return 'last'; }"
+                "  return r;"
+                "} h();"
+            )
+            == "last"
+        )
+
+    def test_top_level_redeclaration(self):
+        assert run("function t() { return 'a'; } function t() { return 'b'; } t();") == "b"
+
+    def test_parser_keeps_both_declarations(self):
+        block = parse("function d(){ function e(){} function e(){} }").body[0].body
+        inner = [s for s in block.body if isinstance(s, N.FunctionDeclaration)]
+        assert [f.name for f in inner] == ["e", "e"]
+
+
+class TestUnreachableCode:
+    def test_statements_after_return_do_not_run(self):
+        # `missing.deref` would throw if reached.
+        assert run("function f() { return 1; var boom = missing.deref; } f();") == 1.0
+
+    def test_statements_after_throw_do_not_run(self):
+        assert (
+            run(
+                "var hit = 0;"
+                "try { throw 'x'; hit = 1; } catch (e) {}"
+                "hit;"
+            )
+            == 0.0
+        )
+
+    def test_unreachable_var_still_hoists(self):
+        # Declaration hoists even when the assignment is dead.
+        assert (
+            run(
+                "function f() { return typeof later; var later = 1; } f();"
+            )
+            == "undefined"
+        )
+
+    def test_parser_accepts_dead_statements(self):
+        block = parse("function f() { return 1; dead(); }").body[0].body
+        assert isinstance(block.body[0], N.ReturnStatement)
+        assert isinstance(block.body[1], N.ExpressionStatement)
+
+
+class TestForEmptyClauses:
+    def test_all_clauses_empty(self):
+        assert run("var n = 0; for (;;) { n++; if (n > 3) break; } n;") == 4.0
+
+    def test_missing_init_and_update(self):
+        assert run("var i = 0; for (; i < 3;) { i++; } i;") == 3.0
+
+    def test_missing_test_with_break(self):
+        assert (
+            run("var s = 0; for (var i = 0;; i++) { if (i >= 4) break; s += i; } s;")
+            == 6.0
+        )
+
+    def test_parser_leaves_empty_clauses_none(self):
+        stmt = parse("for (;;) { break; }").body[0]
+        assert isinstance(stmt, N.ForStatement)
+        assert stmt.init is None and stmt.test is None and stmt.update is None
+
+    def test_continue_in_empty_clause_loop(self):
+        assert (
+            run(
+                "var odd = 0;"
+                "for (var i = 0;; i++) {"
+                "  if (i >= 6) break;"
+                "  if (i % 2 === 0) continue;"
+                "  odd++;"
+                "} odd;"
+            )
+            == 3.0
+        )
+
+
+class TestLogicalShortCircuitStatement:
+    def test_and_guard_statement(self):
+        assert (
+            run(
+                "var calls = 0;"
+                "function inc() { calls++; }"
+                "false && inc();"
+                "true && inc();"
+                "calls;"
+            )
+            == 1.0
+        )
+
+    def test_or_default_statement(self):
+        assert run("var x; x || (x = 'set'); x || (x = 'again'); x;") == "set"
+
+    def test_guard_prevents_throw(self):
+        # The classic feature-detect idiom: the RHS would throw when the
+        # guard is falsy, so short-circuiting is load-bearing.
+        assert (
+            run(
+                "var obj = null;"
+                "obj && obj.method();"
+                "'survived';"
+            )
+            == "survived"
+        )
+
+    def test_parses_as_expression_statement(self):
+        stmt = parse("a && b();").body[0]
+        assert isinstance(stmt, N.ExpressionStatement)
+        assert isinstance(stmt.expression, N.LogicalOp)
+
+    def test_chained_guards(self):
+        assert (
+            run(
+                "var w = {canvas: {draw: function() { return 'drew'; }}};"
+                "var out = '';"
+                "w && w.canvas && (out = w.canvas.draw());"
+                "out;"
+            )
+            == "drew"
+        )

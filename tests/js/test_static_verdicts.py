@@ -1,0 +1,95 @@
+"""Static-verdict gate over the study's real script corpus.
+
+The acceptance bar from the static-analysis issue: every one of the 13
+vendor fingerprinting scripts must classify ``fingerprinting-likely``
+purely statically, and every benign-canvas / animation script must land in
+``canvas-benign`` or ``canvas-unknown`` — never ``fingerprinting-likely``.
+CI runs this module as its own job, so a classifier regression on any
+single vendor fails loudly by name.
+"""
+
+import pytest
+
+from repro.js.static import (
+    CLASS_BENIGN,
+    CLASS_FP_LIKELY,
+    CLASS_INERT,
+    CLASS_UNKNOWN,
+    verdict_for_source,
+)
+from repro.webgen import scripts as S
+from repro.webgen.vendors import VENDOR_SPECS
+
+
+def vendor_sources():
+    for spec in VENDOR_SPECS:
+        source = spec.source("customer.example") if spec.per_site else spec.source()
+        yield spec.name, source
+
+
+VENDORS = list(vendor_sources())
+
+#: Benign corpus: canvas users the paper's §3.2 exclusions clear.
+BENIGN = [
+    ("webp-check", S.webp_check_script()),
+    ("emoji-check", S.emoji_check_script()),
+    ("small-canvas", S.small_canvas_script(8, "#204060")),
+    ("animation-tool", S.animation_tool_script(7)),
+    ("thumbnail-generator", S.thumbnail_generator_script(11)),
+]
+
+
+class TestVendorScripts:
+    def test_thirteen_vendors_in_corpus(self):
+        assert len(VENDORS) == 13
+
+    @pytest.mark.parametrize("name,source", VENDORS, ids=[n for n, _ in VENDORS])
+    def test_vendor_is_fingerprinting_likely(self, name, source):
+        verdict = verdict_for_source(source, script_url=f"https://{name}.example/fp.js")
+        assert verdict.classification == CLASS_FP_LIKELY, (
+            f"{name}: got {verdict.classification}, excluded={verdict.excluded}"
+        )
+
+    @pytest.mark.parametrize("name,source", VENDORS, ids=[n for n, _ in VENDORS])
+    def test_vendor_readout_is_tainted(self, name, source):
+        verdict = verdict_for_source(source)
+        assert verdict.taint_paths, f"{name}: readout never reaches a sink"
+
+    @pytest.mark.parametrize("name,source", VENDORS, ids=[n for n, _ in VENDORS])
+    def test_vendor_is_never_skippable(self, name, source):
+        assert not verdict_for_source(source).skippable
+
+
+class TestBenignCorpus:
+    @pytest.mark.parametrize("name,source", BENIGN, ids=[n for n, _ in BENIGN])
+    def test_benign_canvas_is_not_fingerprinting(self, name, source):
+        verdict = verdict_for_source(source, script_url=f"https://{name}.example/app.js")
+        assert verdict.classification in (CLASS_BENIGN, CLASS_UNKNOWN), (
+            f"{name}: got {verdict.classification}"
+        )
+
+    def test_analytics_filler_is_inert(self):
+        verdict = verdict_for_source(S.analytics_filler_script(3))
+        assert verdict.classification == CLASS_INERT
+        assert verdict.skippable
+
+    def test_boutique_font_prober_is_fingerprinting(self):
+        # The long-tail boutique fingerprinter: small per-font canvases but
+        # live toDataURL readouts shipped to a global — correctly flagged.
+        verdict = verdict_for_source(S.font_prober_script(4, 17))
+        assert verdict.classification == CLASS_FP_LIKELY
+
+
+class TestCorpusStability:
+    def test_bare_fingerprint_scripts_are_fp_likely(self):
+        pangram = "How vexingly quick daft zebras jump!"
+        for name, source in [
+            ("text", S.text_fingerprint_script(pangram, 5)),
+            ("geometry", S.geometry_fingerprint_script(5)),
+            (
+                "combined",
+                S.combined_fingerprint_script(pangram, "#f60", "#069"),
+            ),
+        ]:
+            verdict = verdict_for_source(source)
+            assert verdict.classification == CLASS_FP_LIKELY, name

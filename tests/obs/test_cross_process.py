@@ -127,7 +127,7 @@ class TestPooledWorkerDeltas:
         payload = (
             faulty(world), shard, None, "control", RETRIES, None, (),
             None, False, perf.current_config(), ObsConfig(trace=True), "shard-0",
-            None, None,
+            None, None, None,
         )
         _, perf_delta_1, obs_payload_1, _ = _crawl_shard_worker(payload)
         _, perf_delta_2, obs_payload_2, _ = _crawl_shard_worker(payload)

@@ -371,7 +371,7 @@ class TestExactlyOnceShipping:
             world.network, shard, None, "control", RetryPolicy(max_attempts=3),
             None, (), None, False, perf.current_config(),
             ObsConfig(trace=True, profile=True, profile_hz=profile_hz),
-            "shard-0", None, None,
+            "shard-0", None, None, None,
         )
 
     def has_sentinel(self, snapshot):
